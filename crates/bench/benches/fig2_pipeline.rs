@@ -1,0 +1,42 @@
+//! **Figure 2** — the generation + verification framework dataflow.
+//!
+//! Prints the per-stage counters of a full construction run (candidates per
+//! source, removals per verification strategy, final taxonomy size) — the
+//! dataflow of the paper's architecture figure — and benchmarks the two
+//! module groups separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(2))
+            .generate();
+    let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
+    println!("\n================ Figure 2 (framework dataflow) ================");
+    print!("{}", outcome.report);
+    println!("===============================================================\n");
+
+    let tiny = cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(2))
+        .generate();
+    let mut group = c.benchmark_group("fig2_pipeline");
+    group.sample_size(10);
+    group.bench_function("generation_plus_verification", |b| {
+        b.iter(|| {
+            let outcome =
+                cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(black_box(&tiny));
+            black_box(outcome.report.final_candidates)
+        })
+    });
+    group.bench_function("generation_only", |b| {
+        b.iter(|| {
+            let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::unverified())
+                .run(black_box(&tiny));
+            black_box(outcome.report.merged_candidates)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! **Figure 3** — the separation algorithm on 蚂蚁金服首席战略官.
+//!
+//! Prints the paper's worked example (segmentation, PMI-guided binary tree,
+//! rightmost-path hypernyms) using statistics learned from the synthetic
+//! corpus, then benchmarks separation throughput over generated brackets.
+
+use cnp_core::generation::bracket::{SepNode, SeparationAlgorithm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn render(node: &SepNode) -> String {
+    match node {
+        SepNode::Leaf(w) => w.clone(),
+        SepNode::Branch(l, r) => format!("({} ⊕ {})", render(l), render(r)),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(3))
+            .generate();
+    let ctx = cnp_core::PipelineContext::build(&corpus, 4);
+    let alg = SeparationAlgorithm::new(&ctx.segmenter, &ctx.pmi);
+
+    println!("\n================ Figure 3 (separation algorithm) ================");
+    for compound in ["蚂蚁金服首席战略官", "中国香港男演员", "星辰科技首席执行官"] {
+        let words = ctx.segmenter.words(compound);
+        match alg.separate_compound(compound) {
+            Some(r) => {
+                println!("compound : {compound}");
+                println!("  segmented: {words:?}");
+                println!("  tree     : {}", render(&r.tree));
+                println!("  hypernyms: {:?}", r.hypernyms);
+            }
+            None => println!("compound : {compound} -> (no hypernyms)"),
+        }
+    }
+    println!("(paper: 蚂蚁金服首席战略官 → {{首席战略官, 战略官}}, bracket source");
+    println!(" yields ~2M isA relations at 96.2% precision)");
+    println!("=================================================================\n");
+
+    // Throughput over real generated brackets.
+    let brackets: Vec<&str> = corpus
+        .pages
+        .iter()
+        .filter_map(|p| p.bracket.as_deref())
+        .take(2000)
+        .collect();
+    assert!(!brackets.is_empty());
+    let mut group = c.benchmark_group("fig3_separation");
+    group.bench_function("separate_bracket", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let br = brackets[i % brackets.len()];
+            i += 1;
+            black_box(alg.separate(black_box(br)).len())
+        })
+    });
+    group.bench_function("segment_bracket_only", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let br = brackets[i % brackets.len()];
+            i += 1;
+            black_box(ctx.segmenter.words(black_box(br)).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

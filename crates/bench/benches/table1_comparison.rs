@@ -1,0 +1,56 @@
+//! **Table I** — Comparisons with other taxonomies.
+//!
+//! Prints the four Table I rows (entities / concepts / isA / precision) for
+//! Chinese WikiTaxonomy, Bigcilin, Probase-Tran and CN-Probase on a seeded
+//! synthetic corpus, side by side with the paper's reported numbers, then
+//! benchmarks full CN-Probase construction.
+//!
+//! Expected shape (scale-free): CN-Probase has the most entities/concepts/
+//! isA; precision ordering WikiTaxonomy ≥ CN-Probase ≈ 95% > Bigcilin ≈ 90%
+//! ≫ Probase-Tran ≈ 55%; CN-Probase ≥ 10–25× WikiTaxonomy in relations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_table() {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(42))
+            .generate();
+    let cmp = cnp_eval::comparison::run(&corpus, true, 42);
+    println!("\n================ Table I (measured, synthetic corpus) ================");
+    print!("{cmp}");
+    println!("---------------- paper-reported values ----------------");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>10}",
+        "Taxonomy", "# entities", "# concepts", "# isA", "precision"
+    );
+    for (name, e, c, i, p) in [
+        ("Chinese WikiTaxonomy", 581_616, 79_470, 1_317_956, 97.6),
+        ("Bigcilin", 9_000_000, 70_000, 10_000_000, 90.0),
+        ("Probase-Tran", 404_910, 151_933, 1_819_273, 54.5),
+        ("CN-Probase", 15_066_667, 270_025, 32_925_306, 95.0),
+    ] {
+        println!("{name:<22} {e:>10} {c:>10} {i:>12} {p:>9.1}%");
+    }
+    println!("=======================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(42))
+            .generate();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("cn_probase_pipeline_tiny", |b| {
+        b.iter(|| {
+            let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast())
+                .run(black_box(&corpus));
+            black_box(outcome.taxonomy.num_is_a())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

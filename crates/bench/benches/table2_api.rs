@@ -1,0 +1,133 @@
+//! **Table II** — APIs and their descriptions / usage.
+//!
+//! The paper reports the three deployed APIs and their call volumes over
+//! six months (men2ent 43.9 M, getConcept 13.8 M, getEntity 25.8 M). This
+//! bench builds a taxonomy, prints the Table II rows with the call mix, and
+//! measures per-call latency of each API plus the production-mix workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+struct Fixture {
+    api: cnp_taxonomy::ProbaseApi,
+    mentions: Vec<String>,
+    concepts: Vec<String>,
+}
+
+fn build_fixture() -> Fixture {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7))
+            .generate();
+    let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
+    let mentions: Vec<String> = corpus
+        .pages
+        .iter()
+        .take(4000)
+        .map(|p| p.name.clone())
+        .collect();
+    let api = cnp_taxonomy::ProbaseApi::new(outcome.taxonomy);
+    let concepts: Vec<String> = api
+        .store()
+        .concept_ids()
+        .take(2000)
+        .map(|c| api.store().concept_name(c).to_string())
+        .collect();
+    Fixture {
+        api,
+        mentions,
+        concepts,
+    }
+}
+
+fn print_table(f: &Fixture) {
+    println!("\n================ Table II (APIs) ================");
+    println!(
+        "{:<12} {:<10} {:<16} {:>12}",
+        "API name", "Given", "Return", "paper calls"
+    );
+    println!("{:<12} {:<10} {:<16} {:>12}", "men2ent", "mention", "entity", 43_896_044);
+    println!(
+        "{:<12} {:<10} {:<16} {:>12}",
+        "getConcept", "entity", "hypernym list", 13_815_076
+    );
+    println!(
+        "{:<12} {:<10} {:<16} {:>12}",
+        "getEntity", "concept", "hyponym list", 25_793_372
+    );
+    // A smoke sample so the printed table reflects live behaviour.
+    let sample = &f.mentions[0];
+    let senses = f.api.men2ent(sample);
+    println!(
+        "live sample: men2ent({sample:?}) -> {} sense(s){}",
+        senses.len(),
+        senses
+            .first()
+            .map(|s| format!(", getConcept -> {:?}", f.api.get_concept(s.id, true)))
+            .unwrap_or_default()
+    );
+    println!("=================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let f = build_fixture();
+    print_table(&f);
+
+    let mut group = c.benchmark_group("table2_api");
+    group.bench_function("men2ent", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+            black_box(f.api.men2ent(black_box(m)))
+        })
+    });
+    group.bench_function("get_concept_transitive", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let senses: Vec<_> = f
+            .mentions
+            .iter()
+            .filter_map(|m| f.api.men2ent(m).into_iter().next())
+            .take(1000)
+            .collect();
+        b.iter(|| {
+            let s = &senses[rng.gen_range(0..senses.len())];
+            black_box(f.api.get_concept(s.id, true))
+        })
+    });
+    group.bench_function("get_entity_limit100", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let c = &f.concepts[rng.gen_range(0..f.concepts.len())];
+            black_box(f.api.get_entity(black_box(c), true, 100))
+        })
+    });
+    // The production mix of Table II: 52.6% men2ent, 16.5% getConcept,
+    // 30.9% getEntity.
+    group.bench_function("production_mix", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let senses: Vec<_> = f
+            .mentions
+            .iter()
+            .filter_map(|m| f.api.men2ent(m).into_iter().next())
+            .take(1000)
+            .collect();
+        b.iter(|| {
+            let roll: f64 = rng.gen();
+            if roll < 0.526 {
+                let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+                black_box(f.api.men2ent(m).len())
+            } else if roll < 0.691 {
+                let s = &senses[rng.gen_range(0..senses.len())];
+                black_box(f.api.get_concept(s.id, true).len())
+            } else {
+                let c = &f.concepts[rng.gen_range(0..f.concepts.len())];
+                black_box(f.api.get_entity(c, true, 100).len())
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

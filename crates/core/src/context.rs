@@ -1,0 +1,166 @@
+//! Pipeline context: corpus-wide statistics every stage shares.
+//!
+//! Built once per corpus, in parallel over page chunks (crossbeam scoped
+//! threads): the segmenter (base dictionary + corpus vocabulary + HMM
+//! trained on the corpus's own segmentations), the PMI model that drives
+//! the separation algorithm, NE statistics for verification strategy B,
+//! and the lexical-head analyzer for the syntax rules.
+
+use cnp_encyclopedia::Corpus;
+use cnp_text::{
+    dict::Dictionary, head::HeadAnalyzer, hmm::HmmModel, ner::{NeRecognizer, NeStats},
+    ngram::NgramCounter, pmi::PmiModel, pos::PosTagger, segment::Segmenter,
+};
+
+/// Shared, read-only corpus statistics.
+#[derive(Debug)]
+pub struct PipelineContext {
+    /// Word segmenter over base + corpus dictionary.
+    pub segmenter: Segmenter,
+    /// PMI model over segmented corpus text.
+    pub pmi: PmiModel,
+    /// NE support statistics (`s1` of Eq. 2).
+    pub ne_stats: NeStats,
+    /// Named-entity recognizer.
+    pub ner: NeRecognizer,
+    /// Lexical-head analyzer for syntax rules.
+    pub head: HeadAnalyzer,
+    /// POS tagger (used by baselines).
+    pub pos: PosTagger,
+}
+
+impl PipelineContext {
+    /// Builds the context from a corpus using `threads` worker threads.
+    pub fn build(corpus: &Corpus, threads: usize) -> Self {
+        // Dictionary: base vocabulary + corpus-derived words.
+        let mut dict = Dictionary::base();
+        for (word, freq, pos) in corpus.dictionary() {
+            dict.add_word(&word, freq, pos);
+        }
+        let bootstrap = Segmenter::new(dict.clone());
+
+        // Parallel pass: segment all page text, counting n-grams and NE
+        // occurrences per chunk, then merge.
+        let threads = threads.max(1);
+        let chunk = corpus.pages.len().div_ceil(threads).max(1);
+        let ner_boot = NeRecognizer::new(dict.clone());
+        let mut merged_counts = NgramCounter::new();
+        let mut merged_ne = NeStats::new();
+        let mut sentences_for_hmm: Vec<Vec<String>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for pages in corpus.pages.chunks(chunk) {
+                let bootstrap = &bootstrap;
+                let ner_boot = &ner_boot;
+                handles.push(scope.spawn(move |_| {
+                    let mut counts = NgramCounter::new();
+                    let mut ne = NeStats::new();
+                    let mut hmm_sents: Vec<Vec<String>> = Vec::new();
+                    for page in pages {
+                        let mut texts: Vec<&str> = vec![&page.abstract_text];
+                        if let Some(b) = &page.bracket {
+                            texts.push(b);
+                        }
+                        for t in &page.tags {
+                            texts.push(t);
+                        }
+                        for text in texts {
+                            let words = bootstrap.words(text);
+                            for w in &words {
+                                ne.observe(w, ner_boot.is_entity(w));
+                            }
+                            counts.observe(&words);
+                            if hmm_sents.len() < 2_000 {
+                                hmm_sents.push(words.clone());
+                            }
+                        }
+                        // Page names are NE usages by definition.
+                        ne.observe(&page.name, true);
+                    }
+                    (counts, ne, hmm_sents)
+                }));
+            }
+            for h in handles {
+                let (counts, ne, hmm_sents) = h.join().expect("stats worker panicked");
+                merged_counts.merge(&counts);
+                merge_ne(&mut merged_ne, ne);
+                sentences_for_hmm.extend(hmm_sents);
+            }
+        })
+        .expect("crossbeam scope");
+
+        // HMM trained on the bootstrapped segmentations (distant
+        // supervision over our own output, as jieba's model was trained on
+        // segmented corpora).
+        let hmm = HmmModel::train(
+            sentences_for_hmm
+                .iter()
+                .map(|s| s.iter().map(String::as_str)),
+        );
+        let segmenter = Segmenter::with_hmm(dict.clone(), hmm);
+
+        PipelineContext {
+            segmenter: segmenter.clone(),
+            pmi: PmiModel::new(merged_counts),
+            ne_stats: merged_ne,
+            ner: NeRecognizer::new(dict.clone()),
+            head: HeadAnalyzer::new(segmenter),
+            pos: PosTagger::new(dict),
+        }
+    }
+}
+
+fn merge_ne(into: &mut NeStats, from: NeStats) {
+    into.merge(from);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_encyclopedia::{CorpusConfig, CorpusGenerator};
+
+    fn ctx() -> (Corpus, PipelineContext) {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(21)).generate();
+        let ctx = PipelineContext::build(&corpus, 2);
+        (corpus, ctx)
+    }
+
+    #[test]
+    fn segmenter_knows_corpus_concepts() {
+        let (_, ctx) = ctx();
+        let words = ctx.segmenter.words("他是男演员");
+        assert!(words.contains(&"男演员".to_string()), "{words:?}");
+    }
+
+    #[test]
+    fn pmi_model_sees_corpus_bigrams() {
+        let (_, ctx) = ctx();
+        assert!(ctx.pmi.counts().total_unigrams() > 1000);
+        assert!(ctx.pmi.counts().total_bigrams() > 500);
+    }
+
+    #[test]
+    fn ne_stats_flag_places_not_concepts() {
+        let (_, ctx) = ctx();
+        // 中国 is a dictionary place name: support should be 1.
+        assert!(ctx.ne_stats.support("中国") > 0.9);
+        // Concepts are never NEs.
+        assert!(ctx.ne_stats.support("演员") < 0.1);
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(22)).generate();
+        let a = PipelineContext::build(&corpus, 1);
+        let b = PipelineContext::build(&corpus, 4);
+        assert_eq!(
+            a.pmi.counts().total_unigrams(),
+            b.pmi.counts().total_unigrams()
+        );
+        assert_eq!(
+            a.pmi.counts().total_bigrams(),
+            b.pmi.counts().total_bigrams()
+        );
+        assert_eq!(a.ne_stats.support("中国"), b.ne_stats.support("中国"));
+    }
+}

@@ -1,0 +1,350 @@
+//! The separation algorithm (paper §II, Figure 3).
+//!
+//! Input: a disambiguated entity `e(x)` where `x` is the bracket noun
+//! compound. The compound is word-segmented, then adjacent words are
+//! merged bottom-up into a binary tree guided by PMI comparisons over a
+//! sliding three-element window (Steps 1–4 of the paper). The hypernyms
+//! are the nodes hanging off the tree's rightmost path: for
+//! 蚂蚁金服首席战略官 → tree ((蚂蚁⊕金服)(首席⊕战略官)) → hypernyms
+//! {首席战略官, 战略官}.
+//!
+//! Consecutive rightmost-path hypernyms also yield subconcept pairs
+//! (首席战略官 isA 战略官), the main supply of CN-Probase's
+//! subconcept–concept relations.
+//!
+//! The paper is silent on termination when the window rules make no merge
+//! in a full pass (possible with adversarial PMI landscapes); we then merge
+//! the adjacent pair with maximum PMI, which preserves the algorithm's
+//! greedy character.
+
+use cnp_text::pmi::PmiModel;
+use cnp_text::segment::Segmenter;
+
+/// A node of the separation binary tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SepNode {
+    /// A single segmented word.
+    Leaf(String),
+    /// A merge of two adjacent constituents.
+    Branch(Box<SepNode>, Box<SepNode>),
+}
+
+impl SepNode {
+    /// Concatenated surface string of the subtree.
+    pub fn text(&self) -> String {
+        match self {
+            SepNode::Leaf(w) => w.clone(),
+            SepNode::Branch(l, r) => format!("{}{}", l.text(), r.text()),
+        }
+    }
+
+    /// First (leftmost) word of the subtree — used for boundary PMI.
+    fn first_word(&self) -> &str {
+        match self {
+            SepNode::Leaf(w) => w,
+            SepNode::Branch(l, _) => l.first_word(),
+        }
+    }
+
+    /// Last (rightmost) word of the subtree.
+    fn last_word(&self) -> &str {
+        match self {
+            SepNode::Leaf(w) => w,
+            SepNode::Branch(_, r) => r.last_word(),
+        }
+    }
+}
+
+/// Result of running the separation algorithm on one bracket part.
+#[derive(Debug, Clone)]
+pub struct SeparationResult {
+    /// The binary tree over the segmented words.
+    pub tree: SepNode,
+    /// Hypernyms: rightmost-path node strings below the root, specific →
+    /// general (首席战略官, 战略官).
+    pub hypernyms: Vec<String>,
+}
+
+/// The separation algorithm over a segmenter and PMI model.
+#[derive(Debug)]
+pub struct SeparationAlgorithm<'a> {
+    seg: &'a Segmenter,
+    pmi: &'a PmiModel,
+}
+
+impl<'a> SeparationAlgorithm<'a> {
+    /// Creates the algorithm over shared corpus statistics.
+    pub fn new(seg: &'a Segmenter, pmi: &'a PmiModel) -> Self {
+        SeparationAlgorithm { seg, pmi }
+    }
+
+    /// Boundary PMI between adjacent constituents: last word of `a` vs
+    /// first word of `b`.
+    fn node_pmi(&self, a: &SepNode, b: &SepNode) -> f64 {
+        self.pmi.pmi(a.last_word(), b.first_word())
+    }
+
+    /// Runs the algorithm on one noun compound (no 、 splitting).
+    pub fn separate_compound(&self, compound: &str) -> Option<SeparationResult> {
+        let words = self.seg.words(compound);
+        if words.is_empty() {
+            return None;
+        }
+        let mut nodes: Vec<SepNode> = words.into_iter().map(SepNode::Leaf).collect();
+
+        while nodes.len() > 1 {
+            let merge_at = self.pick_merge(&nodes);
+            let right = nodes.remove(merge_at + 1);
+            let left = std::mem::replace(&mut nodes[merge_at], SepNode::Leaf(String::new()));
+            nodes[merge_at] = SepNode::Branch(Box::new(left), Box::new(right));
+        }
+        let tree = nodes.pop().expect("non-empty");
+
+        // Hypernyms: walk the rightmost path, collecting each right child's
+        // full string (specific → general).
+        let mut hypernyms = Vec::new();
+        let mut cur = &tree;
+        while let SepNode::Branch(_, r) = cur {
+            hypernyms.push(r.text());
+            cur = r;
+        }
+        if hypernyms.is_empty() {
+            // Single-word compound: the word itself is the hypernym.
+            hypernyms.push(tree.text());
+        }
+        hypernyms.retain(|h| h.chars().count() >= 2);
+        if hypernyms.is_empty() {
+            return None;
+        }
+        Some(SeparationResult { tree, hypernyms })
+    }
+
+    /// Picks the next pair to merge with the paper's sliding-window Steps
+    /// 1–4, falling back to the max-PMI adjacent pair.
+    fn pick_merge(&self, nodes: &[SepNode]) -> usize {
+        let n = nodes.len();
+        if n == 2 {
+            return 0;
+        }
+        // Slide the window (i−1, i, i+1) from the right (Step 1–3).
+        let mut i = n - 2; // middle element index
+        loop {
+            let left_pmi = self.node_pmi(&nodes[i - 1], &nodes[i]);
+            let right_pmi = self.node_pmi(&nodes[i], &nodes[i + 1]);
+            if left_pmi < right_pmi {
+                // Step 2: merge (x_i ⊕ x_{i+1}).
+                return i;
+            }
+            if i == 1 {
+                // Step 4: window reached the leftmost element.
+                if left_pmi > right_pmi {
+                    return 0; // merge (x_1 ⊕ x_2)
+                }
+                break;
+            }
+            // Step 3: move the window left.
+            i -= 1;
+        }
+        // Fallback: merge the adjacent pair with maximum PMI.
+        let mut best = 0usize;
+        let mut best_pmi = f64::NEG_INFINITY;
+        for j in 0..n - 1 {
+            let p = self.node_pmi(&nodes[j], &nodes[j + 1]);
+            if p > best_pmi {
+                best_pmi = p;
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Runs the algorithm on a full bracket: 、/，-separated parts are
+    /// separate compounds (刘德华's bracket in Fig. 1 lists three).
+    pub fn separate(&self, bracket: &str) -> Vec<SeparationResult> {
+        bracket
+            .split(['、', '，', ','])
+            .filter(|part| !part.trim().is_empty())
+            .filter_map(|part| self.separate_compound(part.trim()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_text::dict::Dictionary;
+    use cnp_text::ngram::NgramCounter;
+    use cnp_text::pos::PosTag;
+
+    /// Corpus statistics mimicking Fig. 3: 蚂蚁金服 is a strong collocation,
+    /// 首席战略官 a medium one, and 金服→首席 never co-occurs elsewhere.
+    fn fixture() -> (Segmenter, PmiModel) {
+        let mut dict = Dictionary::base();
+        for (w, f) in [
+            ("蚂蚁", 300),
+            ("金服", 200),
+            ("战略官", 150),
+            ("男演员", 400),
+            ("演员", 600),
+            ("歌手", 500),
+        ] {
+            dict.add_word(w, f, PosTag::Noun);
+        }
+        let mut counts = NgramCounter::new();
+        for _ in 0..30 {
+            counts.observe(&["蚂蚁", "金服"]);
+        }
+        for _ in 0..8 {
+            counts.observe(&["首席", "战略官"]);
+        }
+        for _ in 0..2 {
+            counts.observe(&["金服", "首席"]);
+        }
+        for _ in 0..25 {
+            counts.observe(&["中国", "香港"]);
+        }
+        for _ in 0..3 {
+            counts.observe(&["香港", "男演员"]);
+        }
+        for _ in 0..4 {
+            counts.observe(&["香港", "歌手"]);
+        }
+        // Concept words occur standalone throughout the corpus (tags,
+        // abstracts), which keeps their unigram probability realistic —
+        // without this, PMI's rare-word bias would glue 香港+男演员.
+        for _ in 0..30 {
+            counts.observe(&["男演员"]);
+            counts.observe(&["歌手"]);
+        }
+        (Segmenter::new(dict), PmiModel::new(counts))
+    }
+
+    #[test]
+    fn figure3_example_produces_expected_tree_and_hypernyms() {
+        let (seg, pmi) = fixture();
+        let alg = SeparationAlgorithm::new(&seg, &pmi);
+        let result = alg.separate_compound("蚂蚁金服首席战略官").unwrap();
+        // Tree: ((蚂蚁⊕金服) ⊕ (首席⊕战略官))
+        assert_eq!(
+            result.tree,
+            SepNode::Branch(
+                Box::new(SepNode::Branch(
+                    Box::new(SepNode::Leaf("蚂蚁".into())),
+                    Box::new(SepNode::Leaf("金服".into())),
+                )),
+                Box::new(SepNode::Branch(
+                    Box::new(SepNode::Leaf("首席".into())),
+                    Box::new(SepNode::Leaf("战略官".into())),
+                )),
+            )
+        );
+        assert_eq!(result.hypernyms, vec!["首席战略官", "战略官"]);
+    }
+
+    #[test]
+    fn modifier_compound_yields_head_concept() {
+        let (seg, pmi) = fixture();
+        let alg = SeparationAlgorithm::new(&seg, &pmi);
+        let result = alg.separate_compound("中国香港男演员").unwrap();
+        assert_eq!(result.hypernyms, vec!["男演员"]);
+    }
+
+    #[test]
+    fn single_word_compound_is_its_own_hypernym() {
+        let (seg, pmi) = fixture();
+        let alg = SeparationAlgorithm::new(&seg, &pmi);
+        let result = alg.separate_compound("演员").unwrap();
+        assert_eq!(result.hypernyms, vec!["演员"]);
+    }
+
+    #[test]
+    fn multi_part_bracket_processes_each_part() {
+        let (seg, pmi) = fixture();
+        let alg = SeparationAlgorithm::new(&seg, &pmi);
+        let results = alg.separate("中国香港男演员、歌手");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].hypernyms, vec!["男演员"]);
+        assert_eq!(results[1].hypernyms, vec!["歌手"]);
+    }
+
+    #[test]
+    fn empty_and_punct_brackets_yield_nothing() {
+        let (seg, pmi) = fixture();
+        let alg = SeparationAlgorithm::new(&seg, &pmi);
+        assert!(alg.separate("").is_empty());
+        assert!(alg.separate("、、").is_empty());
+    }
+
+    #[test]
+    fn tree_text_reconstructs_input() {
+        let (seg, pmi) = fixture();
+        let alg = SeparationAlgorithm::new(&seg, &pmi);
+        for compound in ["蚂蚁金服首席战略官", "中国香港男演员", "香港歌手"] {
+            let r = alg.separate_compound(compound).unwrap();
+            assert_eq!(r.tree.text(), compound);
+        }
+    }
+
+    #[test]
+    fn hypernyms_are_suffixes_of_the_compound() {
+        let (seg, pmi) = fixture();
+        let alg = SeparationAlgorithm::new(&seg, &pmi);
+        let r = alg.separate_compound("蚂蚁金服首席战略官").unwrap();
+        for h in &r.hypernyms {
+            assert!(
+                "蚂蚁金服首席战略官".ends_with(h.as_str()),
+                "{h} is not a suffix"
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Compounds assembled from known dictionary words.
+        fn compound_strategy() -> impl Strategy<Value = String> {
+            let pool = [
+                "蚂蚁", "金服", "首席", "战略官", "中国", "香港", "男演员", "歌手", "演员",
+            ];
+            proptest::collection::vec(0usize..pool.len(), 1..5)
+                .prop_map(move |idx| idx.into_iter().map(|i| pool[i]).collect::<String>())
+        }
+
+        proptest! {
+            /// The binary tree always reconstructs the compound exactly, and
+            /// every hypernym is a non-empty suffix of it.
+            #[test]
+            fn tree_partitions_and_hypernyms_are_suffixes(compound in compound_strategy()) {
+                let (seg, pmi) = fixture();
+                let alg = SeparationAlgorithm::new(&seg, &pmi);
+                if let Some(r) = alg.separate_compound(&compound) {
+                    prop_assert_eq!(r.tree.text(), compound.clone());
+                    prop_assert!(!r.hypernyms.is_empty());
+                    for h in &r.hypernyms {
+                        prop_assert!(compound.ends_with(h.as_str()), "{} !suffix of {}", h, compound);
+                        prop_assert!(h.chars().count() >= 2);
+                    }
+                    // Hypernyms are ordered specific -> general (shrinking).
+                    for w in r.hypernyms.windows(2) {
+                        prop_assert!(w[0].len() > w[1].len());
+                        prop_assert!(w[0].ends_with(w[1].as_str()));
+                    }
+                }
+            }
+
+            /// Multi-part brackets yield exactly one result per non-empty part.
+            #[test]
+            fn parts_are_independent(a in compound_strategy(), b in compound_strategy()) {
+                let (seg, pmi) = fixture();
+                let alg = SeparationAlgorithm::new(&seg, &pmi);
+                let joined = format!("{a}、{b}");
+                let results = alg.separate(&joined);
+                let singles =
+                    alg.separate_compound(&a).into_iter().count()
+                    + alg.separate_compound(&b).into_iter().count();
+                prop_assert_eq!(results.len(), singles);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Direct extraction from tags (paper §II).
+//!
+//! “A majority of tags are the hypernyms of the entities. We directly
+//! regard the tags as the hypernyms of an entity.” All cleaning is left to
+//! the verification module, exactly as in the paper.
+
+use crate::candidate::Candidate;
+use cnp_encyclopedia::Page;
+use cnp_taxonomy::Source;
+
+/// Default confidence for tag-derived candidates.
+pub const TAG_CONFIDENCE: f32 = 0.90;
+
+/// Extracts tag candidates from one page.
+pub fn extract_page(page_idx: usize, page: &Page) -> Vec<Candidate> {
+    page.tags
+        .iter()
+        .filter(|t| !t.is_empty() && t.as_str() != page.name)
+        .map(|t| {
+            Candidate::new(
+                page_idx,
+                page.key(),
+                page.name.clone(),
+                page.bracket_str(),
+                t.clone(),
+                Source::Tag,
+                TAG_CONFIDENCE,
+            )
+        })
+        .collect()
+}
+
+/// Extracts tag candidates from all pages.
+pub fn extract(pages: &[Page]) -> Vec<Candidate> {
+    pages
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| extract_page(i, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_every_tag() {
+        let page = Page {
+            name: "刘德华".into(),
+            bracket: Some("男演员".into()),
+            tags: vec!["人物".into(), "演员".into(), "音乐".into()],
+            ..Default::default()
+        };
+        let cands = extract_page(0, &page);
+        assert_eq!(cands.len(), 3);
+        assert!(cands.iter().all(|c| c.source == Source::Tag));
+        assert!(cands.iter().all(|c| c.entity_key == "刘德华（男演员）"));
+        // Noise (音乐) is NOT filtered here — that's verification's job.
+        assert!(cands.iter().any(|c| c.hypernym == "音乐"));
+    }
+
+    #[test]
+    fn self_tags_are_skipped() {
+        let page = Page {
+            name: "演员".into(),
+            tags: vec!["演员".into(), "娱乐人物".into()],
+            ..Default::default()
+        };
+        let cands = extract_page(0, &page);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].hypernym, "娱乐人物");
+    }
+
+    #[test]
+    fn extract_covers_all_pages() {
+        let pages = vec![
+            Page {
+                name: "甲".into(),
+                tags: vec!["人物".into()],
+                ..Default::default()
+            },
+            Page {
+                name: "乙".into(),
+                tags: vec!["作品".into(), "电影".into()],
+                ..Default::default()
+            },
+        ];
+        let cands = extract(&pages);
+        assert_eq!(cands.len(), 3);
+        assert_eq!(cands[0].page, 0);
+        assert_eq!(cands[2].page, 1);
+    }
+}

@@ -1,0 +1,446 @@
+//! End-to-end pipeline: the generation + verification framework of
+//! Figure 2, producing a [`TaxonomyStore`].
+
+use crate::candidate::CandidateSet;
+use crate::context::PipelineContext;
+use crate::generation::{self, abstract_gen, infobox, tag};
+use crate::report::PipelineReport;
+use crate::verification::{self, VerificationConfig};
+use cnp_encyclopedia::Corpus;
+use cnp_taxonomy::{IsAMeta, Source, TaxonomyStats, TaxonomyStore};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Worker threads for corpus statistics and extraction.
+    pub threads: usize,
+    /// Enable the bracket source (separation algorithm).
+    pub enable_bracket: bool,
+    /// Enable the abstract source (neural generation).
+    pub enable_abstract: bool,
+    /// Enable the infobox source (predicate discovery).
+    pub enable_infobox: bool,
+    /// Enable the tag source (direct extraction).
+    pub enable_tag: bool,
+    /// Neural-generation settings.
+    pub neural: abstract_gen::NeuralConfig,
+    /// Predicates kept by the selection step (paper: 12).
+    pub predicate_top_k: usize,
+    /// Minimum triple support for a selectable predicate.
+    pub predicate_min_support: usize,
+    /// Verification strategies.
+    pub verification: VerificationConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            threads: 4,
+            enable_bracket: true,
+            enable_abstract: true,
+            enable_infobox: true,
+            enable_tag: true,
+            neural: abstract_gen::NeuralConfig::default(),
+            predicate_top_k: 12,
+            predicate_min_support: 5,
+            verification: VerificationConfig::all(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Fast preset for tests/doctests: small CopyNet, two threads.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            threads: 2,
+            neural: abstract_gen::NeuralConfig::fast(),
+            ..Default::default()
+        }
+    }
+
+    /// All sources, no verification — the ablation baseline.
+    pub fn unverified() -> Self {
+        PipelineConfig {
+            verification: VerificationConfig::none(),
+            ..Self::fast()
+        }
+    }
+}
+
+/// Pipeline outcome: the taxonomy plus everything needed for evaluation.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The constructed taxonomy.
+    pub taxonomy: TaxonomyStore,
+    /// Construction statistics (Figure 2 counters).
+    pub report: PipelineReport,
+    /// The verified candidates the taxonomy was built from.
+    pub candidates: CandidateSet,
+}
+
+/// The CN-Probase construction pipeline.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs generation and verification on `corpus` and merges the
+    /// surviving relations into an existing store — the *never-ending
+    /// extraction* mode in which the deployed system ingests CN-DBpedia
+    /// batches. Returns the construction report and the verified batch.
+    pub fn run_into(
+        &self,
+        corpus: &Corpus,
+        store: &mut TaxonomyStore,
+    ) -> (PipelineReport, CandidateSet) {
+        let outcome = self.run(corpus);
+        let mut report = outcome.report;
+        // Merge: replay candidates against the existing store.
+        let concept_names: HashSet<&str> = outcome
+            .candidates
+            .items
+            .iter()
+            .map(|c| c.hypernym.as_str())
+            .collect();
+        for c in &outcome.candidates.items {
+            let page = &corpus.pages[c.page];
+            let sup = store.add_concept(&c.hypernym);
+            let meta = IsAMeta::new(c.source, c.confidence);
+            let is_concept_page = page.bracket.is_none()
+                && (concept_names.contains(page.name.as_str())
+                    || store.find_concept(&page.name).is_some());
+            if is_concept_page {
+                let sub = store.add_concept(&page.name);
+                store.add_concept_is_a(sub, sup, meta);
+            } else {
+                let e = store.add_entity(&page.name, page.bracket.as_deref());
+                store.add_entity_is_a(e, sup, meta);
+                for t in &page.infobox {
+                    store.add_attribute(e, &t.predicate);
+                }
+                for alias in &page.aliases {
+                    store.add_alias(e, alias);
+                }
+            }
+        }
+        report.cycle_edges_removed += cnp_taxonomy::closure::break_cycles(store).len();
+        report.stats = TaxonomyStats::of(store);
+        (report, outcome.candidates)
+    }
+
+    /// Runs generation, verification and taxonomy assembly on `corpus`.
+    pub fn run(&self, corpus: &Corpus) -> PipelineOutcome {
+        let cfg = &self.config;
+        let mut report = PipelineReport {
+            pages: corpus.pages.len(),
+            ..Default::default()
+        };
+        let mut timings: Vec<(String, std::time::Duration)> = Vec::new();
+        let clock = Instant::now();
+        let ctx = PipelineContext::build(corpus, cfg.threads);
+        timings.push(("context".into(), clock.elapsed()));
+
+        // ---- generation ----
+        let mut all_candidates = Vec::new();
+        let mut chains: Vec<(String, String)> = Vec::new();
+
+        let t = Instant::now();
+        let bracket_pairs = if cfg.enable_bracket {
+            let (cands, bracket_chains) =
+                generation::extract_bracket(&corpus.pages, &ctx, cfg.threads);
+            report.bracket_candidates = cands.len();
+            let pairs = generation::bracket_pairs_by_entity(&cands);
+            all_candidates.extend(cands);
+            chains.extend(bracket_chains);
+            pairs
+        } else {
+            Default::default()
+        };
+        timings.push(("bracket".into(), t.elapsed()));
+
+        let t = Instant::now();
+        if cfg.enable_infobox {
+            let discovery = infobox::discover_predicates(
+                &corpus.pages,
+                &bracket_pairs,
+                cfg.predicate_top_k,
+                cfg.predicate_min_support,
+            );
+            report.predicate_candidates = discovery.candidates.len();
+            report.predicates_selected = discovery.selected.clone();
+            let cands = infobox::extract(&corpus.pages, &discovery.selected);
+            report.infobox_candidates = cands.len();
+            all_candidates.extend(cands);
+        }
+        timings.push(("infobox".into(), t.elapsed()));
+
+        let t = Instant::now();
+        if cfg.enable_abstract {
+            let samples = abstract_gen::build_dataset(
+                &corpus.pages,
+                &ctx.segmenter,
+                &bracket_pairs,
+                cfg.neural.max_samples,
+            );
+            report.neural_samples = samples.len();
+            if !samples.is_empty() {
+                let (model, losses) = abstract_gen::train(&samples, &cfg.neural);
+                report.neural_losses = losses;
+                let cands = abstract_gen::extract(&corpus.pages, &ctx.segmenter, &model);
+                report.abstract_candidates = cands.len();
+                all_candidates.extend(cands);
+            }
+        }
+        timings.push(("abstract".into(), t.elapsed()));
+
+        let t = Instant::now();
+        if cfg.enable_tag {
+            let cands = tag::extract(&corpus.pages);
+            report.tag_candidates = cands.len();
+            all_candidates.extend(cands);
+        }
+        timings.push(("tag".into(), t.elapsed()));
+
+        let t = Instant::now();
+        let merged = CandidateSet::merge(all_candidates);
+        report.merged_candidates = merged.len();
+        timings.push(("merge".into(), t.elapsed()));
+
+        // ---- verification ----
+        let t = Instant::now();
+        let (verified, vreport) =
+            verification::verify(merged, &corpus.pages, &ctx, &cfg.verification);
+        report.verification = vreport;
+        report.final_candidates = verified.len();
+        timings.push(("verification".into(), t.elapsed()));
+
+        // ---- taxonomy assembly ----
+        let t = Instant::now();
+        let (taxonomy, cycle_removed) = assemble(&verified, &chains, corpus);
+        report.cycle_edges_removed = cycle_removed;
+        report.stats = TaxonomyStats::of(&taxonomy);
+        timings.push(("assembly".into(), t.elapsed()));
+
+        report.stage_timings = timings;
+        PipelineOutcome {
+            taxonomy,
+            report,
+            candidates: verified,
+        }
+    }
+}
+
+/// Builds the taxonomy store from verified candidates.
+///
+/// A surviving hypernym string is a *concept*. A page whose name equals a
+/// concept (and that has no bracket) is itself a concept page: its
+/// candidates become subconcept→concept edges. All other pages are
+/// entities with entity→concept edges, infobox-predicate attributes and
+/// mention aliases. Bracket rightmost-path chains add further subconcept
+/// edges; any cycles are repaired by dropping the weakest edge.
+fn assemble(
+    verified: &CandidateSet,
+    chains: &[(String, String)],
+    corpus: &Corpus,
+) -> (TaxonomyStore, usize) {
+    let mut store = TaxonomyStore::new();
+    let concept_names: HashSet<&str> = verified
+        .items
+        .iter()
+        .map(|c| c.hypernym.as_str())
+        .collect();
+
+    for c in &verified.items {
+        let page = &corpus.pages[c.page];
+        let sup = store.add_concept(&c.hypernym);
+        let meta = IsAMeta::new(c.source, c.confidence);
+        let is_concept_page = page.bracket.is_none() && concept_names.contains(page.name.as_str());
+        if is_concept_page {
+            let sub = store.add_concept(&page.name);
+            store.add_concept_is_a(sub, sup, meta);
+        } else {
+            let e = store.add_entity(&page.name, page.bracket.as_deref());
+            store.add_entity_is_a(e, sup, meta);
+            for t in &page.infobox {
+                store.add_attribute(e, &t.predicate);
+            }
+            for alias in &page.aliases {
+                store.add_alias(e, alias);
+            }
+        }
+    }
+
+    for (sub, sup) in chains {
+        if concept_names.contains(sub.as_str()) || concept_names.contains(sup.as_str()) {
+            let sub = store.add_concept(sub);
+            let sup = store.add_concept(sup);
+            store.add_concept_is_a(sub, sup, IsAMeta::new(Source::SubConcept, 0.9));
+        }
+    }
+
+    let removed = cnp_taxonomy::closure::break_cycles(&mut store);
+    (store, removed.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_encyclopedia::{CorpusConfig, CorpusGenerator};
+
+    fn run_tiny(seed: u64) -> (Corpus, PipelineOutcome) {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(seed)).generate();
+        let outcome = Pipeline::new(PipelineConfig::fast()).run(&corpus);
+        (corpus, outcome)
+    }
+
+    #[test]
+    fn end_to_end_builds_nonempty_taxonomy() {
+        let (_, outcome) = run_tiny(71);
+        assert!(outcome.taxonomy.num_is_a() > 200);
+        assert!(outcome.taxonomy.num_concepts() > 50);
+        assert!(outcome.taxonomy.num_entities() > 100);
+        assert!(outcome.report.final_candidates > 0);
+        assert!(cnp_taxonomy::closure::is_dag(&outcome.taxonomy));
+    }
+
+    #[test]
+    fn all_four_sources_contribute() {
+        let (_, outcome) = run_tiny(72);
+        let r = &outcome.report;
+        assert!(r.bracket_candidates > 0, "bracket produced nothing");
+        assert!(r.abstract_candidates > 0, "abstract produced nothing");
+        assert!(r.infobox_candidates > 0, "infobox produced nothing");
+        assert!(r.tag_candidates > 0, "tag produced nothing");
+        assert!(r.merged_candidates <= r.bracket_candidates + r.abstract_candidates + r.infobox_candidates + r.tag_candidates);
+    }
+
+    #[test]
+    fn predicate_discovery_selects_up_to_k() {
+        let (_, outcome) = run_tiny(73);
+        let r = &outcome.report;
+        assert!(r.predicate_candidates >= r.predicates_selected.len());
+        assert!(r.predicates_selected.len() <= 12);
+        // The flagship isA predicate must be discovered.
+        assert!(
+            r.predicates_selected.iter().any(|p| p == "职业"),
+            "职业 not selected: {:?}",
+            r.predicates_selected
+        );
+    }
+
+    #[test]
+    fn verification_runs_and_removes_noise() {
+        let (_, outcome) = run_tiny(74);
+        assert!(outcome.report.verification.total() > 0);
+        assert!(outcome.report.final_candidates < outcome.report.merged_candidates);
+    }
+
+    #[test]
+    fn final_precision_beats_unverified() {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(75)).generate();
+        let verified = Pipeline::new(PipelineConfig::fast()).run(&corpus);
+        let unverified = Pipeline::new(PipelineConfig::unverified()).run(&corpus);
+        let precision = |o: &PipelineOutcome| {
+            let correct = o
+                .candidates
+                .items
+                .iter()
+                .filter(|c| {
+                    corpus.gold.is_correct_entity_isa(&c.entity_key, &c.hypernym)
+                        || corpus.gold.is_correct_concept_isa(&c.entity_name, &c.hypernym)
+                })
+                .count();
+            correct as f64 / o.candidates.len().max(1) as f64
+        };
+        let p_v = precision(&verified);
+        let p_u = precision(&unverified);
+        assert!(
+            p_v > p_u,
+            "verified precision {p_v:.3} not above unverified {p_u:.3}"
+        );
+    }
+
+    #[test]
+    fn entity_pages_with_brackets_stay_entities() {
+        let (corpus, outcome) = run_tiny(76);
+        // Find a bracketed page and assert it became an entity, not a concept.
+        let page = corpus
+            .pages
+            .iter()
+            .find(|p| p.bracket.is_some())
+            .expect("bracketed page exists");
+        let found = outcome
+            .taxonomy
+            .find_entity(&page.name, page.bracket.as_deref());
+        // The page only appears if some candidate survived; then it must be
+        // an entity.
+        if let Some(e) = found {
+            assert!(!outcome.taxonomy.concepts_of(e).is_empty());
+        }
+    }
+
+    #[test]
+    fn incremental_update_grows_an_existing_taxonomy() {
+        let batch1 = CorpusGenerator::new(CorpusConfig::tiny(781)).generate();
+        let batch2 = CorpusGenerator::new(CorpusConfig::tiny(782)).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let mut store = pipeline.run(&batch1).taxonomy;
+        let before = TaxonomyStats::of(&store);
+        let (report, batch_candidates) = pipeline.run_into(&batch2, &mut store);
+        let after = TaxonomyStats::of(&store);
+        assert!(after.entities > before.entities);
+        assert!(after.total_is_a() > before.total_is_a());
+        assert!(!batch_candidates.is_empty());
+        assert_eq!(report.stats, after);
+        assert!(cnp_taxonomy::closure::is_dag(&store));
+    }
+
+    #[test]
+    fn update_is_idempotent_for_the_same_batch() {
+        let batch = CorpusGenerator::new(CorpusConfig::tiny(783)).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let mut store = pipeline.run(&batch).taxonomy;
+        let before = TaxonomyStats::of(&store);
+        // Re-ingesting the same batch must not duplicate edges.
+        let _ = pipeline.run_into(&batch, &mut store);
+        let after = TaxonomyStats::of(&store);
+        assert_eq!(before.entity_is_a, after.entity_is_a);
+        assert_eq!(before.entities, after.entities);
+    }
+
+    #[test]
+    fn report_timings_cover_all_stages() {
+        let (_, outcome) = run_tiny(77);
+        let stages: Vec<&str> = outcome
+            .report
+            .stage_timings
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect();
+        for expected in [
+            "context",
+            "bracket",
+            "infobox",
+            "abstract",
+            "tag",
+            "merge",
+            "verification",
+            "assembly",
+        ] {
+            assert!(stages.contains(&expected), "missing stage {expected}");
+        }
+    }
+}

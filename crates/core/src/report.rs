@@ -1,0 +1,104 @@
+//! Construction report: per-stage counters mirroring the dataflow of the
+//! paper's Figure 2 (generation → candidates → verification → taxonomy).
+
+use crate::verification::VerificationReport;
+use cnp_taxonomy::TaxonomyStats;
+use std::fmt;
+use std::time::Duration;
+
+/// End-to-end construction statistics.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Pages consumed.
+    pub pages: usize,
+    /// Candidates produced by the separation algorithm (bracket).
+    pub bracket_candidates: usize,
+    /// Candidates produced by neural generation (abstract).
+    pub abstract_candidates: usize,
+    /// Candidates produced by predicate discovery (infobox).
+    pub infobox_candidates: usize,
+    /// Candidates produced by direct extraction (tag).
+    pub tag_candidates: usize,
+    /// Candidates after merging/deduplication.
+    pub merged_candidates: usize,
+    /// Verification removals.
+    pub verification: VerificationReport,
+    /// Candidates surviving verification.
+    pub final_candidates: usize,
+    /// Predicate-discovery candidate count (paper: 341).
+    pub predicate_candidates: usize,
+    /// Selected isA-bearing predicates (paper: 12).
+    pub predicates_selected: Vec<String>,
+    /// Distant-supervision sample count (paper: 300 k+).
+    pub neural_samples: usize,
+    /// Per-epoch CopyNet training losses.
+    pub neural_losses: Vec<f32>,
+    /// Subconcept edges removed to restore a DAG.
+    pub cycle_edges_removed: usize,
+    /// Final taxonomy size.
+    pub stats: TaxonomyStats,
+    /// Wall-clock time per stage.
+    pub stage_timings: Vec<(String, Duration)>,
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CN-Probase construction report")?;
+        writeln!(f, "  input pages:            {}", self.pages)?;
+        writeln!(f, "  generation module")?;
+        writeln!(f, "    bracket  (separation): {}", self.bracket_candidates)?;
+        writeln!(f, "    abstract (neural):     {}", self.abstract_candidates)?;
+        writeln!(f, "    infobox  (predicates): {}", self.infobox_candidates)?;
+        writeln!(f, "    tag      (direct):     {}", self.tag_candidates)?;
+        writeln!(f, "    merged candidates:     {}", self.merged_candidates)?;
+        writeln!(
+            f,
+            "    predicates: {} candidates -> {} selected",
+            self.predicate_candidates,
+            self.predicates_selected.len()
+        )?;
+        writeln!(f, "  verification module")?;
+        writeln!(
+            f,
+            "    incompatible concepts: -{}",
+            self.verification.incompatible_removed
+        )?;
+        writeln!(f, "    NER filter:            -{}", self.verification.ner_removed)?;
+        writeln!(
+            f,
+            "    syntax rules:          -{} (thematic {}, head-stem {})",
+            self.verification.thematic_removed + self.verification.head_stem_removed,
+            self.verification.thematic_removed,
+            self.verification.head_stem_removed
+        )?;
+        writeln!(f, "    surviving candidates:  {}", self.final_candidates)?;
+        writeln!(f, "  taxonomy: {}", self.stats)?;
+        writeln!(f, "  cycle edges removed:     {}", self.cycle_edges_removed)?;
+        writeln!(f, "  stage timings:")?;
+        for (stage, d) in &self.stage_timings {
+            writeln!(f, "    {stage:<22} {:>8.1} ms", d.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_all_sections() {
+        let mut r = PipelineReport {
+            pages: 10,
+            bracket_candidates: 5,
+            tag_candidates: 7,
+            ..Default::default()
+        };
+        r.stage_timings.push(("context".into(), Duration::from_millis(12)));
+        let text = r.to_string();
+        assert!(text.contains("generation module"));
+        assert!(text.contains("verification module"));
+        assert!(text.contains("separation"));
+        assert!(text.contains("context"));
+    }
+}

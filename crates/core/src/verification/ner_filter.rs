@@ -1,0 +1,144 @@
+//! Verification strategy B: named-entity hypernyms (paper §III-B, Eq. 2).
+//!
+//! A named entity (美国, 刘德华) names an individual, so it cannot be a
+//! hypernym. Two independent support signals are combined by a noisy-or:
+//!
+//! * `s1(H)` — share of corpus occurrences of `H` that are NE usages
+//!   (from [`cnp_text::ner::NeStats`], built over the whole corpus);
+//! * `s2(H)` — NE support inside the taxonomy under construction: how often
+//!   `H` occurs as an entity (page name) versus as a hypernym.
+//!
+//! Candidates whose hypernym support exceeds the threshold are dropped.
+
+use crate::candidate::CandidateSet;
+use crate::context::PipelineContext;
+use cnp_encyclopedia::Page;
+use cnp_text::ner::noisy_or;
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for strategy B.
+#[derive(Debug, Clone)]
+pub struct NerFilterConfig {
+    /// Candidates with `s(H)` above this are removed (paper: empirical).
+    pub threshold: f64,
+}
+
+impl Default for NerFilterConfig {
+    fn default() -> Self {
+        NerFilterConfig { threshold: 0.6 }
+    }
+}
+
+/// Computes `s2(H)` for every hypernym in the set: entity-usage count over
+/// total usage count within the (candidate) taxonomy.
+pub fn taxonomy_support(set: &CandidateSet, pages: &[Page]) -> HashMap<String, f64> {
+    let mut page_names: HashMap<&str, usize> = HashMap::new();
+    for p in pages {
+        *page_names.entry(p.name.as_str()).or_insert(0) += 1;
+    }
+    let mut hyper_usage: HashMap<&str, usize> = HashMap::new();
+    for c in &set.items {
+        *hyper_usage.entry(c.hypernym.as_str()).or_insert(0) += 1;
+    }
+    let hypernyms: HashSet<&str> = set.items.iter().map(|c| c.hypernym.as_str()).collect();
+    hypernyms
+        .into_iter()
+        .map(|h| {
+            let as_entity = page_names.get(h).copied().unwrap_or(0) as f64;
+            let as_hyper = hyper_usage.get(h).copied().unwrap_or(0) as f64;
+            // A name that is *only* a page (never reused as hypernym
+            // elsewhere) is pure NE; frequent hypernym usage dilutes it.
+            let s2 = if as_entity + as_hyper == 0.0 {
+                0.0
+            } else {
+                as_entity / (as_entity + as_hyper)
+            };
+            (h.to_string(), s2)
+        })
+        .collect()
+}
+
+/// Runs strategy B; returns the filtered set and the removal count.
+pub fn filter(
+    set: CandidateSet,
+    pages: &[Page],
+    ctx: &PipelineContext,
+    cfg: &NerFilterConfig,
+) -> (CandidateSet, usize) {
+    let s2 = taxonomy_support(&set, pages);
+    let before = set.len();
+    let items: Vec<_> = set
+        .items
+        .into_iter()
+        .filter(|c| {
+            let s1 = ctx.ne_stats.support(&c.hypernym);
+            let s2 = s2.get(&c.hypernym).copied().unwrap_or(0.0);
+            noisy_or(s1, s2) <= cfg.threshold
+        })
+        .collect();
+    let removed = before - items.len();
+    (CandidateSet { items }, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::Candidate;
+    use cnp_encyclopedia::{CorpusConfig, CorpusGenerator};
+    use cnp_taxonomy::Source;
+
+    #[test]
+    fn s2_high_for_pure_entities_low_for_concepts() {
+        let pages = vec![
+            cnp_encyclopedia::Page {
+                name: "临江市".into(),
+                ..Default::default()
+            },
+            cnp_encyclopedia::Page {
+                name: "甲".into(),
+                ..Default::default()
+            },
+        ];
+        let set = CandidateSet::merge(vec![
+            Candidate::new(1, "甲", "甲", "", "临江市", Source::Tag, 0.9),
+            Candidate::new(1, "甲", "甲", "", "演员", Source::Tag, 0.9),
+            Candidate::new(0, "临江市", "临江市", "", "演员", Source::Tag, 0.9),
+        ]);
+        let s2 = taxonomy_support(&set, &pages);
+        // 临江市: 1 page, 1 hypernym usage → 0.5; 演员: 0 pages, 2 usages → 0.
+        assert!((s2["临江市"] - 0.5).abs() < 1e-9);
+        assert_eq!(s2["演员"], 0.0);
+    }
+
+    #[test]
+    fn removes_ne_hypernyms_keeps_concepts() {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(41)).generate();
+        let ctx = crate::context::PipelineContext::build(&corpus, 2);
+        let set = CandidateSet::merge(vec![
+            Candidate::new(0, "某人", "某人", "", "美国", Source::Tag, 0.9),
+            Candidate::new(0, "某人", "某人", "", "演员", Source::Tag, 0.9),
+            Candidate::new(0, "某人", "某人", "", "临江市", Source::Tag, 0.9),
+        ]);
+        let (filtered, removed) = filter(set, &corpus.pages, &ctx, &NerFilterConfig::default());
+        assert!(removed >= 2, "NE hypernyms should be removed, got {removed}");
+        assert!(filtered.items.iter().any(|c| c.hypernym == "演员"));
+        assert!(!filtered.items.iter().any(|c| c.hypernym == "美国"));
+    }
+
+    #[test]
+    fn threshold_one_disables_filtering() {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(42)).generate();
+        let ctx = crate::context::PipelineContext::build(&corpus, 2);
+        let set = CandidateSet::merge(vec![Candidate::new(
+            0, "某人", "某人", "", "美国", Source::Tag, 0.9,
+        )]);
+        let (filtered, removed) = filter(
+            set,
+            &corpus.pages,
+            &ctx,
+            &NerFilterConfig { threshold: 1.0 },
+        );
+        assert_eq!(removed, 0);
+        assert_eq!(filtered.len(), 1);
+    }
+}

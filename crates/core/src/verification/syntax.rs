@@ -1,0 +1,141 @@
+//! Verification strategy C: syntax-based rules (paper §III-C).
+//!
+//! Rule (1): a hypernym must not be a thematic word — the 184-entry lexicon
+//! (政治, 军事, 音乐 …) lists article *topics*, not classes.
+//!
+//! Rule (2): the stem of the hypernym's lexical head must not occur in a
+//! non-head position of the hyponym: `isA(教育机构, 教育)` is wrong because
+//! 教育 modifies the true head 机构 (implemented in
+//! [`cnp_text::head::HeadAnalyzer`]).
+
+use crate::candidate::CandidateSet;
+use crate::context::PipelineContext;
+use cnp_text::lexicons::is_thematic;
+
+/// Which syntax rules are enabled.
+#[derive(Debug, Clone)]
+pub struct SyntaxConfig {
+    /// Rule (1): thematic-lexicon filter.
+    pub thematic_rule: bool,
+    /// Rule (2): head-stem rule.
+    pub head_stem_rule: bool,
+}
+
+impl Default for SyntaxConfig {
+    fn default() -> Self {
+        SyntaxConfig {
+            thematic_rule: true,
+            head_stem_rule: true,
+        }
+    }
+}
+
+/// Runs strategy C; returns the filtered set and per-rule removal counts
+/// `(thematic_removed, head_stem_removed)`.
+pub fn filter(
+    set: CandidateSet,
+    ctx: &PipelineContext,
+    cfg: &SyntaxConfig,
+) -> (CandidateSet, usize, usize) {
+    let mut thematic_removed = 0usize;
+    let mut head_removed = 0usize;
+    let items: Vec<_> = set
+        .items
+        .into_iter()
+        .filter(|c| {
+            if cfg.thematic_rule && is_thematic(&c.hypernym) {
+                thematic_removed += 1;
+                return false;
+            }
+            if cfg.head_stem_rule {
+                // The hyponym is the entity name (word-level containment is
+                // judged on the surface name, as in the paper's example).
+                if ctx.head.violates_head_stem_rule(&c.entity_name, &c.hypernym) {
+                    head_removed += 1;
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+    (CandidateSet { items }, thematic_removed, head_removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::Candidate;
+    use cnp_encyclopedia::{CorpusConfig, CorpusGenerator};
+    use cnp_taxonomy::Source;
+
+    fn ctx() -> PipelineContext {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(51)).generate();
+        PipelineContext::build(&corpus, 2)
+    }
+
+    #[test]
+    fn thematic_hypernyms_are_removed() {
+        let ctx = ctx();
+        let set = CandidateSet::merge(vec![
+            Candidate::new(0, "刘德华", "刘德华", "", "音乐", Source::Tag, 0.9),
+            Candidate::new(0, "刘德华", "刘德华", "", "歌手", Source::Tag, 0.9),
+            Candidate::new(0, "刘德华", "刘德华", "", "政治", Source::Tag, 0.9),
+        ]);
+        let (filtered, thematic, _) = filter(set, &ctx, &SyntaxConfig::default());
+        assert_eq!(thematic, 2);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.items[0].hypernym, "歌手");
+    }
+
+    #[test]
+    fn head_stem_violations_are_removed() {
+        let ctx = ctx();
+        // 教育机构 isA 教育 — the paper's own example for rule (2).
+        let set = CandidateSet::merge(vec![Candidate::new(
+            0,
+            "教育机构",
+            "教育机构",
+            "",
+            "教育",
+            Source::Tag,
+            0.9,
+        )]);
+        let (filtered, thematic, head) = filter(set, &ctx, &SyntaxConfig::default());
+        // 教育 is caught by whichever rule fires first; with the default
+        // config the thematic rule sees 教育 first (教育 is in the lexicon).
+        assert_eq!(filtered.len(), 0);
+        assert_eq!(thematic + head, 1);
+    }
+
+    #[test]
+    fn head_stem_rule_without_thematic_rule() {
+        let ctx = ctx();
+        let cfg = SyntaxConfig {
+            thematic_rule: false,
+            head_stem_rule: true,
+        };
+        let set = CandidateSet::merge(vec![
+            Candidate::new(0, "教育机构", "教育机构", "", "教育", Source::Tag, 0.9),
+            Candidate::new(0, "星辰大学", "星辰大学", "", "大学", Source::Tag, 0.9),
+        ]);
+        let (filtered, _, head) = filter(set, &ctx, &cfg);
+        assert_eq!(head, 1);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.items[0].hypernym, "大学");
+    }
+
+    #[test]
+    fn disabled_rules_pass_everything() {
+        let ctx = ctx();
+        let cfg = SyntaxConfig {
+            thematic_rule: false,
+            head_stem_rule: false,
+        };
+        let set = CandidateSet::merge(vec![Candidate::new(
+            0, "刘德华", "刘德华", "", "音乐", Source::Tag, 0.9,
+        )]);
+        let (filtered, t, h) = filter(set, &ctx, &cfg);
+        assert_eq!((t, h), (0, 0));
+        assert_eq!(filtered.len(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Line-based dump format (the CN-DBpedia-dump stand-in).
+//!
+//! The real pipeline consumes a CN-DBpedia dump file; ours reads/writes the
+//! same information in a simple tab-separated line format, one record block
+//! per page:
+//!
+//! ```text
+//! P<TAB>name<TAB>bracket            (bracket column empty when absent)
+//! A<TAB>abstract text
+//! I<TAB>predicate<TAB>value         (repeated)
+//! T<TAB>tag1<TAB>tag2<TAB>…
+//! L<TAB>alias1<TAB>alias2<TAB>…     (optional)
+//! .                                 (record terminator)
+//! ```
+//!
+//! Gold labels are *not* part of the dump — like the real dump, it carries
+//! only observable page data. [`write_corpus`]/[`read_pages`] round-trip the
+//! page list exactly.
+
+use crate::page::{InfoboxTriple, Page};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from dump parsing.
+#[derive(Debug)]
+pub enum DumpError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Malformed(usize, String),
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::Io(e) => write!(f, "dump I/O error: {e}"),
+            DumpError::Malformed(line, text) => {
+                write!(f, "malformed dump line {line}: {text}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DumpError {}
+
+impl From<std::io::Error> for DumpError {
+    fn from(e: std::io::Error) -> Self {
+        DumpError::Io(e)
+    }
+}
+
+/// Writes pages to `w` in dump format.
+pub fn write_pages<W: Write>(pages: &[Page], w: W) -> Result<(), DumpError> {
+    let mut out = BufWriter::new(w);
+    for p in pages {
+        writeln!(out, "P\t{}\t{}", p.name, p.bracket.as_deref().unwrap_or(""))?;
+        writeln!(out, "A\t{}", p.abstract_text.replace(['\t', '\n'], " "))?;
+        for t in &p.infobox {
+            writeln!(out, "I\t{}\t{}", t.predicate, t.value)?;
+        }
+        if !p.tags.is_empty() {
+            writeln!(out, "T\t{}", p.tags.join("\t"))?;
+        }
+        if !p.aliases.is_empty() {
+            writeln!(out, "L\t{}", p.aliases.join("\t"))?;
+        }
+        writeln!(out, ".")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads pages from `r` (inverse of [`write_pages`]).
+pub fn read_pages<R: Read>(r: R) -> Result<Vec<Page>, DumpError> {
+    let reader = BufReader::new(r);
+    let mut pages = Vec::new();
+    let mut current: Option<Page> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line == "." {
+            match current.take() {
+                Some(p) => pages.push(p),
+                None => return Err(DumpError::Malformed(lineno, line)),
+            }
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let kind = fields.next().unwrap_or("");
+        match kind {
+            "P" => {
+                if current.is_some() {
+                    return Err(DumpError::Malformed(lineno, "unterminated record".into()));
+                }
+                let name = fields
+                    .next()
+                    .ok_or_else(|| DumpError::Malformed(lineno, line.clone()))?
+                    .to_string();
+                let bracket = fields.next().unwrap_or("");
+                current = Some(Page {
+                    name,
+                    bracket: if bracket.is_empty() {
+                        None
+                    } else {
+                        Some(bracket.to_string())
+                    },
+                    ..Default::default()
+                });
+            }
+            "A" => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| DumpError::Malformed(lineno, line.clone()))?;
+                p.abstract_text = fields.collect::<Vec<_>>().join("\t");
+            }
+            "I" => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| DumpError::Malformed(lineno, line.clone()))?;
+                let pred = fields
+                    .next()
+                    .ok_or_else(|| DumpError::Malformed(lineno, line.clone()))?;
+                let value = fields.collect::<Vec<_>>().join("\t");
+                p.infobox.push(InfoboxTriple::new(pred, value));
+            }
+            "T" => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| DumpError::Malformed(lineno, line.clone()))?;
+                p.tags = fields.map(str::to_string).collect();
+            }
+            "L" => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| DumpError::Malformed(lineno, line.clone()))?;
+                p.aliases = fields.map(str::to_string).collect();
+            }
+            _ => return Err(DumpError::Malformed(lineno, line.clone())),
+        }
+    }
+    if current.is_some() {
+        return Err(DumpError::Malformed(usize::MAX, "unterminated final record".into()));
+    }
+    Ok(pages)
+}
+
+/// Writes pages to a file.
+pub fn write_to_file(pages: &[Page], path: &std::path::Path) -> Result<(), DumpError> {
+    write_pages(pages, std::fs::File::create(path)?)
+}
+
+/// Reads pages from a file.
+pub fn read_from_file(path: &std::path::Path) -> Result<Vec<Page>, DumpError> {
+    read_pages(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, CorpusGenerator};
+
+    #[test]
+    fn roundtrip_generated_corpus() {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(3)).generate();
+        let mut buf = Vec::new();
+        write_pages(&corpus.pages, &mut buf).expect("write");
+        let loaded = read_pages(&buf[..]).expect("read");
+        assert_eq!(corpus.pages.len(), loaded.len());
+        for (a, b) in corpus.pages.iter().zip(&loaded) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_minimal_page() {
+        let page = Page {
+            name: "测试".into(),
+            ..Default::default()
+        };
+        let mut buf = Vec::new();
+        write_pages(&[page.clone()], &mut buf).unwrap();
+        let loaded = read_pages(&buf[..]).unwrap();
+        assert_eq!(loaded, vec![page]);
+    }
+
+    #[test]
+    fn malformed_orphan_line_rejected() {
+        let input = "A\t孤儿摘要\n.\n";
+        assert!(read_pages(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unterminated_record_rejected() {
+        let input = "P\t名字\t\nA\t摘要\n";
+        assert!(read_pages(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_record_kind_rejected() {
+        let input = "P\t名字\t\nX\t乱\n.\n";
+        assert!(read_pages(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let corpus = CorpusGenerator::new(CorpusConfig::tiny(5)).generate();
+        let dir = std::env::temp_dir().join("cnp_dump_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.tsv");
+        write_to_file(&corpus.pages, &path).unwrap();
+        let loaded = read_from_file(&path).unwrap();
+        assert_eq!(corpus.pages, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+}

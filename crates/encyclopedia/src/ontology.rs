@@ -1,0 +1,396 @@
+//! The gold ontology: the synthetic world model behind the encyclopedia.
+//!
+//! CN-DBpedia is built from Baidu Baike / Hudong Baike / Chinese Wikipedia;
+//! we cannot ship those dumps, so the corpus generator samples entities from
+//! this hand-built concept DAG instead. The DAG doubles as *ground truth*:
+//! evaluation judges extracted isA pairs against it, replacing the paper's
+//! manual labelling of 2 000 sampled pairs.
+//!
+//! Concepts are organised per [`Domain`]; every concept knows its parent,
+//! and leaf concepts carry entity-generation hints (which modifiers are
+//! applicable, which infobox predicates apply).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Coarse entity domain, which drives name shape, infobox schema and
+/// abstract templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// People (persons, professions).
+    Person,
+    /// Creative works (films, songs, novels, games, software).
+    Work,
+    /// Organizations (companies, schools, hospitals …).
+    Organization,
+    /// Places (countries, cities, mountains …).
+    Place,
+    /// Animals and plants.
+    Organism,
+    /// Manufactured products (phones, cars …).
+    Product,
+    /// Food and drink.
+    Food,
+}
+
+impl Domain {
+    /// All domains, in generation-weight order.
+    pub const ALL: [Domain; 7] = [
+        Domain::Person,
+        Domain::Work,
+        Domain::Organization,
+        Domain::Place,
+        Domain::Organism,
+        Domain::Product,
+        Domain::Food,
+    ];
+}
+
+/// A concept node in the gold ontology.
+#[derive(Debug, Clone, Copy)]
+pub struct ConceptSpec {
+    /// Concept name (Chinese).
+    pub name: &'static str,
+    /// Parent concept name; `None` for domain roots.
+    pub parent: Option<&'static str>,
+    /// Owning domain.
+    pub domain: Domain,
+    /// Whether entities are generated directly under this concept.
+    pub is_leaf: bool,
+}
+
+macro_rules! concept {
+    ($name:literal, $parent:expr, $domain:expr, leaf) => {
+        ConceptSpec {
+            name: $name,
+            parent: $parent,
+            domain: $domain,
+            is_leaf: true,
+        }
+    };
+    ($name:literal, $parent:expr, $domain:expr) => {
+        ConceptSpec {
+            name: $name,
+            parent: $parent,
+            domain: $domain,
+            is_leaf: false,
+        }
+    };
+}
+
+/// The full gold concept inventory.
+///
+/// Names deliberately avoid every entry of the thematic lexicon
+/// (`cnp_text::lexicons::THEMATIC_WORDS`): thematic words are *never*
+/// legitimate concepts, which is exactly what verification rule §III-C(1)
+/// enforces.
+pub static CONCEPTS: &[ConceptSpec] = &[
+    // ---------------- Person ----------------
+    concept!("人物", None, Domain::Person),
+    concept!("娱乐人物", Some("人物"), Domain::Person),
+    concept!("演员", Some("娱乐人物"), Domain::Person),
+    concept!("男演员", Some("演员"), Domain::Person, leaf),
+    concept!("女演员", Some("演员"), Domain::Person, leaf),
+    concept!("喜剧演员", Some("演员"), Domain::Person, leaf),
+    concept!("歌手", Some("娱乐人物"), Domain::Person),
+    concept!("流行歌手", Some("歌手"), Domain::Person, leaf),
+    concept!("民谣歌手", Some("歌手"), Domain::Person, leaf),
+    concept!("导演", Some("娱乐人物"), Domain::Person, leaf),
+    concept!("主持人", Some("娱乐人物"), Domain::Person, leaf),
+    concept!("编剧", Some("娱乐人物"), Domain::Person, leaf),
+    concept!("制片人", Some("娱乐人物"), Domain::Person, leaf),
+    concept!("文化人物", Some("人物"), Domain::Person),
+    concept!("作家", Some("文化人物"), Domain::Person),
+    concept!("小说家", Some("作家"), Domain::Person, leaf),
+    concept!("诗人", Some("作家"), Domain::Person, leaf),
+    concept!("画家", Some("文化人物"), Domain::Person, leaf),
+    concept!("书法家", Some("文化人物"), Domain::Person, leaf),
+    concept!("音乐家", Some("文化人物"), Domain::Person),
+    concept!("钢琴家", Some("音乐家"), Domain::Person, leaf),
+    concept!("作曲家", Some("音乐家"), Domain::Person, leaf),
+    concept!("翻译家", Some("文化人物"), Domain::Person, leaf),
+    concept!("科学人物", Some("人物"), Domain::Person),
+    concept!("科学家", Some("科学人物"), Domain::Person),
+    concept!("物理学家", Some("科学家"), Domain::Person, leaf),
+    concept!("化学家", Some("科学家"), Domain::Person, leaf),
+    concept!("数学家", Some("科学家"), Domain::Person, leaf),
+    concept!("生物学家", Some("科学家"), Domain::Person, leaf),
+    concept!("工程师", Some("科学人物"), Domain::Person, leaf),
+    concept!("医生", Some("科学人物"), Domain::Person, leaf),
+    concept!("教授", Some("科学人物"), Domain::Person, leaf),
+    concept!("体育人物", Some("人物"), Domain::Person),
+    concept!("运动员", Some("体育人物"), Domain::Person),
+    concept!("足球运动员", Some("运动员"), Domain::Person, leaf),
+    concept!("篮球运动员", Some("运动员"), Domain::Person, leaf),
+    concept!("游泳运动员", Some("运动员"), Domain::Person, leaf),
+    concept!("教练员", Some("体育人物"), Domain::Person, leaf),
+    concept!("商业人物", Some("人物"), Domain::Person),
+    concept!("企业家", Some("商业人物"), Domain::Person, leaf),
+    concept!("银行家", Some("商业人物"), Domain::Person, leaf),
+    concept!("执行官", Some("商业人物"), Domain::Person, leaf),
+    concept!("战略官", Some("商业人物"), Domain::Person, leaf),
+    concept!("分析师", Some("商业人物"), Domain::Person, leaf),
+    concept!("政治人物", Some("人物"), Domain::Person),
+    concept!("政治家", Some("政治人物"), Domain::Person, leaf),
+    concept!("外交官", Some("政治人物"), Domain::Person, leaf),
+    // ---------------- Work ----------------
+    concept!("作品", None, Domain::Work),
+    concept!("影视作品", Some("作品"), Domain::Work),
+    concept!("电影", Some("影视作品"), Domain::Work),
+    concept!("故事片", Some("电影"), Domain::Work, leaf),
+    concept!("纪录片", Some("电影"), Domain::Work, leaf),
+    concept!("动画片", Some("电影"), Domain::Work, leaf),
+    concept!("动作片", Some("电影"), Domain::Work, leaf),
+    concept!("爱情片", Some("电影"), Domain::Work, leaf),
+    concept!("电视剧", Some("影视作品"), Domain::Work),
+    concept!("古装剧", Some("电视剧"), Domain::Work, leaf),
+    concept!("都市剧", Some("电视剧"), Domain::Work, leaf),
+    concept!("音乐作品", Some("作品"), Domain::Work),
+    concept!("歌曲", Some("音乐作品"), Domain::Work),
+    concept!("流行歌曲", Some("歌曲"), Domain::Work, leaf),
+    concept!("民谣歌曲", Some("歌曲"), Domain::Work, leaf),
+    concept!("专辑", Some("音乐作品"), Domain::Work, leaf),
+    concept!("文学作品", Some("作品"), Domain::Work),
+    concept!("小说", Some("文学作品"), Domain::Work),
+    concept!("长篇小说", Some("小说"), Domain::Work, leaf),
+    concept!("短篇小说", Some("小说"), Domain::Work, leaf),
+    concept!("武侠小说", Some("小说"), Domain::Work, leaf),
+    concept!("诗集", Some("文学作品"), Domain::Work, leaf),
+    concept!("散文集", Some("文学作品"), Domain::Work, leaf),
+    concept!("游戏", Some("作品"), Domain::Work),
+    concept!("网络游戏", Some("游戏"), Domain::Work, leaf),
+    concept!("手机游戏", Some("游戏"), Domain::Work, leaf),
+    concept!("软件", Some("作品"), Domain::Work),
+    concept!("操作系统", Some("软件"), Domain::Work, leaf),
+    concept!("应用软件", Some("软件"), Domain::Work, leaf),
+    // ---------------- Organization ----------------
+    concept!("机构", None, Domain::Organization),
+    concept!("企业", Some("机构"), Domain::Organization),
+    concept!("公司", Some("企业"), Domain::Organization),
+    concept!("科技公司", Some("公司"), Domain::Organization, leaf),
+    concept!("电影公司", Some("公司"), Domain::Organization, leaf),
+    concept!("唱片公司", Some("公司"), Domain::Organization, leaf),
+    concept!("银行", Some("企业"), Domain::Organization),
+    concept!("商业银行", Some("银行"), Domain::Organization, leaf),
+    concept!("学校", Some("机构"), Domain::Organization),
+    concept!("大学", Some("学校"), Domain::Organization),
+    concept!("综合性大学", Some("大学"), Domain::Organization, leaf),
+    concept!("师范大学", Some("大学"), Domain::Organization, leaf),
+    concept!("理工大学", Some("大学"), Domain::Organization, leaf),
+    concept!("中学", Some("学校"), Domain::Organization, leaf),
+    concept!("医院", Some("机构"), Domain::Organization),
+    concept!("三甲医院", Some("医院"), Domain::Organization, leaf),
+    concept!("研究所", Some("机构"), Domain::Organization, leaf),
+    concept!("文化机构", Some("机构"), Domain::Organization),
+    concept!("博物馆", Some("文化机构"), Domain::Organization, leaf),
+    concept!("图书馆", Some("文化机构"), Domain::Organization, leaf),
+    concept!("出版社", Some("文化机构"), Domain::Organization, leaf),
+    concept!("电视台", Some("文化机构"), Domain::Organization, leaf),
+    concept!("体育组织", Some("机构"), Domain::Organization),
+    concept!("足球俱乐部", Some("体育组织"), Domain::Organization, leaf),
+    concept!("篮球俱乐部", Some("体育组织"), Domain::Organization, leaf),
+    concept!("乐队", Some("机构"), Domain::Organization, leaf),
+    // ---------------- Place ----------------
+    concept!("地点", None, Domain::Place),
+    concept!("行政区", Some("地点"), Domain::Place),
+    concept!("国家", Some("行政区"), Domain::Place),
+    concept!("岛国", Some("国家"), Domain::Place, leaf),
+    concept!("内陆国", Some("国家"), Domain::Place, leaf),
+    concept!("城市", Some("行政区"), Domain::Place),
+    concept!("省会城市", Some("城市"), Domain::Place, leaf),
+    concept!("沿海城市", Some("城市"), Domain::Place, leaf),
+    concept!("县", Some("行政区"), Domain::Place, leaf),
+    concept!("自然景观", Some("地点"), Domain::Place),
+    concept!("山峰", Some("自然景观"), Domain::Place, leaf),
+    concept!("河流", Some("自然景观"), Domain::Place, leaf),
+    concept!("湖泊", Some("自然景观"), Domain::Place, leaf),
+    concept!("岛屿", Some("自然景观"), Domain::Place, leaf),
+    // ---------------- Organism ----------------
+    concept!("动物", None, Domain::Organism),
+    concept!("哺乳动物", Some("动物"), Domain::Organism, leaf),
+    concept!("鸟类", Some("动物"), Domain::Organism, leaf),
+    concept!("鱼类", Some("动物"), Domain::Organism, leaf),
+    concept!("昆虫", Some("动物"), Domain::Organism, leaf),
+    concept!("爬行动物", Some("动物"), Domain::Organism, leaf),
+    concept!("植物", None, Domain::Organism),
+    concept!("乔木", Some("植物"), Domain::Organism, leaf),
+    concept!("灌木", Some("植物"), Domain::Organism, leaf),
+    concept!("草本植物", Some("植物"), Domain::Organism, leaf),
+    concept!("花卉", Some("植物"), Domain::Organism, leaf),
+    // ---------------- Product ----------------
+    concept!("产品", None, Domain::Product),
+    concept!("电子产品", Some("产品"), Domain::Product),
+    concept!("手机", Some("电子产品"), Domain::Product),
+    concept!("智能手机", Some("手机"), Domain::Product, leaf),
+    concept!("相机", Some("电子产品"), Domain::Product, leaf),
+    concept!("笔记本电脑", Some("电子产品"), Domain::Product, leaf),
+    concept!("交通工具", Some("产品"), Domain::Product),
+    concept!("汽车", Some("交通工具"), Domain::Product),
+    concept!("轿车", Some("汽车"), Domain::Product, leaf),
+    concept!("跑车", Some("汽车"), Domain::Product, leaf),
+    concept!("电动汽车", Some("汽车"), Domain::Product, leaf),
+    // ---------------- Food ----------------
+    concept!("食品", None, Domain::Food),
+    concept!("菜品", Some("食品"), Domain::Food),
+    concept!("家常菜", Some("菜品"), Domain::Food, leaf),
+    concept!("甜点", Some("菜品"), Domain::Food, leaf),
+    concept!("饮品", Some("食品"), Domain::Food, leaf),
+];
+
+/// Indexed view over [`CONCEPTS`] with parent/child navigation.
+#[derive(Debug)]
+pub struct Ontology {
+    by_name: HashMap<&'static str, usize>,
+    children: Vec<Vec<usize>>,
+    leaves: Vec<usize>,
+}
+
+impl Ontology {
+    /// The process-wide ontology instance.
+    pub fn global() -> &'static Ontology {
+        static INSTANCE: OnceLock<Ontology> = OnceLock::new();
+        INSTANCE.get_or_init(Ontology::build)
+    }
+
+    fn build() -> Ontology {
+        let mut by_name = HashMap::new();
+        for (i, c) in CONCEPTS.iter().enumerate() {
+            let prev = by_name.insert(c.name, i);
+            assert!(prev.is_none(), "duplicate concept {}", c.name);
+        }
+        let mut children = vec![Vec::new(); CONCEPTS.len()];
+        for (i, c) in CONCEPTS.iter().enumerate() {
+            if let Some(p) = c.parent {
+                let pi = *by_name.get(p).unwrap_or_else(|| panic!("unknown parent {p}"));
+                children[pi].push(i);
+            }
+        }
+        let leaves = CONCEPTS
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_leaf)
+            .map(|(i, _)| i)
+            .collect();
+        Ontology {
+            by_name,
+            children,
+            leaves,
+        }
+    }
+
+    /// Looks up a concept spec by name.
+    pub fn get(&self, name: &str) -> Option<&'static ConceptSpec> {
+        self.by_name.get(name).map(|&i| &CONCEPTS[i])
+    }
+
+    /// Returns `true` when `name` is a gold concept.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Ancestor chain of `name` (parent, grandparent, …, root).
+    pub fn ancestors(&self, name: &str) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        let mut cur = self.get(name).and_then(|c| c.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.get(p).and_then(|c| c.parent);
+        }
+        out
+    }
+
+    /// Leaf concepts of a domain.
+    pub fn leaves_of(&self, domain: Domain) -> Vec<&'static ConceptSpec> {
+        self.leaves
+            .iter()
+            .map(|&i| &CONCEPTS[i])
+            .filter(|c| c.domain == domain)
+            .collect()
+    }
+
+    /// All leaf concepts.
+    pub fn all_leaves(&self) -> Vec<&'static ConceptSpec> {
+        self.leaves.iter().map(|&i| &CONCEPTS[i]).collect()
+    }
+
+    /// Direct children of a concept.
+    pub fn children_of(&self, name: &str) -> Vec<&'static str> {
+        match self.by_name.get(name) {
+            Some(&i) => self.children[i].iter().map(|&j| CONCEPTS[j].name).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        CONCEPTS.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_builds_and_has_roots() {
+        let o = Ontology::global();
+        assert!(o.len() > 100);
+        assert!(o.contains("人物"));
+        assert!(o.contains("男演员"));
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let o = Ontology::global();
+        assert_eq!(o.ancestors("男演员"), vec!["演员", "娱乐人物", "人物"]);
+        assert!(o.ancestors("人物").is_empty());
+    }
+
+    #[test]
+    fn leaves_have_domains() {
+        let o = Ontology::global();
+        let person_leaves = o.leaves_of(Domain::Person);
+        assert!(person_leaves.len() >= 20);
+        assert!(person_leaves.iter().all(|c| c.domain == Domain::Person));
+        for d in Domain::ALL {
+            assert!(!o.leaves_of(d).is_empty(), "domain {d:?} has no leaves");
+        }
+    }
+
+    #[test]
+    fn children_inverse_of_parent() {
+        let o = Ontology::global();
+        assert!(o.children_of("演员").contains(&"男演员"));
+        assert!(o.children_of("男演员").is_empty());
+    }
+
+    #[test]
+    fn no_concept_is_thematic() {
+        // Gold concepts must avoid the 184-entry thematic lexicon, otherwise
+        // verification rule 1 would delete correct edges by construction.
+        for c in CONCEPTS {
+            assert!(
+                !cnp_text::lexicons::is_thematic(c.name),
+                "gold concept {} collides with the thematic lexicon",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_parent_exists_and_no_cycles() {
+        let o = Ontology::global();
+        for c in CONCEPTS {
+            if let Some(p) = c.parent {
+                assert!(o.contains(p), "parent {p} of {} missing", c.name);
+            }
+            // ancestors() terminates (no cycle) and is short.
+            assert!(o.ancestors(c.name).len() < 10);
+        }
+    }
+}

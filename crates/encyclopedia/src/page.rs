@@ -1,0 +1,109 @@
+//! Encyclopedia page model — the four sources of Figure 1.
+//!
+//! A page mirrors what CN-DBpedia exposes per entity: the title (entity
+//! name), the *bracket* disambiguation, the *abstract* paragraph, the
+//! *infobox* SPO triples and the *tags* — marked (a)–(d) in the paper's
+//! Figure 1 (刘德华 example).
+
+/// One infobox triple `<subject, predicate, value>` (subject is the page).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfoboxTriple {
+    /// Predicate (属性名), e.g. 职业.
+    pub predicate: String,
+    /// Value (属性值), e.g. 演员.
+    pub value: String,
+}
+
+impl InfoboxTriple {
+    /// Convenience constructor.
+    pub fn new(predicate: impl Into<String>, value: impl Into<String>) -> Self {
+        InfoboxTriple {
+            predicate: predicate.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// An encyclopedia page (= one disambiguated entity).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Page {
+    /// Entity surface name (刘德华).
+    pub name: String,
+    /// Bracket disambiguation (中国香港男演员、歌手), when present.
+    pub bracket: Option<String>,
+    /// Abstract paragraph.
+    pub abstract_text: String,
+    /// Infobox triples.
+    pub infobox: Vec<InfoboxTriple>,
+    /// Tags (标签).
+    pub tags: Vec<String>,
+    /// Known aliases (mention surface forms beyond the name).
+    pub aliases: Vec<String>,
+}
+
+impl Page {
+    /// The disambiguated entity key: `name（bracket）` or `name`.
+    pub fn key(&self) -> String {
+        match &self.bracket {
+            Some(b) => format!("{}（{}）", self.name, b),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Bracket disambiguation as `&str` (empty when absent).
+    pub fn bracket_str(&self) -> &str {
+        self.bracket.as_deref().unwrap_or("")
+    }
+
+    /// Infobox lookup by predicate (first match).
+    pub fn infobox_value(&self, predicate: &str) -> Option<&str> {
+        self.infobox
+            .iter()
+            .find(|t| t.predicate == predicate)
+            .map(|t| t.value.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn liu_dehua() -> Page {
+        Page {
+            name: "刘德华".to_string(),
+            bracket: Some("中国香港男演员、歌手".to_string()),
+            abstract_text: "刘德华，1961年出生于中国香港，男演员、歌手。".to_string(),
+            infobox: vec![
+                InfoboxTriple::new("中文名", "刘德华"),
+                InfoboxTriple::new("职业", "演员"),
+                InfoboxTriple::new("体重", "63KG"),
+            ],
+            tags: vec!["人物".into(), "演员".into(), "娱乐人物".into(), "音乐".into()],
+            aliases: vec!["Andy Lau".into()],
+        }
+    }
+
+    #[test]
+    fn key_includes_bracket() {
+        let p = liu_dehua();
+        assert_eq!(p.key(), "刘德华（中国香港男演员、歌手）");
+        let plain = Page {
+            name: "演员".into(),
+            ..Default::default()
+        };
+        assert_eq!(plain.key(), "演员");
+    }
+
+    #[test]
+    fn infobox_lookup() {
+        let p = liu_dehua();
+        assert_eq!(p.infobox_value("职业"), Some("演员"));
+        assert_eq!(p.infobox_value("身高"), None);
+    }
+
+    #[test]
+    fn bracket_str_defaults_empty() {
+        let p = Page::default();
+        assert_eq!(p.bracket_str(), "");
+    }
+}

@@ -1,0 +1,28 @@
+//! The three comparison systems of Table I, re-implemented at the level the
+//! paper compares them: which sources they use, whether they verify, and
+//! what their characteristic error sources are.
+//!
+//! | System              | Sources          | Verification | Characteristic |
+//! |---------------------|------------------|--------------|----------------|
+//! | Chinese WikiTaxonomy| tag only         | yes (strict) | high precision, low coverage (small encyclopedia) |
+//! | Bigcilin            | multiple         | no           | high coverage, ~90% precision |
+//! | Probase-Tran        | translated Probase | 3 filters  | translation noise, ~55% precision |
+
+pub mod bigcilin;
+pub mod probase_tran;
+pub mod wikitaxonomy;
+
+use cnp_core::candidate::CandidateSet;
+use cnp_taxonomy::TaxonomyStore;
+
+/// A constructed baseline taxonomy plus the raw pairs for precision
+/// sampling.
+#[derive(Debug)]
+pub struct BaselineResult {
+    /// Display name (Table I row label).
+    pub name: &'static str,
+    /// The constructed taxonomy.
+    pub taxonomy: TaxonomyStore,
+    /// The isA pairs the taxonomy was built from.
+    pub candidates: CandidateSet,
+}

@@ -1,0 +1,19 @@
+//! # cnp-eval — evaluation harness for CN-Probase
+//!
+//! Everything §IV of the paper measures:
+//!
+//! * [`precision`] — sampled precision (the paper's 2 000-pair protocol)
+//!   with an exact gold judge, plus per-source precision.
+//! * [`coverage`] — the QA coverage experiment (NLPCC-2016-style question
+//!   set; covered = question mentions a taxonomy entity or concept).
+//! * [`baselines`] — Chinese WikiTaxonomy, Bigcilin and Probase-Tran.
+//! * [`comparison`] — the Table I four-system comparison.
+
+pub mod baselines;
+pub mod comparison;
+pub mod coverage;
+pub mod precision;
+
+pub use comparison::{Comparison, TableRow};
+pub use coverage::{coverage, generate_questions, CoverageResult, Question};
+pub use precision::{estimate, per_source, PrecisionEstimate};

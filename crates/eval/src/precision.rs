@@ -1,0 +1,164 @@
+//! Sampled precision estimation.
+//!
+//! The paper estimates precision by randomly sampling 2 000 isA relations
+//! and labelling them manually. Our corpus carries gold labels, so the same
+//! estimator runs with an exact judge: sample `n` edges uniformly, judge
+//! each, report the fraction correct.
+
+use cnp_core::candidate::CandidateSet;
+use cnp_encyclopedia::GoldLabels;
+use cnp_taxonomy::Source;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A precision estimate from a uniform edge sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionEstimate {
+    /// Correct judgements in the sample.
+    pub correct: usize,
+    /// Sample size actually drawn.
+    pub sampled: usize,
+}
+
+impl PrecisionEstimate {
+    /// Point estimate (1.0 for empty samples, matching “no observed error”).
+    pub fn precision(&self) -> f64 {
+        if self.sampled == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.sampled as f64
+        }
+    }
+}
+
+/// Judges one candidate against gold: entity-level isA, falling back to the
+/// concept-level judgement for concept pages.
+pub fn is_correct(gold: &GoldLabels, entity_key: &str, entity_name: &str, hypernym: &str) -> bool {
+    gold.is_correct_entity_isa(entity_key, hypernym)
+        || gold.is_correct_concept_isa(entity_name, hypernym)
+}
+
+/// Samples up to `n` candidates (seeded) and judges them against gold —
+/// the paper's §IV “randomly select 2000 isA relations” protocol.
+pub fn estimate(set: &CandidateSet, gold: &GoldLabels, n: usize, seed: u64) -> PrecisionEstimate {
+    let mut idx: Vec<usize> = (0..set.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(n);
+    let correct = idx
+        .iter()
+        .filter(|&&i| {
+            let c = &set.items[i];
+            is_correct(gold, &c.entity_key, &c.entity_name, &c.hypernym)
+        })
+        .count();
+    PrecisionEstimate {
+        correct,
+        sampled: idx.len(),
+    }
+}
+
+/// Per-source precision over the full candidate set (the paper's §IV-B
+/// per-source evaluation: bracket 96.2%, tag 97.4%).
+///
+/// An edge counts towards every source that proposed it (the paper judges
+/// “isA relations derived from the tag”, which includes relations other
+/// sources also found).
+pub fn per_source(set: &CandidateSet, gold: &GoldLabels) -> Vec<(Source, PrecisionEstimate)> {
+    let sources = [
+        Source::Bracket,
+        Source::Abstract,
+        Source::Infobox,
+        Source::Tag,
+    ];
+    sources
+        .iter()
+        .map(|&s| {
+            let mut correct = 0;
+            let mut total = 0;
+            for c in set.items.iter().filter(|c| c.proposed_by(s)) {
+                total += 1;
+                if is_correct(gold, &c.entity_key, &c.entity_name, &c.hypernym) {
+                    correct += 1;
+                }
+            }
+            (
+                s,
+                PrecisionEstimate {
+                    correct,
+                    sampled: total,
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_core::candidate::Candidate;
+
+    fn set_and_gold() -> (CandidateSet, GoldLabels) {
+        let mut gold = GoldLabels::new();
+        gold.add_entity_hypernym("甲", "演员");
+        gold.add_entity_hypernym("乙", "歌手");
+        let set = CandidateSet::merge(vec![
+            Candidate::new(0, "甲", "甲", "", "演员", Source::Tag, 0.9),
+            Candidate::new(1, "乙", "乙", "", "歌手", Source::Bracket, 0.9),
+            Candidate::new(1, "乙", "乙", "", "音乐", Source::Tag, 0.9),
+            Candidate::new(0, "甲", "甲", "", "美国", Source::Infobox, 0.9),
+        ]);
+        (set, gold)
+    }
+
+    #[test]
+    fn full_sample_counts_exactly() {
+        let (set, gold) = set_and_gold();
+        let est = estimate(&set, &gold, 100, 1);
+        assert_eq!(est.sampled, 4);
+        assert_eq!(est.correct, 2);
+        assert!((est.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_capped_and_seeded() {
+        let (set, gold) = set_and_gold();
+        let a = estimate(&set, &gold, 2, 7);
+        let b = estimate(&set, &gold, 2, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.sampled, 2);
+    }
+
+    #[test]
+    fn per_source_separates_precision() {
+        let (set, gold) = set_and_gold();
+        let by_source = per_source(&set, &gold);
+        let get = |s: Source| {
+            by_source
+                .iter()
+                .find(|(src, _)| *src == s)
+                .map(|(_, e)| *e)
+                .unwrap()
+        };
+        assert_eq!(get(Source::Bracket).precision(), 1.0);
+        assert_eq!(get(Source::Infobox).precision(), 0.0);
+        assert_eq!(get(Source::Tag).sampled, 2);
+    }
+
+    #[test]
+    fn concept_level_judgement_falls_back() {
+        let mut gold = GoldLabels::new();
+        gold.add_concept_pair("男演员", "演员");
+        assert!(is_correct(&gold, "男演员", "男演员", "演员"));
+        assert!(!is_correct(&gold, "男演员", "男演员", "歌手"));
+    }
+
+    #[test]
+    fn empty_set_has_trivial_precision() {
+        let gold = GoldLabels::new();
+        let est = estimate(&CandidateSet::default(), &gold, 10, 1);
+        assert_eq!(est.sampled, 0);
+        assert_eq!(est.precision(), 1.0);
+    }
+}

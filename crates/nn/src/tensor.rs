@@ -1,0 +1,203 @@
+//! Dense row-major matrices (f32). Vectors are `n × 1` matrices.
+//!
+//! The CopyNet model is small (hidden ≈ 48), so simple loops beat the
+//! complexity of a BLAS dependency; everything stays allocation-explicit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` long.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Column vector of zeros.
+    pub fn zero_vec(n: usize) -> Self {
+        Self::zeros(n, 1)
+    }
+
+    /// Xavier/Glorot-uniform initialisation.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product `self @ x` (x must be `cols × 1`).
+    pub fn matvec(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows, "matvec shape mismatch");
+        assert_eq!(x.cols, 1, "matvec expects a column vector");
+        let mut out = Matrix::zero_vec(self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(&x.data) {
+                acc += a * b;
+            }
+            out.data[r] = acc;
+        }
+        out
+    }
+
+    /// Is this a column vector?
+    pub fn is_vec(&self) -> bool {
+        self.cols == 1
+    }
+
+    /// Length of a column vector.
+    pub fn len_vec(&self) -> usize {
+        debug_assert!(self.is_vec());
+        self.rows
+    }
+
+    /// Dot product of two column vectors.
+    pub fn dot(&self, other: &Matrix) -> f32 {
+        assert!(self.is_vec() && other.is_vec());
+        assert_eq!(self.rows, other.rows);
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// In-place `self += other * scale`.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Fills with zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+/// Numerically-stable softmax over a slice.
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum.max(1e-30)).collect()
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32); // [[0,1,2],[3,4,5]]
+        let x = Matrix::from_fn(3, 1, |r, _| (r + 1) as f32); // [1,2,3]
+        let y = m.matvec(&x);
+        assert_eq!(y.data, vec![0.0 + 2.0 + 6.0, 3.0 + 8.0 + 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec shape mismatch")]
+    fn matvec_shape_checked() {
+        let m = Matrix::zeros(2, 3);
+        let x = Matrix::zero_vec(2);
+        let _ = m.matvec(&x);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 1000.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!((p[0] - 1.0 / 3.0).abs() < 1e-6);
+        let q = softmax(&[-1e30, 0.0]);
+        assert!(q[1] > 0.99);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::xavier(10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(m.data.iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_fn(2, 2, |_, _| 1.0);
+        a.add_scaled(&b, 0.5);
+        a.add_scaled(&b, 0.5);
+        assert!(a.data.iter().all(|&v| (v - 1.0).abs() < 1e-7));
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Matrix::from_fn(3, 1, |r, _| r as f32);
+        let b = Matrix::from_fn(3, 1, |_, _| 2.0);
+        assert_eq!(a.dot(&b), 6.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Token vocabulary with the special symbols CopyNet needs.
+//!
+//! Ids: `PAD=0`, `BOS=1`, `EOS=2`, `UNK=3`, then content words by insertion
+//! order. Out-of-vocabulary source words map to `UNK` for the generate path
+//! and are recoverable through the copy path (the whole point of CopyNet —
+//! paper §II, “neural generation”).
+
+use std::collections::HashMap;
+
+/// Padding token id.
+pub const PAD: u32 = 0;
+/// Begin-of-sequence id.
+pub const BOS: u32 = 1;
+/// End-of-sequence id.
+pub const EOS: u32 = 2;
+/// Unknown-word id.
+pub const UNK: u32 = 3;
+
+/// String↔id vocabulary.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    by_word: HashMap<String, u32>,
+    words: Vec<String>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// Creates a vocabulary holding only the special tokens.
+    pub fn new() -> Self {
+        let words = vec![
+            "<pad>".to_string(),
+            "<bos>".to_string(),
+            "<eos>".to_string(),
+            "<unk>".to_string(),
+        ];
+        let by_word = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
+        Vocab { by_word, words }
+    }
+
+    /// Builds a vocabulary from `(word, count)` pairs, keeping the
+    /// `max_size` most frequent words (stable order for equal counts).
+    pub fn build<I: IntoIterator<Item = (String, u64)>>(counts: I, max_size: usize) -> Self {
+        let mut v = Vocab::new();
+        let mut sorted: Vec<(String, u64)> = counts.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (w, _) in sorted.into_iter().take(max_size.saturating_sub(4)) {
+            v.add(&w);
+        }
+        v
+    }
+
+    /// Adds a word (idempotent), returning its id.
+    pub fn add(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.by_word.get(word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.words.push(word.to_string());
+        self.by_word.insert(word.to_string(), id);
+        id
+    }
+
+    /// Id of `word`, or `UNK`.
+    pub fn id(&self, word: &str) -> u32 {
+        self.by_word.get(word).copied().unwrap_or(UNK)
+    }
+
+    /// Word of `id` (panics on out-of-range ids).
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Vocabulary size including specials.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Never empty (specials are always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Encodes a token sequence.
+    pub fn encode<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Vec<u32> {
+        tokens.into_iter().map(|t| self.id(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_fixed() {
+        let v = Vocab::new();
+        assert_eq!(v.id("<pad>"), PAD);
+        assert_eq!(v.id("<bos>"), BOS);
+        assert_eq!(v.id("<eos>"), EOS);
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocab::new();
+        let a = v.add("演员");
+        assert_eq!(v.add("演员"), a);
+        assert_eq!(v.id("演员"), a);
+        assert_eq!(v.word(a), "演员");
+        assert_eq!(v.id("没有的词"), UNK);
+    }
+
+    #[test]
+    fn build_keeps_most_frequent() {
+        let counts = vec![
+            ("甲".to_string(), 10u64),
+            ("乙".to_string(), 5),
+            ("丙".to_string(), 1),
+        ];
+        let v = Vocab::build(counts, 6); // 4 specials + 2 words
+        assert_ne!(v.id("甲"), UNK);
+        assert_ne!(v.id("乙"), UNK);
+        assert_eq!(v.id("丙"), UNK);
+    }
+
+    #[test]
+    fn encode_maps_oov_to_unk() {
+        let mut v = Vocab::new();
+        v.add("歌手");
+        assert_eq!(v.encode(["歌手", "新词"]), vec![4, UNK]);
+    }
+}

@@ -1,0 +1,225 @@
+//! The three public APIs of CN-Probase (paper Table II).
+//!
+//! | API          | Given    | Returns          |
+//! |--------------|----------|------------------|
+//! | `men2ent`    | mention  | entity (senses)  |
+//! | `getConcept` | entity   | hypernym list    |
+//! | `getEntity`  | concept  | hyponym list     |
+//!
+//! [`ProbaseApi`] is a read-mostly facade over a built store: construct it
+//! once, then call it concurrently (the ancestor cache is thread-safe).
+
+use crate::closure::AncestorCache;
+use crate::mention::MentionIndex;
+use crate::store::{ConceptId, EntityId, TaxonomyStore};
+
+/// A resolved entity sense returned by `men2ent`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntitySense {
+    /// Store handle.
+    pub id: EntityId,
+    /// Surface name.
+    pub name: String,
+    /// Bracket disambiguation (may be empty).
+    pub disambig: String,
+    /// Full display key (`name（disambig）`).
+    pub key: String,
+}
+
+/// Read-side service facade over a [`TaxonomyStore`].
+#[derive(Debug)]
+pub struct ProbaseApi {
+    store: TaxonomyStore,
+    mentions: MentionIndex,
+    ancestors: AncestorCache,
+}
+
+impl ProbaseApi {
+    /// Builds the service over a finished store (builds the mention index).
+    pub fn new(mut store: TaxonomyStore) -> Self {
+        let mentions = MentionIndex::build(&mut store);
+        ProbaseApi {
+            store,
+            mentions,
+            ancestors: AncestorCache::new(),
+        }
+    }
+
+    /// Read-only access to the underlying store.
+    pub fn store(&self) -> &TaxonomyStore {
+        &self.store
+    }
+
+    /// `men2ent`: mention → entity senses.
+    pub fn men2ent(&self, mention: &str) -> Vec<EntitySense> {
+        self.mentions
+            .men2ent(&self.store, mention)
+            .into_iter()
+            .map(|id| {
+                let rec = self.store.entity(id);
+                EntitySense {
+                    id,
+                    name: self.store.resolve(rec.name).to_string(),
+                    disambig: self.store.resolve(rec.disambig).to_string(),
+                    key: self.store.entity_key(id),
+                }
+            })
+            .collect()
+    }
+
+    /// `getConcept`: entity → hypernym (concept) names.
+    ///
+    /// With `transitive`, follows subconcept→concept edges upward and
+    /// appends the transitive hypernyms after the direct ones.
+    pub fn get_concept(&self, entity: EntityId, transitive: bool) -> Vec<String> {
+        let mut out: Vec<ConceptId> = Vec::new();
+        for &(c, _) in self.store.concepts_of(entity) {
+            out.push(c);
+        }
+        if transitive {
+            let direct: Vec<ConceptId> = out.clone();
+            for c in direct {
+                for &a in self.ancestors.ancestors(&self.store, c).iter() {
+                    if !out.contains(&a) {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|c| self.store.concept_name(c).to_string())
+            .collect()
+    }
+
+    /// `getConcept` by mention: resolves the mention first, merging the
+    /// hypernyms of every sense (deduplicated, order-preserving).
+    pub fn get_concept_by_mention(&self, mention: &str, transitive: bool) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for sense in self.men2ent(mention) {
+            for name in self.get_concept(sense.id, transitive) {
+                if !out.contains(&name) {
+                    out.push(name);
+                }
+            }
+        }
+        out
+    }
+
+    /// `getEntity`: concept → hyponym entity keys, up to `limit`
+    /// (`usize::MAX` for all). Includes entities of transitive subconcepts
+    /// when `transitive` is set; an entity reachable through several
+    /// subconcepts is reported once.
+    pub fn get_entity(&self, concept: &str, transitive: bool, limit: usize) -> Vec<String> {
+        let Some(c) = self.store.find_concept(concept) else {
+            return Vec::new();
+        };
+        let mut seen: crate::hash::FxHashSet<EntityId> = crate::hash::FxHashSet::default();
+        let mut out = Vec::new();
+        let push_all = |cid: ConceptId, seen: &mut crate::hash::FxHashSet<EntityId>, out: &mut Vec<String>| {
+            for &e in self.store.entities_of(cid) {
+                if out.len() >= limit {
+                    return;
+                }
+                if seen.insert(e) {
+                    out.push(self.store.entity_key(e));
+                }
+            }
+        };
+        push_all(c, &mut seen, &mut out);
+        if transitive && out.len() < limit {
+            for sub in crate::closure::descendants(&self.store, c) {
+                if out.len() >= limit {
+                    break;
+                }
+                push_all(sub, &mut seen, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{IsAMeta, Source};
+
+    fn demo_api() -> ProbaseApi {
+        let mut s = TaxonomyStore::new();
+        let liu = s.add_entity("刘德华", Some("中国香港男演员"));
+        let zhang = s.add_entity("张学友", None);
+        s.add_alias(liu, "Andy Lau");
+        let male_actor = s.add_concept("男演员");
+        let actor = s.add_concept("演员");
+        let singer = s.add_concept("歌手");
+        let person = s.add_concept("人物");
+        s.add_concept_is_a(male_actor, actor, IsAMeta::new(Source::SubConcept, 0.9));
+        s.add_concept_is_a(actor, person, IsAMeta::new(Source::SubConcept, 0.9));
+        s.add_concept_is_a(singer, person, IsAMeta::new(Source::SubConcept, 0.9));
+        s.add_entity_is_a(liu, male_actor, IsAMeta::new(Source::Bracket, 0.95));
+        s.add_entity_is_a(liu, singer, IsAMeta::new(Source::Tag, 0.9));
+        s.add_entity_is_a(zhang, singer, IsAMeta::new(Source::Tag, 0.9));
+        ProbaseApi::new(s)
+    }
+
+    #[test]
+    fn men2ent_resolves_alias_and_name() {
+        let api = demo_api();
+        let senses = api.men2ent("Andy Lau");
+        assert_eq!(senses.len(), 1);
+        assert_eq!(senses[0].name, "刘德华");
+        assert_eq!(senses[0].key, "刘德华（中国香港男演员）");
+        assert_eq!(api.men2ent("张学友").len(), 1);
+        assert!(api.men2ent("无此人").is_empty());
+    }
+
+    #[test]
+    fn get_concept_direct() {
+        let api = demo_api();
+        let liu = api.men2ent("刘德华")[0].id;
+        let concepts = api.get_concept(liu, false);
+        assert_eq!(concepts, vec!["男演员", "歌手"]);
+    }
+
+    #[test]
+    fn get_concept_transitive_appends_ancestors() {
+        let api = demo_api();
+        let liu = api.men2ent("刘德华")[0].id;
+        let concepts = api.get_concept(liu, true);
+        assert_eq!(concepts[..2], ["男演员".to_string(), "歌手".to_string()]);
+        assert!(concepts.contains(&"演员".to_string()));
+        assert!(concepts.contains(&"人物".to_string()));
+        assert_eq!(concepts.len(), 4);
+    }
+
+    #[test]
+    fn get_concept_by_mention_merges_senses() {
+        let api = demo_api();
+        let concepts = api.get_concept_by_mention("刘德华", false);
+        assert_eq!(concepts, vec!["男演员", "歌手"]);
+    }
+
+    #[test]
+    fn get_entity_direct_and_transitive() {
+        let api = demo_api();
+        let direct = api.get_entity("人物", false, usize::MAX);
+        assert!(direct.is_empty(), "no entity links directly to 人物");
+        let transitive = api.get_entity("人物", true, usize::MAX);
+        // 刘德华 is reachable via 歌手 and via 男演员 but reported once.
+        assert_eq!(transitive.len(), 2);
+        assert!(transitive.contains(&"张学友".to_string()));
+        assert!(transitive.contains(&"刘德华（中国香港男演员）".to_string()));
+    }
+
+    #[test]
+    fn get_entity_respects_limit() {
+        let api = demo_api();
+        let limited = api.get_entity("歌手", false, 1);
+        assert_eq!(limited.len(), 1);
+    }
+
+    #[test]
+    fn get_entity_unknown_concept() {
+        let api = demo_api();
+        assert!(api.get_entity("不存在", true, 10).is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! String interning.
+//!
+//! A taxonomy at CN-Probase scale stores tens of millions of strings, most
+//! of them repeated (concept names appear once per hyponym edge). Interning
+//! maps each distinct string to a 4-byte [`Symbol`]; edges then store
+//! symbols, and equality is an integer compare.
+
+use crate::hash::FxHashMap;
+
+/// Interned string handle. `Symbol(0)` is the empty string in any interner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Index form, for direct table addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only string interner.
+#[derive(Debug, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interner {
+    /// Creates an interner whose `Symbol(0)` is the empty string.
+    pub fn new() -> Self {
+        let mut i = Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        };
+        i.intern("");
+        i
+    }
+
+    /// Interns `s`, returning its stable symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up an already-interned string.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// Panics when the symbol did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of interned strings (including the empty string).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Always false: the empty string is pre-interned.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates `(symbol, string)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("演员");
+        let b = i.intern("演员");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "演员");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("演员");
+        let b = i.intern("歌手");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn symbol_zero_is_empty_string() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern(""), Symbol(0));
+        assert_eq!(i.resolve(Symbol(0)), "");
+    }
+
+    #[test]
+    fn get_without_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("无"), None);
+        let s = i.intern("无");
+        assert_eq!(i.get("无"), Some(s));
+    }
+
+    proptest! {
+        /// resolve(intern(s)) == s for arbitrary strings; symbols are stable
+        /// across later inserts.
+        #[test]
+        fn roundtrip(strings in proptest::collection::vec("[一-龥a-zA-Z0-9（）]{0,8}", 1..40)) {
+            let mut i = Interner::new();
+            let syms: Vec<Symbol> = strings.iter().map(|s| i.intern(s)).collect();
+            for (s, sym) in strings.iter().zip(&syms) {
+                prop_assert_eq!(i.resolve(*sym), s.as_str());
+            }
+            // Interning everything again must yield identical symbols.
+            for (s, sym) in strings.iter().zip(&syms) {
+                prop_assert_eq!(i.intern(s), *sym);
+            }
+        }
+    }
+}

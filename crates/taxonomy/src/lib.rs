@@ -1,0 +1,36 @@
+//! # cnp-taxonomy — taxonomy storage engine for CN-Probase
+//!
+//! CN-Probase is deployed as a service (paper §V): the taxonomy lives in a
+//! store answering three public APIs — `men2ent`, `getConcept`, `getEntity`
+//! (Table II). This crate is that storage engine:
+//!
+//! * [`interner`] — string interning with a fast FxHash-style hasher; every
+//!   entity name, concept and attribute is a 4-byte [`Symbol`].
+//! * [`store`] — the isA graph: disambiguated entities, concepts,
+//!   entity→concept and subconcept→concept edges with per-edge
+//!   [`Source`] provenance and confidence, plus entity attribute sets
+//!   (needed by the incompatible-concept verification).
+//! * [`mention`] — the mention index behind `men2ent` (entity names,
+//!   bracket-stripped names, aliases).
+//! * [`closure`] — transitive hypernym closure with cycle handling and a
+//!   memoized ancestor cache.
+//! * [`api`] — [`ProbaseApi`], the three-call public interface of Table II.
+//! * [`query`] — higher-level queries: concept depth, lowest common
+//!   ancestors, siblings, Wu–Palmer similarity, conceptualisation.
+//! * [`persist`] — compact binary snapshots (save/load round-trip).
+//! * [`stats`] — the size metrics reported in Table I.
+
+pub mod api;
+pub mod closure;
+pub mod hash;
+pub mod interner;
+pub mod mention;
+pub mod persist;
+pub mod query;
+pub mod stats;
+pub mod store;
+
+pub use api::ProbaseApi;
+pub use interner::{Interner, Symbol};
+pub use stats::TaxonomyStats;
+pub use store::{ConceptId, EntityId, IsAMeta, Source, TaxonomyStore};

@@ -1,0 +1,114 @@
+//! Mention index: surface form → candidate entities.
+//!
+//! Backs the `men2ent` API (Table II, 43.9 M calls — the hottest endpoint).
+//! A mention resolves through three key classes:
+//!
+//! 1. the bare entity name (刘德华 → every 刘德华 sense),
+//! 2. the full disambiguated key (刘德华（中国香港男演员）→ that sense),
+//! 3. registered aliases (Andy Lau → 刘德华（中国香港男演员）).
+
+use crate::hash::FxHashMap;
+use crate::interner::Symbol;
+use crate::store::{EntityId, TaxonomyStore};
+
+/// Immutable mention index built from a store snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MentionIndex {
+    by_mention: FxHashMap<Symbol, Vec<EntityId>>,
+    full_keys: FxHashMap<String, EntityId>,
+}
+
+impl MentionIndex {
+    /// Builds the index over all entities in `store`.
+    pub fn build(store: &mut TaxonomyStore) -> Self {
+        let mut by_mention: FxHashMap<Symbol, Vec<EntityId>> = FxHashMap::default();
+        let mut full_keys = FxHashMap::default();
+        let ids: Vec<EntityId> = store.entity_ids().collect();
+        for id in ids {
+            let rec = store.entity(id);
+            by_mention.entry(rec.name).or_default().push(id);
+            for &alias in store.aliases_of(id).to_vec().iter() {
+                by_mention.entry(alias).or_default().push(id);
+            }
+            full_keys.insert(store.entity_key(id), id);
+        }
+        for v in by_mention.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        MentionIndex {
+            by_mention,
+            full_keys,
+        }
+    }
+
+    /// Resolves a mention to candidate entities (the `men2ent` API).
+    ///
+    /// A full disambiguated key resolves to exactly its sense; a bare name
+    /// or alias resolves to every matching sense.
+    pub fn men2ent(&self, store: &TaxonomyStore, mention: &str) -> Vec<EntityId> {
+        if let Some(&id) = self.full_keys.get(mention) {
+            return vec![id];
+        }
+        let Some(sym) = store.interner().get(mention) else {
+            return Vec::new();
+        };
+        self.by_mention.get(&sym).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct mention keys (names + aliases).
+    pub fn num_mentions(&self) -> usize {
+        self.by_mention.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{IsAMeta, Source};
+
+    fn store_with_senses() -> (TaxonomyStore, EntityId, EntityId, MentionIndex) {
+        let mut s = TaxonomyStore::new();
+        let actor = s.add_entity("刘德华", Some("中国香港男演员"));
+        let prof = s.add_entity("刘德华", Some("大学教授"));
+        s.add_alias(actor, "Andy Lau");
+        let c = s.add_concept("演员");
+        s.add_entity_is_a(actor, c, IsAMeta::new(Source::Tag, 0.9));
+        let idx = MentionIndex::build(&mut s);
+        (s, actor, prof, idx)
+    }
+
+    #[test]
+    fn bare_name_resolves_all_senses() {
+        let (s, actor, prof, idx) = store_with_senses();
+        let hits = idx.men2ent(&s, "刘德华");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&actor));
+        assert!(hits.contains(&prof));
+    }
+
+    #[test]
+    fn full_key_resolves_single_sense() {
+        let (s, actor, _, idx) = store_with_senses();
+        assert_eq!(idx.men2ent(&s, "刘德华（中国香港男演员）"), vec![actor]);
+    }
+
+    #[test]
+    fn alias_resolves() {
+        let (s, actor, _, idx) = store_with_senses();
+        assert_eq!(idx.men2ent(&s, "Andy Lau"), vec![actor]);
+    }
+
+    #[test]
+    fn unknown_mention_is_empty() {
+        let (s, _, _, idx) = store_with_senses();
+        assert!(idx.men2ent(&s, "不存在").is_empty());
+    }
+
+    #[test]
+    fn mention_count_includes_aliases() {
+        let (_, _, _, idx) = store_with_senses();
+        // 刘德华 + Andy Lau = 2 mention keys.
+        assert_eq!(idx.num_mentions(), 2);
+    }
+}

@@ -1,0 +1,388 @@
+//! Compact binary snapshots of a [`TaxonomyStore`].
+//!
+//! A production taxonomy service loads its store from a snapshot at boot.
+//! The format is a hand-written little-endian codec over [`bytes`]:
+//!
+//! ```text
+//! magic "CNPB" | version u32 | interner strings | entities | concepts
+//!   | per-entity edges/attrs/aliases | per-concept parent edges
+//! ```
+//!
+//! Strings are length-prefixed UTF-8; all counts are u32 (the paper-scale
+//! taxonomy has 15 M entities, well under u32::MAX). Decoding validates the
+//! magic, the version, string UTF-8 and every symbol/id bound, so a
+//! truncated or corrupted snapshot fails loudly instead of producing a
+//! broken store.
+
+use crate::store::{IsAMeta, Source, TaxonomyStore};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CNPB";
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding a snapshot.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The snapshot does not start with the `CNPB` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before the structure was complete.
+    Truncated(&'static str),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An id/symbol referenced an out-of-range table index.
+    BadIndex(&'static str),
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "snapshot magic mismatch"),
+            PersistError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            PersistError::Truncated(what) => write!(f, "snapshot truncated while reading {what}"),
+            PersistError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
+            PersistError::BadIndex(what) => write!(f, "snapshot contains out-of-range {what}"),
+            PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serializes the store to bytes.
+pub fn encode(store: &TaxonomyStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+
+    // Interner strings, in symbol order (Symbol(0) == "").
+    let strings: Vec<&str> = store.interner().iter().map(|(_, s)| s).collect();
+    buf.put_u32_le(strings.len() as u32);
+    for s in &strings {
+        put_str(&mut buf, s);
+    }
+
+    // Entities.
+    buf.put_u32_le(store.num_entities() as u32);
+    for id in store.entity_ids() {
+        let rec = store.entity(id);
+        buf.put_u32_le(rec.name.0);
+        buf.put_u32_le(rec.disambig.0);
+    }
+
+    // Concepts (by name symbol).
+    buf.put_u32_le(store.num_concepts() as u32);
+    for id in store.concept_ids() {
+        let name = store.concept_name(id);
+        let sym = store.interner().get(name).expect("concept name interned");
+        buf.put_u32_le(sym.0);
+    }
+
+    // Per-entity: concept edges, attributes, aliases.
+    for id in store.entity_ids() {
+        let edges = store.concepts_of(id);
+        buf.put_u32_le(edges.len() as u32);
+        for &(c, meta) in edges {
+            buf.put_u32_le(c.0);
+            buf.put_u8(meta.source.to_u8());
+            buf.put_f32_le(meta.confidence);
+        }
+        let attrs = store.attributes_of(id);
+        buf.put_u32_le(attrs.len() as u32);
+        for a in attrs {
+            buf.put_u32_le(a.0);
+        }
+        let aliases = store.aliases_of(id);
+        buf.put_u32_le(aliases.len() as u32);
+        for a in aliases {
+            buf.put_u32_le(a.0);
+        }
+    }
+
+    // Per-concept parent edges.
+    for id in store.concept_ids() {
+        let parents = store.parents_of(id);
+        buf.put_u32_le(parents.len() as u32);
+        for &(p, meta) in parents {
+            buf.put_u32_le(p.0);
+            buf.put_u8(meta.source.to_u8());
+            buf.put_f32_le(meta.confidence);
+        }
+    }
+
+    buf.freeze()
+}
+
+/// Deserializes a store from bytes.
+pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated("header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+
+    let n_strings = get_u32(&mut buf, "string count")? as usize;
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        strings.push(get_str(&mut buf)?);
+    }
+    let resolve = |sym: u32, what: &'static str| -> Result<&str, PersistError> {
+        strings
+            .get(sym as usize)
+            .map(|s| s.as_str())
+            .ok_or(PersistError::BadIndex(what))
+    };
+
+    let mut store = TaxonomyStore::new();
+
+    let n_entities = get_u32(&mut buf, "entity count")? as usize;
+    let mut entity_ids = Vec::with_capacity(n_entities);
+    for _ in 0..n_entities {
+        let name = get_u32(&mut buf, "entity name")?;
+        let disambig = get_u32(&mut buf, "entity disambig")?;
+        let name_s = resolve(name, "entity name symbol")?;
+        let dis_s = resolve(disambig, "entity disambig symbol")?;
+        let id = store.add_entity(name_s, if dis_s.is_empty() { None } else { Some(dis_s) });
+        entity_ids.push(id);
+    }
+
+    let n_concepts = get_u32(&mut buf, "concept count")? as usize;
+    let mut concept_ids = Vec::with_capacity(n_concepts);
+    for _ in 0..n_concepts {
+        let sym = get_u32(&mut buf, "concept name")?;
+        let name = resolve(sym, "concept name symbol")?;
+        concept_ids.push(store.add_concept(name));
+    }
+
+    for &e in &entity_ids {
+        let n_edges = get_u32(&mut buf, "entity edge count")? as usize;
+        for _ in 0..n_edges {
+            let c = get_u32(&mut buf, "edge concept")? as usize;
+            let src = get_u8(&mut buf, "edge source")?;
+            let conf = get_f32(&mut buf, "edge confidence")?;
+            let &cid = concept_ids.get(c).ok_or(PersistError::BadIndex("edge concept id"))?;
+            let source = Source::from_u8(src).ok_or(PersistError::BadIndex("edge source tag"))?;
+            store.add_entity_is_a(e, cid, IsAMeta::new(source, conf));
+        }
+        let n_attrs = get_u32(&mut buf, "attr count")? as usize;
+        for _ in 0..n_attrs {
+            let a = get_u32(&mut buf, "attr symbol")?;
+            let s = resolve(a, "attr symbol")?.to_string();
+            store.add_attribute(e, &s);
+        }
+        let n_aliases = get_u32(&mut buf, "alias count")? as usize;
+        for _ in 0..n_aliases {
+            let a = get_u32(&mut buf, "alias symbol")?;
+            let s = resolve(a, "alias symbol")?.to_string();
+            store.add_alias(e, &s);
+        }
+    }
+
+    for &c in &concept_ids {
+        let n_parents = get_u32(&mut buf, "parent count")? as usize;
+        for _ in 0..n_parents {
+            let p = get_u32(&mut buf, "parent concept")? as usize;
+            let src = get_u8(&mut buf, "parent source")?;
+            let conf = get_f32(&mut buf, "parent confidence")?;
+            let &pid = concept_ids.get(p).ok_or(PersistError::BadIndex("parent concept id"))?;
+            let source = Source::from_u8(src).ok_or(PersistError::BadIndex("parent source tag"))?;
+            store.add_concept_is_a(c, pid, IsAMeta::new(source, conf));
+        }
+    }
+
+    Ok(store)
+}
+
+/// Writes a snapshot to `path`.
+pub fn save_to_file(store: &TaxonomyStore, path: &Path) -> Result<(), PersistError> {
+    std::fs::write(path, encode(store))?;
+    Ok(())
+}
+
+/// Loads a snapshot from `path`.
+pub fn load_from_file(path: &Path) -> Result<TaxonomyStore, PersistError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_u32(buf: &mut &[u8], what: &'static str) -> Result<u32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated(what));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u8(buf: &mut &[u8], what: &'static str) -> Result<u8, PersistError> {
+    if buf.remaining() < 1 {
+        return Err(PersistError::Truncated(what));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_f32(buf: &mut &[u8], what: &'static str) -> Result<f32, PersistError> {
+    if buf.remaining() < 4 {
+        return Err(PersistError::Truncated(what));
+    }
+    Ok(buf.get_f32_le())
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
+    let len = get_u32(buf, "string length")? as usize;
+    if buf.remaining() < len {
+        return Err(PersistError::Truncated("string body"));
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| PersistError::BadUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{IsAMeta, Source};
+    use proptest::prelude::*;
+
+    fn demo_store() -> TaxonomyStore {
+        let mut s = TaxonomyStore::new();
+        let liu = s.add_entity("刘德华", Some("中国香港男演员"));
+        let zhang = s.add_entity("张学友", None);
+        s.add_alias(liu, "Andy Lau");
+        s.add_attribute(liu, "职业");
+        s.add_attribute(liu, "代表作品");
+        let actor = s.add_concept("演员");
+        let singer = s.add_concept("歌手");
+        let person = s.add_concept("人物");
+        s.add_concept_is_a(actor, person, IsAMeta::new(Source::SubConcept, 0.8));
+        s.add_concept_is_a(singer, person, IsAMeta::new(Source::SubConcept, 0.8));
+        s.add_entity_is_a(liu, actor, IsAMeta::new(Source::Bracket, 0.96));
+        s.add_entity_is_a(liu, singer, IsAMeta::new(Source::Tag, 0.97));
+        s.add_entity_is_a(zhang, singer, IsAMeta::new(Source::Infobox, 0.9));
+        s
+    }
+
+    fn assert_stores_equal(a: &TaxonomyStore, b: &TaxonomyStore) {
+        assert_eq!(a.num_entities(), b.num_entities());
+        assert_eq!(a.num_concepts(), b.num_concepts());
+        assert_eq!(a.num_is_a(), b.num_is_a());
+        for id in a.entity_ids() {
+            assert_eq!(a.entity_key(id), b.entity_key(id));
+            let ea: Vec<_> = a
+                .concepts_of(id)
+                .iter()
+                .map(|(c, m)| (a.concept_name(*c).to_string(), m.source, m.confidence))
+                .collect();
+            let eb: Vec<_> = b
+                .concepts_of(id)
+                .iter()
+                .map(|(c, m)| (b.concept_name(*c).to_string(), m.source, m.confidence))
+                .collect();
+            assert_eq!(ea, eb);
+            let attrs_a: Vec<_> = a.attributes_of(id).iter().map(|&s| a.resolve(s)).collect();
+            let attrs_b: Vec<_> = b.attributes_of(id).iter().map(|&s| b.resolve(s)).collect();
+            assert_eq!(attrs_a, attrs_b);
+        }
+        for id in a.concept_ids() {
+            assert_eq!(a.concept_name(id), b.concept_name(id));
+        }
+    }
+
+    #[test]
+    fn roundtrip_demo_store() {
+        let store = demo_store();
+        let bytes = encode(&store);
+        let loaded = decode(&bytes).expect("decode");
+        assert_stores_equal(&store, &loaded);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = demo_store();
+        let dir = std::env::temp_dir().join("cnp_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.cnpb");
+        save_to_file(&store, &path).expect("save");
+        let loaded = load_from_file(&path).expect("load");
+        assert_stores_equal(&store, &loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode(b"XXXX\x01\x00\x00\x00").unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(999);
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, PersistError::BadVersion(999)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode(&demo_store());
+        // Chop the snapshot at several points; each must error, not panic.
+        for cut in [0, 3, 8, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            let res = decode(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} unexpectedly decoded");
+        }
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let store = TaxonomyStore::new();
+        let loaded = decode(&encode(&store)).unwrap();
+        assert_eq!(loaded.num_entities(), 0);
+        assert_eq!(loaded.num_concepts(), 0);
+        assert_eq!(loaded.num_is_a(), 0);
+    }
+
+    proptest! {
+        /// Arbitrary small stores round-trip exactly.
+        #[test]
+        fn roundtrip_arbitrary(
+            entities in proptest::collection::vec("[一-龥]{1,4}", 1..10),
+            concepts in proptest::collection::vec("[一-龥]{1,4}", 1..8),
+            edges in proptest::collection::vec((0usize..10, 0usize..8, 0.0f32..=1.0), 0..30),
+        ) {
+            let mut store = TaxonomyStore::new();
+            let eids: Vec<_> = entities.iter().map(|n| store.add_entity(n, None)).collect();
+            let cids: Vec<_> = concepts.iter().map(|n| store.add_concept(n)).collect();
+            for (e, c, conf) in edges {
+                if e < eids.len() && c < cids.len() {
+                    store.add_entity_is_a(eids[e], cids[c], IsAMeta::new(Source::Tag, conf));
+                }
+            }
+            let loaded = decode(&encode(&store)).unwrap();
+            prop_assert_eq!(store.num_entities(), loaded.num_entities());
+            prop_assert_eq!(store.num_concepts(), loaded.num_concepts());
+            prop_assert_eq!(store.num_is_a(), loaded.num_is_a());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Higher-level taxonomy queries built on the closure primitives.
+//!
+//! The deployed CN-Probase backs applications like short-text
+//! classification (paper §V), which need more than raw edge lookups:
+//! concept depth, lowest common ancestors, siblings and path-based concept
+//! similarity (Wu–Palmer). All queries are read-only and cycle-safe.
+
+use crate::closure::ancestors;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::store::{ConceptId, TaxonomyStore};
+
+/// Depth of a concept: longest parent-chain length to a root (0 for roots).
+///
+/// Cycle-safe: edges on cycles are ignored past the first visit.
+pub fn depth(store: &TaxonomyStore, c: ConceptId) -> usize {
+    fn walk(
+        store: &TaxonomyStore,
+        c: ConceptId,
+        memo: &mut FxHashMap<ConceptId, usize>,
+        on_path: &mut FxHashSet<ConceptId>,
+    ) -> usize {
+        if let Some(&d) = memo.get(&c) {
+            return d;
+        }
+        if !on_path.insert(c) {
+            return 0; // cycle guard
+        }
+        let d = store
+            .parents_of(c)
+            .iter()
+            .map(|&(p, _)| walk(store, p, memo, on_path) + 1)
+            .max()
+            .unwrap_or(0);
+        on_path.remove(&c);
+        memo.insert(c, d);
+        d
+    }
+    walk(store, c, &mut FxHashMap::default(), &mut FxHashSet::default())
+}
+
+/// Lowest common ancestors of two concepts: the common ancestors (including
+/// the concepts themselves) of maximal depth. Empty when the concepts share
+/// no root.
+pub fn lowest_common_ancestors(
+    store: &TaxonomyStore,
+    a: ConceptId,
+    b: ConceptId,
+) -> Vec<ConceptId> {
+    let mut up_a: FxHashSet<ConceptId> = ancestors(store, a).into_iter().collect();
+    up_a.insert(a);
+    let mut up_b: FxHashSet<ConceptId> = ancestors(store, b).into_iter().collect();
+    up_b.insert(b);
+    let common: Vec<ConceptId> = up_a.intersection(&up_b).copied().collect();
+    if common.is_empty() {
+        return Vec::new();
+    }
+    let max_depth = common.iter().map(|&c| depth(store, c)).max().unwrap();
+    let mut out: Vec<ConceptId> = common
+        .into_iter()
+        .filter(|&c| depth(store, c) == max_depth)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Sibling concepts: other children of `c`'s parents.
+pub fn siblings(store: &TaxonomyStore, c: ConceptId) -> Vec<ConceptId> {
+    let mut out: Vec<ConceptId> = Vec::new();
+    for &(p, _) in store.parents_of(c) {
+        for &child in store.children_of(p) {
+            if child != c && !out.contains(&child) {
+                out.push(child);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Wu–Palmer similarity between two concepts, using node counts
+/// (`depth + 1`) so that a root LCA still contributes:
+/// `2·(depth(lca)+1) / ((depth(a)+1) + (depth(b)+1))`, in `(0, 1]`.
+/// Returns 0 when the concepts share no ancestor.
+pub fn wu_palmer(store: &TaxonomyStore, a: ConceptId, b: ConceptId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let lcas = lowest_common_ancestors(store, a, b);
+    let Some(&lca) = lcas.first() else {
+        return 0.0;
+    };
+    let dl = depth(store, lca) as f64 + 1.0;
+    let da = depth(store, a) as f64 + 1.0;
+    let db = depth(store, b) as f64 + 1.0;
+    (2.0 * dl / (da + db)).clamp(0.0, 1.0)
+}
+
+/// Concepts shared by a set of entities — the conceptualisation primitive
+/// behind short-text understanding (“what do 刘德华 and 张学友 have in
+/// common?” → 歌手, 人物).
+pub fn common_concepts(
+    store: &TaxonomyStore,
+    entities: &[crate::store::EntityId],
+    transitive: bool,
+) -> Vec<ConceptId> {
+    let mut iter = entities.iter();
+    let Some(&first) = iter.next() else {
+        return Vec::new();
+    };
+    let concept_set = |e: crate::store::EntityId| -> FxHashSet<ConceptId> {
+        let mut set: FxHashSet<ConceptId> = FxHashSet::default();
+        for &(c, _) in store.concepts_of(e) {
+            set.insert(c);
+            if transitive {
+                for a in ancestors(store, c) {
+                    set.insert(a);
+                }
+            }
+        }
+        set
+    };
+    let mut acc = concept_set(first);
+    for &e in iter {
+        let s = concept_set(e);
+        acc.retain(|c| s.contains(c));
+    }
+    let mut out: Vec<ConceptId> = acc.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{IsAMeta, Source};
+
+    /// 男演员 → 演员 → 人物;  歌手 → 人物;  城市 → 地点 (separate root).
+    fn fixture() -> (
+        TaxonomyStore,
+        ConceptId,
+        ConceptId,
+        ConceptId,
+        ConceptId,
+        ConceptId,
+    ) {
+        let mut s = TaxonomyStore::new();
+        let male_actor = s.add_concept("男演员");
+        let actor = s.add_concept("演员");
+        let person = s.add_concept("人物");
+        let singer = s.add_concept("歌手");
+        let city = s.add_concept("城市");
+        let place = s.add_concept("地点");
+        let m = IsAMeta::new(Source::SubConcept, 0.9);
+        s.add_concept_is_a(male_actor, actor, m);
+        s.add_concept_is_a(actor, person, m);
+        s.add_concept_is_a(singer, person, m);
+        s.add_concept_is_a(city, place, m);
+        (s, male_actor, actor, person, singer, city)
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        let (s, male_actor, actor, person, singer, _) = fixture();
+        assert_eq!(depth(&s, person), 0);
+        assert_eq!(depth(&s, actor), 1);
+        assert_eq!(depth(&s, singer), 1);
+        assert_eq!(depth(&s, male_actor), 2);
+    }
+
+    #[test]
+    fn lca_of_professions_is_person() {
+        let (s, male_actor, actor, person, singer, city) = fixture();
+        assert_eq!(lowest_common_ancestors(&s, male_actor, singer), vec![person]);
+        // One concept an ancestor of the other: the ancestor is the LCA.
+        assert_eq!(lowest_common_ancestors(&s, male_actor, actor), vec![actor]);
+        // Different roots: no common ancestor.
+        assert!(lowest_common_ancestors(&s, male_actor, city).is_empty());
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let (s, male_actor, actor, _, singer, _) = fixture();
+        assert_eq!(siblings(&s, actor), vec![singer]);
+        assert_eq!(siblings(&s, singer), vec![actor]);
+        assert!(siblings(&s, male_actor).is_empty());
+    }
+
+    #[test]
+    fn wu_palmer_ordering() {
+        let (s, male_actor, actor, _, singer, city) = fixture();
+        let close = wu_palmer(&s, male_actor, actor);
+        let mid = wu_palmer(&s, male_actor, singer);
+        let far = wu_palmer(&s, male_actor, city);
+        assert_eq!(wu_palmer(&s, actor, actor), 1.0);
+        assert!(close > mid, "{close} vs {mid}");
+        assert!(mid > far, "{mid} vs {far}");
+        assert_eq!(far, 0.0);
+    }
+
+    #[test]
+    fn common_concepts_intersects_transitively() {
+        let (mut s, male_actor, _, person, singer, _) = fixture();
+        let liu = s.add_entity("刘德华", None);
+        let zhang = s.add_entity("张学友", None);
+        let m = IsAMeta::new(Source::Tag, 0.9);
+        s.add_entity_is_a(liu, male_actor, m);
+        s.add_entity_is_a(liu, singer, m);
+        s.add_entity_is_a(zhang, singer, m);
+        // Direct: only 歌手 in common.
+        assert_eq!(common_concepts(&s, &[liu, zhang], false), vec![singer]);
+        // Transitive: 歌手 and 人物.
+        let trans = common_concepts(&s, &[liu, zhang], true);
+        assert!(trans.contains(&singer));
+        assert!(trans.contains(&person));
+        // Empty input.
+        assert!(common_concepts(&s, &[], true).is_empty());
+    }
+
+    #[test]
+    fn depth_survives_cycles() {
+        let (mut s, male_actor, actor, person, _, _) = fixture();
+        // Introduce a cycle 人物 → 男演员.
+        s.add_concept_is_a(person, male_actor, IsAMeta::new(Source::SubConcept, 0.1));
+        // Must terminate and still give a sane depth for 演员.
+        let d = depth(&s, actor);
+        assert!(d >= 1);
+    }
+}

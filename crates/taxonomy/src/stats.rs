@@ -1,0 +1,88 @@
+//! Size metrics — the left-hand columns of the paper's Table I.
+
+use crate::store::TaxonomyStore;
+use std::fmt;
+
+/// Taxonomy size statistics.
+///
+/// The paper reports: 15,066,667 disambiguated entities, 270,026 distinct
+/// concepts, 32,398,018 entity–concept relations and 527,288
+/// subconcept–concept relations (32,925,306 isA in total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaxonomyStats {
+    /// Registered disambiguated entities.
+    pub entities: usize,
+    /// Entities with at least one isA edge.
+    pub linked_entities: usize,
+    /// Distinct concepts.
+    pub concepts: usize,
+    /// Entity→concept isA edges.
+    pub entity_is_a: usize,
+    /// Subconcept→concept isA edges.
+    pub concept_is_a: usize,
+}
+
+impl TaxonomyStats {
+    /// Gathers statistics from a store.
+    pub fn of(store: &TaxonomyStore) -> Self {
+        TaxonomyStats {
+            entities: store.num_entities(),
+            linked_entities: store.num_linked_entities(),
+            concepts: store.num_concepts(),
+            entity_is_a: store.num_entity_is_a(),
+            concept_is_a: store.num_concept_is_a(),
+        }
+    }
+
+    /// Total isA edges (the Table I “# of isA relations” column).
+    pub fn total_is_a(&self) -> usize {
+        self.entity_is_a + self.concept_is_a
+    }
+}
+
+impl fmt::Display for TaxonomyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "entities={} (linked {}), concepts={}, isA={} (entity-concept {}, subconcept-concept {})",
+            self.entities,
+            self.linked_entities,
+            self.concepts,
+            self.total_is_a(),
+            self.entity_is_a,
+            self.concept_is_a
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{IsAMeta, Source};
+
+    #[test]
+    fn stats_match_store_counts() {
+        let mut s = TaxonomyStore::new();
+        let e1 = s.add_entity("a", None);
+        let _e2 = s.add_entity("b", None);
+        let c1 = s.add_concept("c1");
+        let c2 = s.add_concept("c2");
+        s.add_entity_is_a(e1, c1, IsAMeta::new(Source::Tag, 0.9));
+        s.add_concept_is_a(c1, c2, IsAMeta::new(Source::SubConcept, 0.8));
+        let st = TaxonomyStats::of(&s);
+        assert_eq!(st.entities, 2);
+        assert_eq!(st.linked_entities, 1);
+        assert_eq!(st.concepts, 2);
+        assert_eq!(st.entity_is_a, 1);
+        assert_eq!(st.concept_is_a, 1);
+        assert_eq!(st.total_is_a(), 2);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = TaxonomyStore::new();
+        let text = TaxonomyStats::of(&s).to_string();
+        assert!(text.contains("entities=0"));
+        assert!(text.contains("isA=0"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Lexical-head and stem analysis for the syntax-based verification rules.
+//!
+//! Chinese noun compounds are right-headed: in 教育机构 (“educational
+//! institution”) the head is 机构 and 教育 is a modifier. Verification rule
+//! (2) of §III-C exploits this: *the stem of the lexical head of the
+//! hypernym must not occur in a non-head position of the hyponym* —
+//! `isA(教育机构, 教育)` is wrong because 教育 modifies the true head.
+
+use crate::chars::char_len;
+use crate::segment::Segmenter;
+
+/// Agentive/derivational suffix characters stripped when computing a stem:
+/// 科学家 → 科学, 战略官 → 战略.
+pub const AGENTIVE_SUFFIXES: [char; 8] = ['家', '师', '员', '者', '手', '人', '官', '长'];
+
+/// Head/stem analyzer over a word segmenter.
+#[derive(Debug, Clone)]
+pub struct HeadAnalyzer {
+    seg: Segmenter,
+}
+
+impl HeadAnalyzer {
+    /// Creates an analyzer that segments with `seg`.
+    pub fn new(seg: Segmenter) -> Self {
+        HeadAnalyzer { seg }
+    }
+
+    /// Read-only access to the segmenter.
+    pub fn segmenter(&self) -> &Segmenter {
+        &self.seg
+    }
+
+    /// The lexical head of a noun compound: its rightmost word.
+    pub fn head_of(&self, compound: &str) -> String {
+        self.seg
+            .words(compound)
+            .into_iter()
+            .next_back()
+            .unwrap_or_else(|| compound.to_string())
+    }
+
+    /// Stem of a word: the word with one trailing agentive suffix removed
+    /// (only when at least two characters remain).
+    pub fn stem_of(word: &str) -> String {
+        let chars: Vec<char> = word.chars().collect();
+        if chars.len() >= 3 {
+            if let Some(&last) = chars.last() {
+                if AGENTIVE_SUFFIXES.contains(&last) {
+                    return chars[..chars.len() - 1].iter().collect();
+                }
+            }
+        }
+        word.to_string()
+    }
+
+    /// Rule (2) of §III-C: does the stem of the hypernym's head occur in a
+    /// *non-head* position of the hyponym?
+    ///
+    /// Returns `true` when the isA relation should be filtered, e.g.
+    /// `violates_head_stem_rule("教育机构", "教育")`.
+    pub fn violates_head_stem_rule(&self, hyponym: &str, hypernym: &str) -> bool {
+        if hyponym == hypernym {
+            return false;
+        }
+        let hyper_head = self.head_of(hypernym);
+        let stem = Self::stem_of(&hyper_head);
+        if stem.is_empty() || char_len(&stem) < 2 {
+            // Single-char stems are too ambiguous to fire a filter on.
+            return false;
+        }
+        // Word-level test on the segmented hyponym: any non-final word
+        // containing the stem is a modifier usage.
+        let words = self.seg.words(hyponym);
+        if words.len() >= 2 {
+            let non_head = &words[..words.len() - 1];
+            if non_head.iter().any(|w| w.contains(&stem)) {
+                return true;
+            }
+            // The stem may straddle word boundaries inside the modifier
+            // region; fall through to the char-level test.
+        }
+        // Char-level fallback: the stem occurs in the hyponym but the
+        // hyponym does not *end* with it (ending = head position, fine).
+        hyponym.contains(&stem) && !hyponym.ends_with(&stem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::Dictionary;
+    use crate::pos::PosTag;
+
+    fn analyzer() -> HeadAnalyzer {
+        let mut d = Dictionary::base();
+        for (w, f) in [
+            ("教育", 500),
+            ("机构", 400),
+            ("教育机构", 120),
+            ("大学", 600),
+            ("大学生", 300),
+            ("音乐", 500),
+            ("音乐家", 200),
+            ("战略官", 100),
+            ("战略", 200),
+        ] {
+            d.add_word(w, f, PosTag::Noun);
+        }
+        HeadAnalyzer::new(Segmenter::new(d))
+    }
+
+    #[test]
+    fn head_is_rightmost_word() {
+        let a = analyzer();
+        // 教育机构 is itself a dictionary word, so segmentation keeps it
+        // whole and the head is the full compound — the char-level fallback
+        // still catches the rule violation below.
+        assert_eq!(a.head_of("首席战略官"), "战略官");
+    }
+
+    #[test]
+    fn stem_strips_agentive_suffix() {
+        assert_eq!(HeadAnalyzer::stem_of("科学家"), "科学");
+        assert_eq!(HeadAnalyzer::stem_of("战略官"), "战略");
+        assert_eq!(HeadAnalyzer::stem_of("教育"), "教育");
+        // Two-char words never lose their suffix (歌手 stays 歌手).
+        assert_eq!(HeadAnalyzer::stem_of("歌手"), "歌手");
+    }
+
+    #[test]
+    fn paper_example_is_filtered() {
+        // isA(教育机构, 教育) must violate the rule (paper §III-C).
+        let a = analyzer();
+        assert!(a.violates_head_stem_rule("教育机构", "教育"));
+    }
+
+    #[test]
+    fn suffix_usage_is_not_filtered() {
+        let a = analyzer();
+        // 北京大学 isA 大学 — hypernym in head (suffix) position: keep.
+        assert!(!a.violates_head_stem_rule("北京大学", "大学"));
+    }
+
+    #[test]
+    fn modifier_usage_is_filtered() {
+        let a = analyzer();
+        // 大学生 isA 大学 — 大学 modifies 生: filter.
+        assert!(a.violates_head_stem_rule("大学生", "大学"));
+    }
+
+    #[test]
+    fn agentive_hypernym_stem_fires() {
+        let a = analyzer();
+        // isA(音乐教育机构, 音乐家): stem(音乐家) = 音乐 occurs as modifier.
+        assert!(a.violates_head_stem_rule("音乐教育机构", "音乐家"));
+    }
+
+    #[test]
+    fn identity_never_violates() {
+        let a = analyzer();
+        assert!(!a.violates_head_stem_rule("教育", "教育"));
+    }
+
+    #[test]
+    fn unrelated_pair_never_violates() {
+        let a = analyzer();
+        assert!(!a.violates_head_stem_rule("教育机构", "机构"));
+    }
+}

@@ -1,0 +1,402 @@
+//! Embedded linguistic resources.
+//!
+//! * [`THEMATIC_WORDS`] — the 184-entry non-taxonomic thematic lexicon used
+//!   by verification rule (1) of §III-C. The paper takes this lexicon from
+//!   Li et al. (APWeb 2015); we curate an equivalent 184-entry list (same
+//!   size, same function: thematic tags such as 政治 / 军事 / 音乐 that must
+//!   never be accepted as hypernyms).
+//! * [`SURNAMES`] / [`GIVEN_NAME_CHARS`] — Chinese person-name material,
+//!   shared by the NER and by the synthetic encyclopedia generator.
+//! * [`PLACE_SUFFIX_CHARS`] / [`ORG_SUFFIXES`] — suffix cues for place and
+//!   organization named entities.
+//! * [`BASE_VOCAB`] — a base segmentation dictionary of function words,
+//!   frequent verbs, adverbs, measure and time words with hand-assigned
+//!   frequencies, mirroring the generic part of a jieba dictionary.
+
+use crate::pos::PosTag;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The 184 thematic (non-taxonomic) words of verification rule (1).
+///
+/// A hypernym candidate equal to any of these words is rejected: “politics”
+/// is a *topic* of an article, not a class its subject belongs to.
+pub static THEMATIC_WORDS: [&str; 184] = [
+    // Broad domains (the paper's own examples 政治 / 军事 appear first).
+    "政治", "军事", "经济", "文化", "体育", "娱乐", "科技", "音乐", "历史", "地理",
+    "教育", "艺术", "文学", "社会", "自然", "科学", "宗教", "哲学", "法律", "医学",
+    // Finance & industry.
+    "财经", "金融", "股票", "投资", "理财", "贸易", "商业", "工业", "农业", "林业",
+    "渔业", "畜牧", "能源", "环保", "环境", "气候", "天文", "气象", "化学", "物理",
+    // Sciences & state affairs.
+    "数学", "生物", "地质", "海洋", "航天", "航空", "军工", "国防", "外交", "民族",
+    "人口", "民生", "医疗", "卫生", "健康", "养生", "心理", "情感", "婚恋", "家庭",
+    // Lifestyle.
+    "美食", "烹饪", "菜谱", "饮食", "旅游", "旅行", "户外", "探险", "时尚", "美容",
+    "美妆", "服饰", "购物", "生活", "休闲", "摄影", "绘画", "书法", "雕塑", "设计",
+    // Performing arts & recreation.
+    "舞蹈", "戏曲", "曲艺", "相声", "魔术", "杂技", "影视", "综艺", "动漫", "漫画",
+    "电竞", "棋牌", "武术", "健身", "瑜伽", "跑步", "球类", "田径", "游泳", "登山",
+    // Folk culture & language.
+    "民俗", "民间", "传统", "节日", "礼仪", "语言", "文字", "词汇", "语法", "翻译",
+    // Media & information technology.
+    "新闻", "传媒", "媒体", "出版", "广播", "网络", "互联网", "通信", "数码", "电子",
+    "编程", "程序", "算法", "数据", "信息", "智能", "自动化", "制造", "机械", "建筑",
+    // Infrastructure & public sector.
+    "交通", "物流", "运输", "驾驶", "航运", "铁路", "公路", "桥梁", "港口", "水利",
+    "电力", "矿业", "冶金", "纺织", "化工", "医药", "保健", "保险", "税务", "审计",
+    "统计", "管理", "营销", "广告", "公关", "人力", "行政", "司法", "治安", "消防",
+    "救援", "公益", "慈善", "考古", "文物", "收藏", "古玩", "钱币", "邮票", "珠宝",
+    // Hobbies & genres.
+    "玉器", "陶瓷", "家具", "园艺", "花艺", "宠物", "水族", "观鸟", "垂钓", "露营",
+    "骑行", "滑雪", "冲浪", "星座",
+];
+
+/// Single-character suffixes that mark place named entities (临江市, 云梦县).
+pub static PLACE_SUFFIX_CHARS: [char; 22] = [
+    '省', '市', '县', '区', '镇', '乡', '村', '国', '州', '郡', '山', '河', '江', '湖', '海',
+    '岛', '湾', '峰', '谷', '原', '漠', '洲',
+];
+
+/// Multi-character suffixes that mark organization named entities.
+pub static ORG_SUFFIXES: [&str; 30] = [
+    "有限公司", "科技公司", "电影公司", "唱片公司", "公司", "集团", "大学", "学院", "中学",
+    "小学", "银行", "医院", "研究所", "研究院", "博物馆", "图书馆", "出版社", "报社",
+    "电视台", "俱乐部", "乐队", "基金会", "协会", "学会", "委员会", "工作室", "事务所",
+    "剧院", "剧团", "乐团",
+];
+
+/// One hundred common Chinese surnames (frequency order, 百家姓 usage data).
+pub static SURNAMES: [&str; 100] = [
+    "王", "李", "张", "刘", "陈", "杨", "黄", "赵", "吴", "周", "徐", "孙", "马", "朱", "胡",
+    "郭", "何", "林", "罗", "高", "郑", "梁", "谢", "宋", "唐", "许", "韩", "冯", "邓", "曹",
+    "彭", "曾", "肖", "田", "董", "潘", "袁", "蔡", "蒋", "余", "于", "杜", "叶", "程", "苏",
+    "魏", "吕", "丁", "任", "沈", "姚", "卢", "姜", "崔", "钟", "谭", "陆", "汪", "范", "金",
+    "石", "廖", "贾", "夏", "韦", "傅", "方", "白", "邹", "孟", "熊", "秦", "邱", "江", "尹",
+    "薛", "闫", "段", "雷", "侯", "龙", "史", "陶", "黎", "贺", "顾", "毛", "郝", "龚", "邵",
+    "万", "钱", "严", "覃", "武", "戴", "莫", "孔", "向", "汤",
+];
+
+/// Characters commonly used in Chinese given names.
+pub static GIVEN_NAME_CHARS: [&str; 88] = [
+    "伟", "芳", "娜", "敏", "静", "丽", "强", "磊", "军", "洋", "勇", "艳", "杰", "娟", "涛",
+    "明", "超", "秀", "霞", "平", "刚", "桂", "英", "华", "玉", "萍", "红", "玲", "芬", "燕",
+    "彬", "凤", "洁", "梅", "琳", "松", "兰", "竹", "鹏", "飞", "宇", "浩", "轩", "然", "博",
+    "文", "昊", "天", "瑞", "晨", "阳", "佳", "嘉", "俊", "辰", "宁", "宏", "志", "远", "晓",
+    "春", "龙", "海", "山", "仁", "波", "义", "兴", "良", "德", "林", "峰", "国", "庆", "云",
+    "莉", "欣", "怡", "雪", "倩", "楠", "薇", "萌", "丹", "菲", "璐", "桐", "琪",
+];
+
+/// Base segmentation dictionary: `(word, frequency, pos)`.
+///
+/// Frequencies are order-of-magnitude realistic (的 ≫ content verbs) so the
+/// max-probability DP prefers natural segmentations before corpus counts
+/// are folded in.
+pub static BASE_VOCAB: &[(&str, u64, PosTag)] = &[
+    // --- particles ---
+    ("的", 800_000, PosTag::Particle),
+    ("了", 300_000, PosTag::Particle),
+    ("着", 80_000, PosTag::Particle),
+    ("过", 60_000, PosTag::Particle),
+    ("地", 50_000, PosTag::Particle),
+    ("得", 50_000, PosTag::Particle),
+    ("们", 40_000, PosTag::Particle),
+    ("等", 45_000, PosTag::Particle),
+    ("吧", 8_000, PosTag::Particle),
+    ("吗", 9_000, PosTag::Particle),
+    ("呢", 8_000, PosTag::Particle),
+    ("啊", 7_000, PosTag::Particle),
+    // --- pronouns & question words ---
+    ("我", 120_000, PosTag::Pronoun),
+    ("你", 90_000, PosTag::Pronoun),
+    ("他", 110_000, PosTag::Pronoun),
+    ("她", 70_000, PosTag::Pronoun),
+    ("它", 30_000, PosTag::Pronoun),
+    ("我们", 40_000, PosTag::Pronoun),
+    ("他们", 30_000, PosTag::Pronoun),
+    ("这", 60_000, PosTag::Pronoun),
+    ("那", 40_000, PosTag::Pronoun),
+    ("其", 35_000, PosTag::Pronoun),
+    ("该", 20_000, PosTag::Pronoun),
+    ("本", 18_000, PosTag::Pronoun),
+    ("此", 15_000, PosTag::Pronoun),
+    ("谁", 12_000, PosTag::Pronoun),
+    ("什么", 25_000, PosTag::Pronoun),
+    ("哪", 8_000, PosTag::Pronoun),
+    ("哪些", 6_000, PosTag::Pronoun),
+    ("哪里", 6_000, PosTag::Pronoun),
+    ("怎么", 9_000, PosTag::Pronoun),
+    ("如何", 9_000, PosTag::Pronoun),
+    ("为什么", 6_000, PosTag::Pronoun),
+    // --- prepositions & conjunctions ---
+    ("在", 250_000, PosTag::Function),
+    ("于", 90_000, PosTag::Function),
+    ("从", 40_000, PosTag::Function),
+    ("向", 25_000, PosTag::Function),
+    ("对", 45_000, PosTag::Function),
+    ("把", 30_000, PosTag::Function),
+    ("被", 35_000, PosTag::Function),
+    ("给", 25_000, PosTag::Function),
+    ("和", 150_000, PosTag::Function),
+    ("与", 80_000, PosTag::Function),
+    ("或", 25_000, PosTag::Function),
+    ("及", 30_000, PosTag::Function),
+    ("以及", 20_000, PosTag::Function),
+    ("而", 40_000, PosTag::Function),
+    ("但", 25_000, PosTag::Function),
+    ("但是", 15_000, PosTag::Function),
+    ("因为", 15_000, PosTag::Function),
+    ("所以", 12_000, PosTag::Function),
+    ("如果", 12_000, PosTag::Function),
+    ("虽然", 8_000, PosTag::Function),
+    ("并", 30_000, PosTag::Function),
+    ("并且", 8_000, PosTag::Function),
+    ("或者", 9_000, PosTag::Function),
+    ("而且", 8_000, PosTag::Function),
+    ("为", 70_000, PosTag::Function),
+    ("由", 40_000, PosTag::Function),
+    ("以", 50_000, PosTag::Function),
+    // --- adverbs ---
+    ("不", 120_000, PosTag::Adverb),
+    ("也", 60_000, PosTag::Adverb),
+    ("都", 50_000, PosTag::Adverb),
+    ("又", 25_000, PosTag::Adverb),
+    ("还", 35_000, PosTag::Adverb),
+    ("再", 20_000, PosTag::Adverb),
+    ("就", 55_000, PosTag::Adverb),
+    ("很", 40_000, PosTag::Adverb),
+    ("非常", 15_000, PosTag::Adverb),
+    ("十分", 8_000, PosTag::Adverb),
+    ("特别", 9_000, PosTag::Adverb),
+    ("最", 30_000, PosTag::Adverb),
+    ("更", 25_000, PosTag::Adverb),
+    ("较", 12_000, PosTag::Adverb),
+    ("比较", 10_000, PosTag::Adverb),
+    ("曾", 20_000, PosTag::Adverb),
+    ("曾经", 9_000, PosTag::Adverb),
+    ("已", 18_000, PosTag::Adverb),
+    ("已经", 15_000, PosTag::Adverb),
+    ("正在", 9_000, PosTag::Adverb),
+    ("将", 30_000, PosTag::Adverb),
+    ("一直", 9_000, PosTag::Adverb),
+    ("总是", 5_000, PosTag::Adverb),
+    ("经常", 6_000, PosTag::Adverb),
+    ("先后", 8_000, PosTag::Adverb),
+    ("主要", 20_000, PosTag::Adj),
+    ("著名", 18_000, PosTag::Adj),
+    ("知名", 9_000, PosTag::Adj),
+    ("国际", 20_000, PosTag::Adj),
+    ("全国", 15_000, PosTag::Adj),
+    ("首席", 6_000, PosTag::Adj),
+    ("高级", 8_000, PosTag::Adj),
+    ("资深", 4_000, PosTag::Adj),
+    ("优秀", 9_000, PosTag::Adj),
+    ("杰出", 5_000, PosTag::Adj),
+    ("男", 25_000, PosTag::Adj),
+    ("女", 25_000, PosTag::Adj),
+    // --- copulas & frequent verbs (encyclopedia register) ---
+    ("是", 400_000, PosTag::Verb),
+    ("有", 150_000, PosTag::Verb),
+    ("出生", 25_000, PosTag::Verb),
+    ("出生于", 18_000, PosTag::Verb),
+    ("毕业", 15_000, PosTag::Verb),
+    ("毕业于", 14_000, PosTag::Verb),
+    ("创办", 8_000, PosTag::Verb),
+    ("创立", 7_000, PosTag::Verb),
+    ("成立", 15_000, PosTag::Verb),
+    ("成立于", 9_000, PosTag::Verb),
+    ("担任", 12_000, PosTag::Verb),
+    ("获得", 20_000, PosTag::Verb),
+    ("主演", 10_000, PosTag::Verb),
+    ("出演", 8_000, PosTag::Verb),
+    ("发行", 9_000, PosTag::Verb),
+    ("发布", 8_000, PosTag::Verb),
+    ("出版于", 3_000, PosTag::Verb),
+    ("位于", 18_000, PosTag::Verb),
+    ("地处", 5_000, PosTag::Verb),
+    ("属于", 10_000, PosTag::Verb),
+    ("隶属于", 4_000, PosTag::Verb),
+    ("包括", 12_000, PosTag::Verb),
+    ("包含", 6_000, PosTag::Verb),
+    ("拥有", 10_000, PosTag::Verb),
+    ("成为", 18_000, PosTag::Verb),
+    ("称为", 8_000, PosTag::Verb),
+    ("被称为", 6_000, PosTag::Verb),
+    ("享有", 4_000, PosTag::Verb),
+    ("凭借", 7_000, PosTag::Verb),
+    ("荣获", 6_000, PosTag::Verb),
+    ("入选", 5_000, PosTag::Verb),
+    ("当选", 5_000, PosTag::Verb),
+    ("执导", 5_000, PosTag::Verb),
+    ("编写", 4_000, PosTag::Verb),
+    ("创作", 8_000, PosTag::Verb),
+    ("演唱", 7_000, PosTag::Verb),
+    ("录制", 4_000, PosTag::Verb),
+    ("经营", 6_000, PosTag::Verb),
+    ("生产", 8_000, PosTag::Verb),
+    ("研发", 6_000, PosTag::Verb),
+    ("上映", 6_000, PosTag::Verb),
+    ("开播", 3_000, PosTag::Verb),
+    ("连载", 3_000, PosTag::Verb),
+    ("建成", 4_000, PosTag::Verb),
+    ("开通", 3_000, PosTag::Verb),
+    ("注册", 4_000, PosTag::Verb),
+    ("上市", 5_000, PosTag::Verb),
+    ("收购", 4_000, PosTag::Verb),
+    ("更名", 3_000, PosTag::Verb),
+    ("改编", 4_000, PosTag::Verb),
+    ("饰演", 5_000, PosTag::Verb),
+    ("配音", 3_000, PosTag::Verb),
+    ("作曲", 4_000, PosTag::Verb),
+    ("作词", 4_000, PosTag::Verb),
+    ("执教", 3_000, PosTag::Verb),
+    ("效力", 3_000, PosTag::Verb),
+    ("退役", 3_000, PosTag::Verb),
+    ("夺得", 4_000, PosTag::Verb),
+    ("打破", 3_000, PosTag::Verb),
+    ("保持", 4_000, PosTag::Verb),
+    ("介绍", 6_000, PosTag::Verb),
+    ("请问", 3_000, PosTag::Verb),
+    // --- common nouns / time ---
+    ("年", 120_000, PosTag::Time),
+    ("月", 80_000, PosTag::Time),
+    ("日", 75_000, PosTag::Time),
+    ("时间", 15_000, PosTag::Noun),
+    ("地区", 12_000, PosTag::Noun),
+    ("地方", 10_000, PosTag::Noun),
+    ("方面", 8_000, PosTag::Noun),
+    ("人", 90_000, PosTag::Noun),
+    ("名", 30_000, PosTag::Noun),
+    ("字", 15_000, PosTag::Noun),
+    ("之一", 20_000, PosTag::Noun),
+    ("代表", 12_000, PosTag::Noun),
+    ("成员", 9_000, PosTag::Noun),
+    ("作者", 9_000, PosTag::Noun),
+    ("奖项", 5_000, PosTag::Noun),
+    ("奖", 12_000, PosTag::Noun),
+    ("中国", 80_000, PosTag::PlaceName),
+    ("美国", 30_000, PosTag::PlaceName),
+    ("英国", 15_000, PosTag::PlaceName),
+    ("法国", 12_000, PosTag::PlaceName),
+    ("德国", 11_000, PosTag::PlaceName),
+    ("日本", 18_000, PosTag::PlaceName),
+    ("韩国", 10_000, PosTag::PlaceName),
+    ("香港", 15_000, PosTag::PlaceName),
+    ("台湾", 10_000, PosTag::PlaceName),
+    ("北京", 25_000, PosTag::PlaceName),
+    ("上海", 22_000, PosTag::PlaceName),
+    // --- numerals ---
+    ("一", 90_000, PosTag::Numeral),
+    ("二", 30_000, PosTag::Numeral),
+    ("三", 28_000, PosTag::Numeral),
+    ("四", 20_000, PosTag::Numeral),
+    ("五", 18_000, PosTag::Numeral),
+    ("六", 15_000, PosTag::Numeral),
+    ("七", 13_000, PosTag::Numeral),
+    ("八", 13_000, PosTag::Numeral),
+    ("九", 12_000, PosTag::Numeral),
+    ("十", 25_000, PosTag::Numeral),
+    ("百", 10_000, PosTag::Numeral),
+    ("千", 8_000, PosTag::Numeral),
+    ("万", 9_000, PosTag::Numeral),
+    ("亿", 5_000, PosTag::Numeral),
+    ("第一", 12_000, PosTag::Numeral),
+    ("第二", 8_000, PosTag::Numeral),
+    // --- measure words ---
+    ("个", 60_000, PosTag::Measure),
+    ("位", 20_000, PosTag::Measure),
+    ("部", 18_000, PosTag::Measure),
+    ("首", 10_000, PosTag::Measure),
+    ("张", 9_000, PosTag::Measure),
+    ("座", 8_000, PosTag::Measure),
+    ("所", 12_000, PosTag::Measure),
+    ("家", 20_000, PosTag::Measure),
+    ("支", 6_000, PosTag::Measure),
+    ("只", 8_000, PosTag::Measure),
+    ("条", 8_000, PosTag::Measure),
+    ("枚", 3_000, PosTag::Measure),
+    ("届", 6_000, PosTag::Measure),
+    ("次", 12_000, PosTag::Measure),
+    ("种", 12_000, PosTag::Measure),
+];
+
+fn thematic_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| THEMATIC_WORDS.iter().copied().collect())
+}
+
+/// Returns `true` when `word` is in the thematic (non-taxonomic) lexicon.
+pub fn is_thematic(word: &str) -> bool {
+    thematic_set().contains(word)
+}
+
+fn surname_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| SURNAMES.iter().copied().collect())
+}
+
+/// Returns `true` when `s` is one of the embedded surnames.
+pub fn is_surname(s: &str) -> bool {
+    surname_set().contains(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thematic_lexicon_has_exactly_184_entries() {
+        // The paper: “We collect a Chinese lexicon from Li et al. including
+        // 184 non-taxonomies, thematic words.”
+        assert_eq!(THEMATIC_WORDS.len(), 184);
+        let unique: HashSet<_> = THEMATIC_WORDS.iter().collect();
+        assert_eq!(unique.len(), 184, "thematic lexicon contains duplicates");
+    }
+
+    #[test]
+    fn thematic_membership() {
+        assert!(is_thematic("政治"));
+        assert!(is_thematic("军事"));
+        assert!(is_thematic("音乐"));
+        assert!(!is_thematic("演员"));
+        assert!(!is_thematic("歌手"));
+    }
+
+    #[test]
+    fn surnames_unique_and_complete() {
+        let unique: HashSet<_> = SURNAMES.iter().collect();
+        assert_eq!(unique.len(), 100);
+        assert!(is_surname("刘"));
+        assert!(!is_surname("甲"));
+    }
+
+    #[test]
+    fn given_name_chars_unique() {
+        let unique: HashSet<_> = GIVEN_NAME_CHARS.iter().collect();
+        assert_eq!(unique.len(), GIVEN_NAME_CHARS.len());
+    }
+
+    #[test]
+    fn base_vocab_has_no_duplicates_and_positive_freqs() {
+        let mut seen = HashSet::new();
+        for (w, f, _) in BASE_VOCAB {
+            assert!(seen.insert(*w), "duplicate base vocab entry: {w}");
+            assert!(*f > 0);
+        }
+    }
+
+    #[test]
+    fn org_suffixes_sorted_longest_variants_first() {
+        // 有限公司 must be listed before 公司 so longest-suffix matching wins.
+        let long = ORG_SUFFIXES.iter().position(|s| *s == "有限公司").unwrap();
+        let short = ORG_SUFFIXES.iter().position(|s| *s == "公司").unwrap();
+        assert!(long < short);
+    }
+
+    #[test]
+    fn thematic_words_are_not_surnames() {
+        for w in THEMATIC_WORDS {
+            assert!(!is_surname(w));
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Dictionary-DAG word segmentation with max-probability dynamic
+//! programming and an HMM fallback — the jieba algorithm, from scratch.
+//!
+//! Pipeline per sentence:
+//! 1. split the text into character-class runs ([`crate::chars::class_runs`]);
+//! 2. inside each Han run, build the word DAG from dictionary prefix
+//!    matches and pick the maximum-log-probability path (unigram model);
+//! 3. re-segment maximal spans of unknown single characters with the BMES
+//!    HMM ([`crate::hmm`]), recovering out-of-vocabulary words.
+//!
+//! The CN-Probase *separation algorithm* (paper §II, Fig. 3) runs this
+//! segmenter on bracket noun compounds before its PMI merge loop.
+
+use crate::chars::{class_runs, Run};
+use crate::dict::Dictionary;
+use crate::hmm::HmmModel;
+
+/// A word segmenter over a frequency dictionary.
+#[derive(Debug, Clone)]
+pub struct Segmenter {
+    dict: Dictionary,
+    hmm: HmmModel,
+    use_hmm: bool,
+}
+
+impl Segmenter {
+    /// Creates a segmenter with the default (untrained) HMM enabled.
+    pub fn new(dict: Dictionary) -> Self {
+        Segmenter {
+            dict,
+            hmm: HmmModel::default(),
+            use_hmm: true,
+        }
+    }
+
+    /// Creates a segmenter with a trained HMM.
+    pub fn with_hmm(dict: Dictionary, hmm: HmmModel) -> Self {
+        Segmenter {
+            dict,
+            hmm,
+            use_hmm: true,
+        }
+    }
+
+    /// Disables the HMM pass (pure dictionary DP; unknown chars stay single).
+    pub fn without_hmm(mut self) -> Self {
+        self.use_hmm = false;
+        self
+    }
+
+    /// Read-only access to the dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (to fold in corpus counts).
+    pub fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Segments `text` into tokens. Punctuation runs are emitted as single
+    /// tokens; ASCII alphanumeric runs are kept atomic.
+    pub fn segment(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for run in class_runs(text) {
+            match run {
+                Run::Han(s) => self.segment_han(s, &mut out),
+                Run::Alnum(s) => out.push(s.to_string()),
+                Run::Punct(s) => out.push(s.to_string()),
+            }
+        }
+        out
+    }
+
+    /// Segments `text` and tags every token with its part of speech
+    /// (dictionary tag, falling back to shape heuristics). Punctuation
+    /// tokens carry [`crate::pos::PosTag::Other`].
+    pub fn segment_tagged(&self, text: &str) -> Vec<(String, crate::pos::PosTag)> {
+        self.segment(text)
+            .into_iter()
+            .map(|tok| {
+                let tag = if tok.chars().all(crate::chars::is_punct) {
+                    crate::pos::PosTag::Other
+                } else if let Some(info) = self.dict.get(&tok) {
+                    if info.pos == crate::pos::PosTag::Other {
+                        crate::pos::PosTagger::guess_by_shape(&tok)
+                    } else {
+                        info.pos
+                    }
+                } else {
+                    crate::pos::PosTagger::guess_by_shape(&tok)
+                };
+                (tok, tag)
+            })
+            .collect()
+    }
+
+    /// Segments `text` and drops punctuation/whitespace tokens — the
+    /// convenient form for corpus statistics.
+    pub fn words(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for run in class_runs(text) {
+            match run {
+                Run::Han(s) => self.segment_han(s, &mut out),
+                Run::Alnum(s) => out.push(s.to_string()),
+                Run::Punct(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Max-probability DP over the word DAG of a pure-Han span, with the
+    /// HMM pass over unknown single-char stretches.
+    fn segment_han(&self, s: &str, out: &mut Vec<String>) {
+        let chars: Vec<char> = s.chars().collect();
+        let n = chars.len();
+        if n == 0 {
+            return;
+        }
+        // route[i] = (best score of chars[i..], end index of first word).
+        let mut route: Vec<(f64, usize)> = vec![(0.0, 0); n + 1];
+        for i in (0..n).rev() {
+            let single: String = chars[i..i + 1].iter().collect();
+            let mut best = (self.dict.log_prob(&single) + route[i + 1].0, i + 1);
+            for (end, _) in self.dict.matches_at(&chars, i) {
+                if end == i + 1 {
+                    continue; // already considered as the single-char edge
+                }
+                let word: String = chars[i..end].iter().collect();
+                let score = self.dict.log_prob(&word) + route[end].0;
+                if score > best.0 {
+                    best = (score, end);
+                }
+            }
+            route[i] = best;
+        }
+
+        // Walk the best path, buffering unknown single chars for the HMM.
+        let mut i = 0usize;
+        let mut oov_start: Option<usize> = None;
+        while i < n {
+            let end = route[i].1;
+            let word: String = chars[i..end].iter().collect();
+            let is_unknown_single = end == i + 1 && !self.dict.contains(&word);
+            if is_unknown_single {
+                if oov_start.is_none() {
+                    oov_start = Some(i);
+                }
+            } else {
+                self.flush_oov(&chars, oov_start.take(), i, out);
+                out.push(word);
+            }
+            i = end;
+        }
+        self.flush_oov(&chars, oov_start, n, out);
+    }
+
+    fn flush_oov(&self, chars: &[char], start: Option<usize>, end: usize, out: &mut Vec<String>) {
+        let Some(start) = start else { return };
+        if end <= start {
+            return;
+        }
+        let span = &chars[start..end];
+        if span.len() == 1 || !self.use_hmm {
+            for &c in span {
+                out.push(c.to_string());
+            }
+        } else {
+            out.extend(self.hmm.cut(span));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::PosTag;
+    use proptest::prelude::*;
+
+    fn demo_dict() -> Dictionary {
+        let mut d = Dictionary::base();
+        for (w, f) in [
+            ("蚂蚁", 500),
+            ("金服", 200),
+            ("战略官", 150),
+            ("战略", 300),
+            ("官", 100),
+            ("演员", 900),
+            ("歌手", 800),
+            ("香港", 700),
+            ("电影", 900),
+            ("金像奖", 120),
+            ("最佳", 300),
+            ("男主角", 250),
+        ] {
+            d.add_word(w, f, PosTag::Noun);
+        }
+        d
+    }
+
+    #[test]
+    fn segments_figure3_bracket_compound() {
+        // Paper Fig. 3: 蚂蚁金服首席战略官 → {蚂蚁, 金服, 首席, 战略官}
+        let seg = Segmenter::new(demo_dict());
+        assert_eq!(
+            seg.segment("蚂蚁金服首席战略官"),
+            vec!["蚂蚁", "金服", "首席", "战略官"]
+        );
+    }
+
+    #[test]
+    fn longer_dictionary_words_beat_char_splits() {
+        let seg = Segmenter::new(demo_dict());
+        assert_eq!(seg.segment("香港演员"), vec!["香港", "演员"]);
+    }
+
+    #[test]
+    fn mixed_script_keeps_ascii_atomic() {
+        let seg = Segmenter::new(demo_dict());
+        let toks = seg.segment("刘德华Andy是演员");
+        assert!(toks.contains(&"Andy".to_string()));
+        assert!(toks.contains(&"演员".to_string()));
+    }
+
+    #[test]
+    fn words_drops_punctuation() {
+        let seg = Segmenter::new(demo_dict());
+        let toks = seg.words("演员，歌手。");
+        assert_eq!(toks, vec!["演员", "歌手"]);
+    }
+
+    #[test]
+    fn hmm_recovers_oov_person_name() {
+        // 赵小阳 is not in the dictionary: the HMM pass should not leave it
+        // as three singles (default model yields 2+1 split; a trained HMM
+        // keeps it whole — see hmm::tests).
+        let seg = Segmenter::new(demo_dict());
+        let toks = seg.segment("赵小阳是演员");
+        assert!(toks.concat() == "赵小阳是演员");
+        assert!(toks.iter().any(|t| t.chars().count() >= 2 && t.contains('赵')));
+    }
+
+    #[test]
+    fn without_hmm_unknowns_stay_single() {
+        let seg = Segmenter::new(demo_dict()).without_hmm();
+        let toks = seg.segment("赵小阳");
+        assert_eq!(toks, vec!["赵", "小", "阳"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only_inputs() {
+        let seg = Segmenter::new(demo_dict());
+        assert!(seg.segment("").is_empty());
+        assert_eq!(seg.segment("，。"), vec!["，。"]);
+        assert!(seg.words("，。").is_empty());
+    }
+
+    #[test]
+    fn tagged_segmentation_uses_dictionary_and_shape() {
+        let seg = Segmenter::new(demo_dict());
+        let tagged = seg.segment_tagged("演员出生于临江市。");
+        let get = |w: &str| {
+            tagged
+                .iter()
+                .find(|(t, _)| t == w)
+                .map(|(_, p)| *p)
+                .unwrap_or_else(|| panic!("token {w} missing from {tagged:?}"))
+        };
+        assert_eq!(get("演员"), crate::pos::PosTag::Noun);
+        assert_eq!(get("出生于"), crate::pos::PosTag::Verb);
+        // The OOV place name region produces at least one PlaceName-tagged
+        // token via the shape heuristic (exact split depends on the HMM).
+        assert!(tagged
+            .iter()
+            .any(|(_, p)| *p == crate::pos::PosTag::PlaceName));
+        // Punctuation is tagged Other.
+        assert_eq!(get("。"), crate::pos::PosTag::Other);
+    }
+
+    proptest! {
+        /// Segmentation partitions the input text exactly.
+        #[test]
+        fn segmentation_is_a_partition(text in "[一-龥a-z0-9，。]{0,30}") {
+            let seg = Segmenter::new(demo_dict());
+            let toks = seg.segment(&text);
+            prop_assert_eq!(toks.concat(), text);
+        }
+
+        /// No token is empty and Han tokens never contain punctuation.
+        #[test]
+        fn tokens_are_clean(text in "[一-龥]{0,25}") {
+            let seg = Segmenter::new(demo_dict());
+            for t in seg.segment(&text) {
+                prop_assert!(!t.is_empty());
+            }
+        }
+    }
+}

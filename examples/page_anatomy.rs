@@ -1,0 +1,62 @@
+//! Figure 1: the anatomy of a Chinese encyclopedia page — bracket (a),
+//! abstract (b), infobox (c) and tag (d) — shown on the paper's 刘德华
+//! example and on a freshly generated page.
+//!
+//! ```sh
+//! cargo run --release --example page_anatomy
+//! ```
+
+use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator, InfoboxTriple, Page};
+
+fn show(page: &Page) {
+    println!("entity key : {}", page.key());
+    println!("(a) bracket : {}", page.bracket.as_deref().unwrap_or("—"));
+    println!("(b) abstract: {}", page.abstract_text);
+    println!("(c) infobox :");
+    for t in &page.infobox {
+        println!("      {} = {}", t.predicate, t.value);
+    }
+    println!("(d) tags    : {}", page.tags.join("、"));
+    if !page.aliases.is_empty() {
+        println!("    aliases : {}", page.aliases.join("、"));
+    }
+}
+
+fn main() {
+    // The paper's own Figure 1 example.
+    let liu_dehua = Page {
+        name: "刘德华".into(),
+        bracket: Some("中国香港男演员、歌手、词作人".into()),
+        abstract_text: "刘德华（Andy Lau），1961年9月27日出生于中国香港，男演员、歌手、\
+                        作词人、制片人。1981年出演电影处女作《彩云曲》。"
+            .into(),
+        infobox: vec![
+            InfoboxTriple::new("中文名", "刘德华"),
+            InfoboxTriple::new("职业", "演员"),
+            InfoboxTriple::new("代表作品", "忘情水"),
+            InfoboxTriple::new("体重", "63KG"),
+        ],
+        tags: vec!["人物".into(), "演员".into(), "娱乐人物".into(), "音乐".into()],
+        aliases: vec!["Andy Lau".into()],
+    };
+    println!("================ Figure 1: the paper's example ================");
+    show(&liu_dehua);
+
+    // A generated page with the same anatomy.
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(1)).generate();
+    let generated = corpus
+        .pages
+        .iter()
+        .find(|p| p.bracket.is_some() && p.infobox.len() >= 4)
+        .expect("a rich generated page exists");
+    println!("\n================ a generated page (same anatomy) ================");
+    show(generated);
+    println!(
+        "\ngold hypernyms of this page: {:?}",
+        corpus
+            .gold
+            .hypernyms_of(&generated.key())
+            .map(|s| { let mut v: Vec<_> = s.iter().cloned().collect(); v.sort(); v })
+            .unwrap_or_default()
+    );
+}

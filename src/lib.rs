@@ -1,0 +1,37 @@
+//! # CN-Probase — facade crate
+//!
+//! A complete Rust reproduction of **“CN-Probase: A Data-driven Approach for
+//! Large-scale Chinese Taxonomy Construction”** (Chen et al., ICDE 2019).
+//!
+//! This crate re-exports the public APIs of the workspace members so a
+//! downstream user can depend on a single crate:
+//!
+//! * [`text`] — Chinese segmentation, PMI, POS, NER ([`cnp_text`]).
+//! * [`nn`] — minimal neural network library with CopyNet ([`cnp_nn`]).
+//! * [`encyclopedia`] — synthetic Chinese-encyclopedia substrate
+//!   ([`cnp_encyclopedia`]).
+//! * [`taxonomy`] — the taxonomy storage engine and the paper's three public
+//!   APIs ([`cnp_taxonomy`]).
+//! * [`pipeline`] — the generation + verification framework itself
+//!   ([`cnp_core`]).
+//! * [`eval`] — precision / coverage evaluation and the Table I baselines
+//!   ([`cnp_eval`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
+//! use cn_probase::pipeline::{Pipeline, PipelineConfig};
+//!
+//! // Generate a small synthetic encyclopedia and build a taxonomy from it.
+//! let corpus = CorpusGenerator::new(CorpusConfig::tiny(7)).generate();
+//! let outcome = Pipeline::new(PipelineConfig::fast()).run(&corpus);
+//! assert!(outcome.taxonomy.num_is_a() > 0);
+//! ```
+
+pub use cnp_core as pipeline;
+pub use cnp_encyclopedia as encyclopedia;
+pub use cnp_eval as eval;
+pub use cnp_nn as nn;
+pub use cnp_taxonomy as taxonomy;
+pub use cnp_text as text;
