@@ -32,8 +32,7 @@ fn config_named(name: &str) -> VerificationConfig {
 
 fn bench(c: &mut Criterion) {
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(6))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(6)).generate();
 
     println!("\n================ Verification ablation ================");
     println!(
@@ -58,8 +57,8 @@ fn bench(c: &mut Criterion) {
 
     // Benchmark the verification module in isolation on a fixed candidate
     // set (generation re-run once).
-    let tiny = cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(6))
-        .generate();
+    let tiny =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(6)).generate();
     let ctx = cnp_core::PipelineContext::build(&tiny, 4);
     let raw = Pipeline::new(PipelineConfig::unverified()).run(&tiny);
     let mut group = c.benchmark_group("verification");

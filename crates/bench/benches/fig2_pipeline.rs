@@ -10,15 +10,14 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(2))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(2)).generate();
     let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
     println!("\n================ Figure 2 (framework dataflow) ================");
     print!("{}", outcome.report);
     println!("===============================================================\n");
 
-    let tiny = cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(2))
-        .generate();
+    let tiny =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(2)).generate();
     let mut group = c.benchmark_group("fig2_pipeline");
     group.sample_size(10);
     group.bench_function("generation_plus_verification", |b| {

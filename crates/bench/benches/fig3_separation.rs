@@ -17,13 +17,13 @@ fn render(node: &SepNode) -> String {
 
 fn bench(c: &mut Criterion) {
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(3))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(3)).generate();
     let ctx = cnp_core::PipelineContext::build(&corpus, 4);
     let alg = SeparationAlgorithm::new(&ctx.segmenter, &ctx.pmi);
 
     println!("\n================ Figure 3 (separation algorithm) ================");
-    for compound in ["蚂蚁金服首席战略官", "中国香港男演员", "星辰科技首席执行官"] {
+    for compound in ["蚂蚁金服首席战略官", "中国香港男演员", "星辰科技首席执行官"]
+    {
         let words = ctx.segmenter.words(compound);
         match alg.separate_compound(compound) {
             Some(r) => {

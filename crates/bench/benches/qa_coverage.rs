@@ -10,8 +10,7 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(5))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(5)).generate();
     let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
     let api = cnp_taxonomy::ProbaseApi::new(outcome.taxonomy);
 
@@ -21,7 +20,10 @@ fn bench(c: &mut Criterion) {
     println!("\n================ QA coverage (paper: 91.68%, 2.14 concepts) ================");
     println!("questions:                {}", result.questions);
     println!("covered:                  {}", result.covered);
-    println!("coverage:                 {:.2}%", result.coverage() * 100.0);
+    println!(
+        "coverage:                 {:.2}%",
+        result.coverage() * 100.0
+    );
     println!(
         "avg concepts per entity:  {:.2}",
         result.avg_concepts_per_entity

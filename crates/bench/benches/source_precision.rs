@@ -11,8 +11,7 @@ use std::hint::black_box;
 
 fn print_per_source() {
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(4))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(4)).generate();
     let verified = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
     let raw = cnp_core::Pipeline::new(cnp_core::PipelineConfig::unverified()).run(&corpus);
 
@@ -49,8 +48,7 @@ fn print_per_source() {
 fn bench(c: &mut Criterion) {
     print_per_source();
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(4))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(4)).generate();
     let ctx = cnp_core::PipelineContext::build(&corpus, 4);
 
     let mut group = c.benchmark_group("source_extraction");

@@ -13,9 +13,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn print_table() {
-    let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(42))
-            .generate();
+    let corpus = cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(42))
+        .generate();
     let cmp = cnp_eval::comparison::run(&corpus, true, 42);
     println!("\n================ Table I (measured, synthetic corpus) ================");
     print!("{cmp}");
@@ -38,14 +37,13 @@ fn print_table() {
 fn bench(c: &mut Criterion) {
     print_table();
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(42))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(42)).generate();
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
     group.bench_function("cn_probase_pipeline_tiny", |b| {
         b.iter(|| {
-            let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast())
-                .run(black_box(&corpus));
+            let outcome =
+                cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(black_box(&corpus));
             black_box(outcome.taxonomy.num_is_a())
         })
     });

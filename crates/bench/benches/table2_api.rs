@@ -18,8 +18,7 @@ struct Fixture {
 
 fn build_fixture() -> Fixture {
     let corpus =
-        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7))
-            .generate();
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7)).generate();
     let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
     let mentions: Vec<String> = corpus
         .pages
@@ -47,7 +46,10 @@ fn print_table(f: &Fixture) {
         "{:<12} {:<10} {:<16} {:>12}",
         "API name", "Given", "Return", "paper calls"
     );
-    println!("{:<12} {:<10} {:<16} {:>12}", "men2ent", "mention", "entity", 43_896_044);
+    println!(
+        "{:<12} {:<10} {:<16} {:>12}",
+        "men2ent", "mention", "entity", 43_896_044
+    );
     println!(
         "{:<12} {:<10} {:<16} {:>12}",
         "getConcept", "entity", "hypernym list", 13_815_076

@@ -130,11 +130,7 @@ mod tests {
             cand("刘德华", "歌手", Source::Tag, 0.9),
         ]);
         assert_eq!(set.len(), 2);
-        let actor = set
-            .items
-            .iter()
-            .find(|c| c.hypernym == "演员")
-            .unwrap();
+        let actor = set.items.iter().find(|c| c.hypernym == "演员").unwrap();
         assert_eq!(actor.source, Source::Bracket);
         assert_eq!(actor.confidence, 0.96);
     }

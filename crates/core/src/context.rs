@@ -8,8 +8,14 @@
 
 use cnp_encyclopedia::Corpus;
 use cnp_text::{
-    dict::Dictionary, head::HeadAnalyzer, hmm::HmmModel, ner::{NeRecognizer, NeStats},
-    ngram::NgramCounter, pmi::PmiModel, pos::PosTagger, segment::Segmenter,
+    dict::Dictionary,
+    head::HeadAnalyzer,
+    hmm::HmmModel,
+    ner::{NeRecognizer, NeStats},
+    ngram::NgramCounter,
+    pmi::PmiModel,
+    pos::PosTagger,
+    segment::Segmenter,
 };
 
 /// Shared, read-only corpus statistics.

@@ -305,7 +305,15 @@ mod tests {
         /// Compounds assembled from known dictionary words.
         fn compound_strategy() -> impl Strategy<Value = String> {
             let pool = [
-                "蚂蚁", "金服", "首席", "战略官", "中国", "香港", "男演员", "歌手", "演员",
+                "蚂蚁",
+                "金服",
+                "首席",
+                "战略官",
+                "中国",
+                "香港",
+                "男演员",
+                "歌手",
+                "演员",
             ];
             proptest::collection::vec(0usize..pool.len(), 1..5)
                 .prop_map(move |idx| idx.into_iter().map(|i| pool[i]).collect::<String>())

@@ -152,7 +152,9 @@ mod tests {
     fn bracket_pairs(pairs: &[(&str, &str)]) -> HashMap<String, HashSet<String>> {
         let mut m: HashMap<String, HashSet<String>> = HashMap::new();
         for (e, h) in pairs {
-            m.entry((*e).to_string()).or_default().insert((*h).to_string());
+            m.entry((*e).to_string())
+                .or_default()
+                .insert((*h).to_string());
         }
         m
     }

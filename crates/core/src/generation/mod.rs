@@ -40,8 +40,7 @@ pub fn extract_bracket(
         for (chunk_idx, page_chunk) in pages.chunks(chunk).enumerate() {
             let base = chunk_idx * chunk;
             handles.push(scope.spawn(move |_| {
-                let alg =
-                    bracket::SeparationAlgorithm::new(&ctx.segmenter, &ctx.pmi);
+                let alg = bracket::SeparationAlgorithm::new(&ctx.segmenter, &ctx.pmi);
                 let mut cands = Vec::new();
                 let mut pairs = Vec::new();
                 for (off, page) in page_chunk.iter().enumerate() {
@@ -103,7 +102,11 @@ mod tests {
         assert!(!cands.is_empty());
         let correct = cands
             .iter()
-            .filter(|c| corpus.gold.is_correct_entity_isa(&c.entity_key, &c.hypernym))
+            .filter(|c| {
+                corpus
+                    .gold
+                    .is_correct_entity_isa(&c.entity_key, &c.hypernym)
+            })
             .count();
         let precision = correct as f64 / cands.len() as f64;
         assert!(
@@ -138,6 +141,9 @@ mod tests {
         ];
         let map = bracket_pairs_by_entity(&cands);
         assert_eq!(map["甲"].len(), 2);
-        assert!(!map.contains_key("乙"), "tag candidates must not seed the prior");
+        assert!(
+            !map.contains_key("乙"),
+            "tag candidates must not seed the prior"
+        );
     }
 }

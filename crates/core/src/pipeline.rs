@@ -257,11 +257,7 @@ fn assemble(
     corpus: &Corpus,
 ) -> (TaxonomyStore, usize) {
     let mut store = TaxonomyStore::new();
-    let concept_names: HashSet<&str> = verified
-        .items
-        .iter()
-        .map(|c| c.hypernym.as_str())
-        .collect();
+    let concept_names: HashSet<&str> = verified.items.iter().map(|c| c.hypernym.as_str()).collect();
 
     for c in &verified.items {
         let page = &corpus.pages[c.page];
@@ -324,7 +320,13 @@ mod tests {
         assert!(r.abstract_candidates > 0, "abstract produced nothing");
         assert!(r.infobox_candidates > 0, "infobox produced nothing");
         assert!(r.tag_candidates > 0, "tag produced nothing");
-        assert!(r.merged_candidates <= r.bracket_candidates + r.abstract_candidates + r.infobox_candidates + r.tag_candidates);
+        assert!(
+            r.merged_candidates
+                <= r.bracket_candidates
+                    + r.abstract_candidates
+                    + r.infobox_candidates
+                    + r.tag_candidates
+        );
     }
 
     #[test]
@@ -359,8 +361,12 @@ mod tests {
                 .items
                 .iter()
                 .filter(|c| {
-                    corpus.gold.is_correct_entity_isa(&c.entity_key, &c.hypernym)
-                        || corpus.gold.is_correct_concept_isa(&c.entity_name, &c.hypernym)
+                    corpus
+                        .gold
+                        .is_correct_entity_isa(&c.entity_key, &c.hypernym)
+                        || corpus
+                            .gold
+                            .is_correct_concept_isa(&c.entity_name, &c.hypernym)
                 })
                 .count();
             correct as f64 / o.candidates.len().max(1) as f64

@@ -63,7 +63,11 @@ impl fmt::Display for PipelineReport {
             "    incompatible concepts: -{}",
             self.verification.incompatible_removed
         )?;
-        writeln!(f, "    NER filter:            -{}", self.verification.ner_removed)?;
+        writeln!(
+            f,
+            "    NER filter:            -{}",
+            self.verification.ner_removed
+        )?;
         writeln!(
             f,
             "    syntax rules:          -{} (thematic {}, head-stem {})",
@@ -94,7 +98,8 @@ mod tests {
             tag_candidates: 7,
             ..Default::default()
         };
-        r.stage_timings.push(("context".into(), Duration::from_millis(12)));
+        r.stage_timings
+            .push(("context".into(), Duration::from_millis(12)));
         let text = r.to_string();
         assert!(text.contains("generation module"));
         assert!(text.contains("verification module"));

@@ -128,10 +128,7 @@ pub fn filter(
         .iter()
         .map(|attrs| {
             let n = attrs.len().max(1) as f64;
-            attrs
-                .iter()
-                .map(|a| ((*a).to_string(), 1.0 / n))
-                .collect()
+            attrs.iter().map(|a| ((*a).to_string(), 1.0 / n)).collect()
         })
         .collect();
 
@@ -335,13 +332,11 @@ mod tests {
     /// Small concepts (below min_extent) never participate.
     #[test]
     fn small_concepts_are_exempt() {
-        let pages = vec![
-            cnp_encyclopedia::Page {
-                name: "甲".into(),
-                infobox: vec![InfoboxTriple::new("职业", "演员")],
-                ..Default::default()
-            },
-        ];
+        let pages = vec![cnp_encyclopedia::Page {
+            name: "甲".into(),
+            infobox: vec![InfoboxTriple::new("职业", "演员")],
+            ..Default::default()
+        }];
         let set = CandidateSet::merge(vec![
             Candidate::new(0, "甲", "甲", "", "稀有概念一", Source::Tag, 0.9),
             Candidate::new(0, "甲", "甲", "", "稀有概念二", Source::Tag, 0.9),

@@ -53,7 +53,10 @@ pub struct VerificationReport {
 impl VerificationReport {
     /// Total removals across strategies.
     pub fn total(&self) -> usize {
-        self.incompatible_removed + self.ner_removed + self.thematic_removed + self.head_stem_removed
+        self.incompatible_removed
+            + self.ner_removed
+            + self.thematic_removed
+            + self.head_stem_removed
     }
 }
 
@@ -101,8 +104,14 @@ mod tests {
             let correct = set
                 .items
                 .iter()
-                .filter(|c| corpus.gold.is_correct_entity_isa(&c.entity_key, &c.hypernym)
-                    || corpus.gold.is_correct_concept_isa(&c.entity_name, &c.hypernym))
+                .filter(|c| {
+                    corpus
+                        .gold
+                        .is_correct_entity_isa(&c.entity_key, &c.hypernym)
+                        || corpus
+                            .gold
+                            .is_correct_concept_isa(&c.entity_name, &c.hypernym)
+                })
                 .count();
             correct as f64 / set.len().max(1) as f64
         };
@@ -124,7 +133,13 @@ mod tests {
         let corpus = CorpusGenerator::new(CorpusConfig::tiny(62)).generate();
         let ctx = PipelineContext::build(&corpus, 2);
         let raw = CandidateSet::merge(vec![Candidate::new(
-            0, "某人", "某人", "", "音乐", Source::Tag, 0.9,
+            0,
+            "某人",
+            "某人",
+            "",
+            "音乐",
+            Source::Tag,
+            0.9,
         )]);
         let before = raw.len();
         let (after, report) = verify(raw, &corpus.pages, &ctx, &VerificationConfig::none());

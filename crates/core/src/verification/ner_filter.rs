@@ -112,7 +112,14 @@ mod tests {
 
     #[test]
     fn removes_ne_hypernyms_keeps_concepts() {
-        let corpus = CorpusGenerator::new(CorpusConfig::tiny(41)).generate();
+        // Both NE hypernyms below need corpus support. 美国 occurs in
+        // generated text of any seed; 临江市 only sometimes, so add its
+        // page explicitly rather than depending on the RNG stream.
+        let mut corpus = CorpusGenerator::new(CorpusConfig::tiny(41)).generate();
+        corpus.pages.push(cnp_encyclopedia::Page {
+            name: "临江市".into(),
+            ..Default::default()
+        });
         let ctx = crate::context::PipelineContext::build(&corpus, 2);
         let set = CandidateSet::merge(vec![
             Candidate::new(0, "某人", "某人", "", "美国", Source::Tag, 0.9),
@@ -120,7 +127,10 @@ mod tests {
             Candidate::new(0, "某人", "某人", "", "临江市", Source::Tag, 0.9),
         ]);
         let (filtered, removed) = filter(set, &corpus.pages, &ctx, &NerFilterConfig::default());
-        assert!(removed >= 2, "NE hypernyms should be removed, got {removed}");
+        assert!(
+            removed >= 2,
+            "NE hypernyms should be removed, got {removed}"
+        );
         assert!(filtered.items.iter().any(|c| c.hypernym == "演员"));
         assert!(!filtered.items.iter().any(|c| c.hypernym == "美国"));
     }
@@ -130,7 +140,13 @@ mod tests {
         let corpus = CorpusGenerator::new(CorpusConfig::tiny(42)).generate();
         let ctx = crate::context::PipelineContext::build(&corpus, 2);
         let set = CandidateSet::merge(vec![Candidate::new(
-            0, "某人", "某人", "", "美国", Source::Tag, 0.9,
+            0,
+            "某人",
+            "某人",
+            "",
+            "美国",
+            Source::Tag,
+            0.9,
         )]);
         let (filtered, removed) = filter(
             set,

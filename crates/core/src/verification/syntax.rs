@@ -50,7 +50,10 @@ pub fn filter(
             if cfg.head_stem_rule {
                 // The hyponym is the entity name (word-level containment is
                 // judged on the surface name, as in the paper's example).
-                if ctx.head.violates_head_stem_rule(&c.entity_name, &c.hypernym) {
+                if ctx
+                    .head
+                    .violates_head_stem_rule(&c.entity_name, &c.hypernym)
+                {
                     head_removed += 1;
                     return false;
                 }
@@ -132,7 +135,13 @@ mod tests {
             head_stem_rule: false,
         };
         let set = CandidateSet::merge(vec![Candidate::new(
-            0, "刘德华", "刘德华", "", "音乐", Source::Tag, 0.9,
+            0,
+            "刘德华",
+            "刘德华",
+            "",
+            "音乐",
+            Source::Tag,
+            0.9,
         )]);
         let (filtered, t, h) = filter(set, &ctx, &cfg);
         assert_eq!((t, h), (0, 0));

@@ -142,7 +142,10 @@ pub fn read_pages<R: Read>(r: R) -> Result<Vec<Page>, DumpError> {
         }
     }
     if current.is_some() {
-        return Err(DumpError::Malformed(usize::MAX, "unterminated final record".into()));
+        return Err(DumpError::Malformed(
+            usize::MAX,
+            "unterminated final record".into(),
+        ));
     }
     Ok(pages)
 }
@@ -181,7 +184,7 @@ mod tests {
             ..Default::default()
         };
         let mut buf = Vec::new();
-        write_pages(&[page.clone()], &mut buf).unwrap();
+        write_pages(std::slice::from_ref(&page), &mut buf).unwrap();
         let loaded = read_pages(&buf[..]).unwrap();
         assert_eq!(loaded, vec![page]);
     }

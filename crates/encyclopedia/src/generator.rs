@@ -35,19 +35,28 @@ pub static CITY_MODS: [&str; 4] = ["香港", "台湾", "北京", "上海"];
 /// Junk-predicate name material: PFX × MID ≈ 348 distinct predicates, the
 /// haystack for predicate discovery (paper: 341 candidates).
 static JUNK_PFX: [&str; 12] = [
-    "主要", "相关", "其他", "历任", "曾用", "附属", "特色", "早期", "后期", "官方", "国际",
-    "地方",
+    "主要", "相关", "其他", "历任", "曾用", "附属", "特色", "早期", "后期", "官方", "国际", "地方",
 ];
 static JUNK_MID: [&str; 29] = [
-    "奖项", "称号", "头衔", "标识", "领域", "方向", "项目", "条目", "栏目", "板块", "分区",
-    "系列", "词条", "名录", "要素", "指标", "事件", "活动", "合作", "版本", "评价", "记录",
-    "档案", "阵容", "口号", "代号", "别称", "绰号", "刊物",
+    "奖项", "称号", "头衔", "标识", "领域", "方向", "项目", "条目", "栏目", "板块", "分区", "系列",
+    "词条", "名录", "要素", "指标", "事件", "活动", "合作", "版本", "评价", "记录", "档案", "阵容",
+    "口号", "代号", "别称", "绰号", "刊物",
 ];
 
 /// The 12 isA-bearing predicates (what the paper's manual selection keeps).
 pub static ISA_PREDICATES: [&str; 12] = [
-    "职业", "身份", "职务", "类型", "体裁", "性质", "学校类别", "医院等级", "行政区类别",
-    "分类", "类别", "菜系",
+    "职业",
+    "身份",
+    "职务",
+    "类型",
+    "体裁",
+    "性质",
+    "学校类别",
+    "医院等级",
+    "行政区类别",
+    "分类",
+    "类别",
+    "菜系",
 ];
 
 /// Generation parameters (all rates in `[0, 1]`).
@@ -152,7 +161,10 @@ impl Corpus {
 
     /// Pages whose name equals a gold concept (concept pages).
     pub fn num_concept_pages(&self) -> usize {
-        self.pages.iter().filter(|p| self.gold.is_concept(&p.name)).count()
+        self.pages
+            .iter()
+            .filter(|p| self.gold.is_concept(&p.name))
+            .count()
     }
 
     /// A deterministic page subset (for baselines built from smaller
@@ -352,28 +364,33 @@ impl CorpusGenerator {
         for anc in ontology.ancestors(leaf.name) {
             gold_hypernyms.push(anc.to_string());
         }
-        let second_leaf: Option<&'static ConceptSpec> = if domain == Domain::Person
-            && rng.gen_bool(0.35)
-        {
-            let leaves = ontology.leaves_of(Domain::Person);
-            let other = leaves[rng.gen_range(0..leaves.len())];
-            if other.name != leaf.name {
-                gold_hypernyms.push(other.name.to_string());
-                for anc in ontology.ancestors(other.name) {
-                    gold_hypernyms.push(anc.to_string());
+        let second_leaf: Option<&'static ConceptSpec> =
+            if domain == Domain::Person && rng.gen_bool(0.35) {
+                let leaves = ontology.leaves_of(Domain::Person);
+                let other = leaves[rng.gen_range(0..leaves.len())];
+                if other.name != leaf.name {
+                    gold_hypernyms.push(other.name.to_string());
+                    for anc in ontology.ancestors(other.name) {
+                        gold_hypernyms.push(anc.to_string());
+                    }
+                    Some(other)
+                } else {
+                    None
                 }
-                Some(other)
             } else {
                 None
-            }
-        } else {
-            None
-        };
+            };
 
         // --- bracket ---
         let mut modified_concepts: Vec<(String, String)> = Vec::new(); // (modified, base)
-        let bracket_content =
-            self.bracket_for(rng, domain, leaf, second_leaf, &mut modified_concepts, vocab);
+        let bracket_content = self.bracket_for(
+            rng,
+            domain,
+            leaf,
+            second_leaf,
+            &mut modified_concepts,
+            vocab,
+        );
         for (modified, _) in &modified_concepts {
             gold_hypernyms.push(modified.clone());
         }
@@ -595,7 +612,11 @@ impl CorpusGenerator {
     ) -> Vec<InfoboxTriple> {
         let cfg = &self.config;
         let mut triples = vec![InfoboxTriple::new("中文名", name)];
-        let push_isa = |rng: &mut StdRng, pred: &str, value: &str, triples: &mut Vec<InfoboxTriple>, vocab: &mut HashMap<String, u64>| {
+        let push_isa = |rng: &mut StdRng,
+                        pred: &str,
+                        value: &str,
+                        triples: &mut Vec<InfoboxTriple>,
+                        vocab: &mut HashMap<String, u64>| {
             let noisy = rng.gen_bool(cfg.infobox_noise_rate);
             let v = if noisy {
                 // Wrong value: a thematic word or an unrelated concept.
@@ -618,13 +639,15 @@ impl CorpusGenerator {
             Domain::Person => {
                 let country = names::pick(rng, &COUNTRY_MODS);
                 triples.push(InfoboxTriple::new("国籍", country));
-                triples.push(InfoboxTriple::new(
-                    "出生地",
-                    names::place_name(rng, '市'),
-                ));
+                triples.push(InfoboxTriple::new("出生地", names::place_name(rng, '市')));
                 triples.push(InfoboxTriple::new(
                     "出生日期",
-                    format!("{}年{}月{}日", rng.gen_range(1930..2005), rng.gen_range(1..13), rng.gen_range(1..29)),
+                    format!(
+                        "{}年{}月{}日",
+                        rng.gen_range(1930..2005),
+                        rng.gen_range(1..13),
+                        rng.gen_range(1..29)
+                    ),
                 ));
                 push_isa(rng, "职业", leaf.name, &mut triples, vocab);
                 if rng.gen_bool(0.4) {
@@ -640,11 +663,17 @@ impl CorpusGenerator {
                     names::org_name(rng, Some("大学")),
                 ));
                 triples.push(InfoboxTriple::new("代表作品", names::work_title(rng)));
-                triples.push(InfoboxTriple::new("身高", format!("{}cm", rng.gen_range(150..195))));
+                triples.push(InfoboxTriple::new(
+                    "身高",
+                    format!("{}cm", rng.gen_range(150..195)),
+                ));
             }
             Domain::Work => {
                 push_isa(rng, "类型", leaf.name, &mut triples, vocab);
-                if matches!(leaf.name, "长篇小说" | "短篇小说" | "武侠小说" | "诗集" | "散文集") {
+                if matches!(
+                    leaf.name,
+                    "长篇小说" | "短篇小说" | "武侠小说" | "诗集" | "散文集"
+                ) {
                     push_isa(rng, "体裁", leaf.name, &mut triples, vocab);
                     triples.push(InfoboxTriple::new("作者", names::person_name(rng)));
                     triples.push(InfoboxTriple::new(
@@ -662,7 +691,8 @@ impl CorpusGenerator {
             }
             Domain::Organization => {
                 push_isa(rng, "性质", leaf.name, &mut triples, vocab);
-                if matches!(leaf.name, "综合性大学" | "师范大学" | "理工大学" | "中学") {
+                if matches!(leaf.name, "综合性大学" | "师范大学" | "理工大学" | "中学")
+                {
                     push_isa(rng, "学校类别", leaf.name, &mut triples, vocab);
                 }
                 if leaf.name == "三甲医院" {
@@ -677,7 +707,10 @@ impl CorpusGenerator {
             }
             Domain::Place => {
                 push_isa(rng, "行政区类别", leaf.name, &mut triples, vocab);
-                triples.push(InfoboxTriple::new("所属地区", names::pick(rng, &COUNTRY_MODS)));
+                triples.push(InfoboxTriple::new(
+                    "所属地区",
+                    names::pick(rng, &COUNTRY_MODS),
+                ));
                 triples.push(InfoboxTriple::new(
                     "面积",
                     format!("{}平方公里", rng.gen_range(10..20000)),
@@ -701,12 +734,18 @@ impl CorpusGenerator {
             }
             Domain::Product => {
                 push_isa(rng, "类别", leaf.name, &mut triples, vocab);
-                triples.push(InfoboxTriple::new("品牌", names::pick(rng, &names::BRAND_WORDS)));
+                triples.push(InfoboxTriple::new(
+                    "品牌",
+                    names::pick(rng, &names::BRAND_WORDS),
+                ));
                 triples.push(InfoboxTriple::new(
                     "发布时间",
                     format!("{}年", rng.gen_range(2000..2020)),
                 ));
-                triples.push(InfoboxTriple::new("生产商", names::org_name(rng, Some("有限公司"))));
+                triples.push(InfoboxTriple::new(
+                    "生产商",
+                    names::org_name(rng, Some("有限公司")),
+                ));
             }
             Domain::Food => {
                 push_isa(rng, "菜系", leaf.name, &mut triples, vocab);
@@ -803,7 +842,10 @@ impl CorpusGenerator {
                 if omit {
                     format!("{name}分布于{}一带。", names::place_name(rng, '山'))
                 } else {
-                    format!("{name}是一种{concept_phrase}，分布于{}一带。", names::place_name(rng, '山'))
+                    format!(
+                        "{name}是一种{concept_phrase}，分布于{}一带。",
+                        names::place_name(rng, '山')
+                    )
                 }
             }
             Domain::Product => {
@@ -811,7 +853,10 @@ impl CorpusGenerator {
                 if omit {
                     format!("{name}发布于{year}年。")
                 } else {
-                    format!("{name}是{}发布的{concept_phrase}。", names::org_name(rng, Some("有限公司")))
+                    format!(
+                        "{name}是{}发布的{concept_phrase}。",
+                        names::org_name(rng, Some("有限公司"))
+                    )
                 }
             }
             Domain::Food => {
@@ -877,10 +922,7 @@ mod tests {
         for (name, pages) in by_name {
             if pages.len() > 1 && !c.gold.is_concept(name) {
                 for p in pages {
-                    assert!(
-                        p.bracket.is_some(),
-                        "colliding page {name} lacks a bracket"
-                    );
+                    assert!(p.bracket.is_some(), "colliding page {name} lacks a bracket");
                 }
             }
         }

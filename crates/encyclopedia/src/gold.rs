@@ -88,7 +88,9 @@ impl GoldLabels {
 
     /// Iterates gold concept pairs.
     pub fn concept_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.concept_isa.iter().map(|(a, b)| (a.as_str(), b.as_str()))
+        self.concept_isa
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
     }
 }
 

@@ -12,34 +12,50 @@ use rand::Rng;
 
 /// Two-character brand/org first words (dictionary words, OOV as full names).
 pub static ORG_PREFIX_WORDS: [&str; 24] = [
-    "星辰", "蓝天", "华宇", "金石", "天和", "瑞丰", "东方", "盛世", "云帆", "磐石", "晨曦",
-    "远景", "宏图", "凌云", "海纳", "方舟", "启明", "恒通", "永信", "中坚", "卓越", "腾飞",
-    "万象", "聚力",
+    "星辰", "蓝天", "华宇", "金石", "天和", "瑞丰", "东方", "盛世", "云帆", "磐石", "晨曦", "远景",
+    "宏图", "凌云", "海纳", "方舟", "启明", "恒通", "永信", "中坚", "卓越", "腾飞", "万象", "聚力",
 ];
 
 /// Second words of company-style names (蚂蚁金服's 金服 slot).
 pub static ORG_SECOND_WORDS: [&str; 12] = [
-    "科技", "金服", "传媒", "影业", "网络", "重工", "食品", "医药", "证券", "能源", "教育",
-    "文创",
+    "科技", "金服", "传媒", "影业", "网络", "重工", "食品", "医药", "证券", "能源", "教育", "文创",
 ];
 
 /// Place-name first words.
 pub static PLACE_FIRST_WORDS: [&str; 20] = [
-    "临江", "云梦", "青山", "白沙", "龙泉", "凤凰", "石桥", "柳林", "梅岭", "桃源", "金沙",
-    "银川北", "望海", "长风", "东湖", "南屏", "西岭", "北川南", "中原东", "安宁",
+    "临江",
+    "云梦",
+    "青山",
+    "白沙",
+    "龙泉",
+    "凤凰",
+    "石桥",
+    "柳林",
+    "梅岭",
+    "桃源",
+    "金沙",
+    "银川北",
+    "望海",
+    "长风",
+    "东湖",
+    "南屏",
+    "西岭",
+    "北川南",
+    "中原东",
+    "安宁",
 ];
 
 /// Work-title word pool (titles compose two of these).
 pub static WORK_TITLE_WORDS: [&str; 28] = [
-    "彩云", "流光", "夜雨", "孤城", "归途", "星河", "暗涌", "长歌", "断桥", "晚风", "初雪",
-    "残阳", "碧海", "青衫", "浮生", "惊鸿", "镜花", "疾风", "烈火", "静水", "远山", "旧梦",
-    "春潮", "秋声", "寒霜", "曙光", "迷雾", "无痕",
+    "彩云", "流光", "夜雨", "孤城", "归途", "星河", "暗涌", "长歌", "断桥", "晚风", "初雪", "残阳",
+    "碧海", "青衫", "浮生", "惊鸿", "镜花", "疾风", "烈火", "静水", "远山", "旧梦", "春潮", "秋声",
+    "寒霜", "曙光", "迷雾", "无痕",
 ];
 
 /// Organism name material.
 pub static ORGANISM_FIRST: [&str; 16] = [
-    "赤斑", "青纹", "白腹", "黑背", "金冠", "银鳞", "紫羽", "灰喉", "红嘴", "蓝尾", "斑点",
-    "细叶", "阔叶", "垂枝", "山地", "沼泽",
+    "赤斑", "青纹", "白腹", "黑背", "金冠", "银鳞", "紫羽", "灰喉", "红嘴", "蓝尾", "斑点", "细叶",
+    "阔叶", "垂枝", "山地", "沼泽",
 ];
 
 /// Organism suffixes by kind.
@@ -49,8 +65,7 @@ pub static ORGANISM_SUFFIX: [&str; 12] = [
 
 /// Food name material.
 pub static FOOD_FIRST: [&str; 12] = [
-    "椒麻", "糖醋", "清蒸", "红烧", "干煸", "蒜香", "椰香", "桂花", "陈皮", "豉汁", "酸汤",
-    "香煎",
+    "椒麻", "糖醋", "清蒸", "红烧", "干煸", "蒜香", "椰香", "桂花", "陈皮", "豉汁", "酸汤", "香煎",
 ];
 
 /// Food suffixes.
@@ -64,7 +79,7 @@ pub static BRAND_WORDS: [&str; 10] = [
 ];
 
 /// Uniformly samples one item from a static slice.
-pub fn pick<'a, T: Copy>(rng: &mut StdRng, pool: &'a [T]) -> T {
+pub fn pick<T: Copy>(rng: &mut StdRng, pool: &[T]) -> T {
     pool[rng.gen_range(0..pool.len())]
 }
 

@@ -261,7 +261,9 @@ impl Ontology {
         let mut children = vec![Vec::new(); CONCEPTS.len()];
         for (i, c) in CONCEPTS.iter().enumerate() {
             if let Some(p) = c.parent {
-                let pi = *by_name.get(p).unwrap_or_else(|| panic!("unknown parent {p}"));
+                let pi = *by_name
+                    .get(p)
+                    .unwrap_or_else(|| panic!("unknown parent {p}"));
                 children[pi].push(i);
             }
         }

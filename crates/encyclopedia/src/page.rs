@@ -78,7 +78,12 @@ mod tests {
                 InfoboxTriple::new("职业", "演员"),
                 InfoboxTriple::new("体重", "63KG"),
             ],
-            tags: vec!["人物".into(), "演员".into(), "娱乐人物".into(), "音乐".into()],
+            tags: vec![
+                "人物".into(),
+                "演员".into(),
+                "娱乐人物".into(),
+                "音乐".into(),
+            ],
             aliases: vec!["Andy Lau".into()],
         }
     }

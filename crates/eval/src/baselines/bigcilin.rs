@@ -82,12 +82,8 @@ mod tests {
     fn multi_source_without_verification() {
         let corpus = CorpusGenerator::new(CorpusConfig::tiny(92)).generate();
         let result = build(&corpus, true);
-        let sources: std::collections::HashSet<_> = result
-            .candidates
-            .items
-            .iter()
-            .map(|c| c.source)
-            .collect();
+        let sources: std::collections::HashSet<_> =
+            result.candidates.items.iter().map(|c| c.source).collect();
         assert!(sources.len() >= 3, "expected multiple sources: {sources:?}");
         // Without verification, thematic noise tags survive.
         let has_thematic = result

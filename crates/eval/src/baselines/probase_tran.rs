@@ -163,7 +163,11 @@ mod tests {
             .candidates
             .items
             .iter()
-            .filter(|c| corpus.gold.is_correct_entity_isa(&c.entity_key, &c.hypernym))
+            .filter(|c| {
+                corpus
+                    .gold
+                    .is_correct_entity_isa(&c.entity_key, &c.hypernym)
+            })
             .count();
         let precision = correct as f64 / result.candidates.len().max(1) as f64;
         assert!(

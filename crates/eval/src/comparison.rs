@@ -84,10 +84,7 @@ impl Comparison {
 
 impl fmt::Display for Comparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Table I: Comparisons with other taxonomies"
-        )?;
+        writeln!(f, "Table I: Comparisons with other taxonomies")?;
         writeln!(
             f,
             "{:<22} {:>10} {:>10} {:>12} {:>10}",
@@ -130,7 +127,12 @@ mod tests {
         assert!(cnp.entities > big.entities);
         assert!(big.entities > wiki.entities);
         assert!(cnp.is_a > big.is_a);
-        assert!(cnp.is_a > 10 * wiki.is_a, "CN-P {} vs WikiT {}", cnp.is_a, wiki.is_a);
+        assert!(
+            cnp.is_a > 10 * wiki.is_a,
+            "CN-P {} vs WikiT {}",
+            cnp.is_a,
+            wiki.is_a
+        );
         // Concepts: in the paper CN-Probase has ~4× Bigcilin's concepts;
         // at compressed test scale the gap narrows (both approach the
         // ontology size), so assert non-collapse rather than dominance.
@@ -138,8 +140,17 @@ mod tests {
         assert!(cnp.concepts * 2 >= big.concepts);
 
         // Precision ordering.
-        assert!(cnp.precision > 0.90, "CN-Probase precision {:.3}", cnp.precision);
-        assert!(cnp.precision > big.precision, "cnp {:.3} vs big {:.3}", cnp.precision, big.precision);
+        assert!(
+            cnp.precision > 0.90,
+            "CN-Probase precision {:.3}",
+            cnp.precision
+        );
+        assert!(
+            cnp.precision > big.precision,
+            "cnp {:.3} vs big {:.3}",
+            cnp.precision,
+            big.precision
+        );
         assert!(big.precision > tran.precision + 0.15);
         assert!(tran.precision < 0.70);
         // WikiTaxonomy is at least CN-Probase-level precise.

@@ -301,8 +301,9 @@ impl CopyNet {
             if (id as u32) == UNK || (id as u32) == BOS || id == 0 {
                 continue;
             }
-            *dist.entry(self.vocab.word(id as u32).to_string()).or_insert(0.0) +=
-                (1.0 - g) * p;
+            *dist
+                .entry(self.vocab.word(id as u32).to_string())
+                .or_insert(0.0) += (1.0 - g) * p;
         }
         for (tok, &a) in src_tokens.iter().zip(&alpha) {
             *dist.entry((*tok).to_string()).or_insert(0.0) += g * a;
@@ -311,11 +312,7 @@ impl CopyNet {
         // Deterministic ordering: probability desc, then token asc — exact
         // ties happen (e.g. several UNK source tokens share an embedding)
         // and must not depend on HashMap iteration order.
-        out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap()
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         out
     }
 

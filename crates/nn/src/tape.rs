@@ -16,18 +16,52 @@ pub struct NodeId(pub usize);
 #[derive(Debug, Clone)]
 enum Op {
     Input,
-    EmbedRow { p: ParamId, row: usize },
-    MatVecP { p: ParamId, x: NodeId },
-    AddBias { p: ParamId, x: NodeId },
-    AddVV { a: NodeId, b: NodeId },
-    Hadamard { a: NodeId, b: NodeId },
-    Lerp { z: NodeId, a: NodeId, b: NodeId },
-    TanhV { x: NodeId },
-    SigmoidV { x: NodeId },
-    StackDot { hs: Vec<NodeId>, s: NodeId },
-    SoftmaxV { x: NodeId },
-    WeightedSum { hs: Vec<NodeId>, alpha: NodeId },
-    Concat2 { a: NodeId, b: NodeId },
+    EmbedRow {
+        p: ParamId,
+        row: usize,
+    },
+    MatVecP {
+        p: ParamId,
+        x: NodeId,
+    },
+    AddBias {
+        p: ParamId,
+        x: NodeId,
+    },
+    AddVV {
+        a: NodeId,
+        b: NodeId,
+    },
+    Hadamard {
+        a: NodeId,
+        b: NodeId,
+    },
+    Lerp {
+        z: NodeId,
+        a: NodeId,
+        b: NodeId,
+    },
+    TanhV {
+        x: NodeId,
+    },
+    SigmoidV {
+        x: NodeId,
+    },
+    StackDot {
+        hs: Vec<NodeId>,
+        s: NodeId,
+    },
+    SoftmaxV {
+        x: NodeId,
+    },
+    WeightedSum {
+        hs: Vec<NodeId>,
+        alpha: NodeId,
+    },
+    Concat2 {
+        a: NodeId,
+        b: NodeId,
+    },
     CopyNll {
         logits: NodeId,
         alpha: NodeId,
@@ -155,13 +189,7 @@ impl Tape {
     pub fn stack_dot(&mut self, hs: &[NodeId], s: NodeId) -> NodeId {
         let sv = self.value(s).clone();
         let value = Matrix::from_fn(hs.len(), 1, |i, _| self.value(hs[i]).dot(&sv));
-        self.push(
-            value,
-            Op::StackDot {
-                hs: hs.to_vec(),
-                s,
-            },
-        )
+        self.push(value, Op::StackDot { hs: hs.to_vec(), s })
     }
 
     /// Softmax over a column vector.
@@ -343,13 +371,15 @@ impl Tape {
                 Op::TanhV { x } => {
                     let y = self.nodes[i].value.clone();
                     for r in 0..grad.rows {
-                        self.nodes[x.0].grad.data[r] += grad.data[r] * (1.0 - y.data[r] * y.data[r]);
+                        self.nodes[x.0].grad.data[r] +=
+                            grad.data[r] * (1.0 - y.data[r] * y.data[r]);
                     }
                 }
                 Op::SigmoidV { x } => {
                     let y = self.nodes[i].value.clone();
                     for r in 0..grad.rows {
-                        self.nodes[x.0].grad.data[r] += grad.data[r] * y.data[r] * (1.0 - y.data[r]);
+                        self.nodes[x.0].grad.data[r] +=
+                            grad.data[r] * y.data[r] * (1.0 - y.data[r]);
                     }
                 }
                 Op::StackDot { hs, s } => {
@@ -425,8 +455,7 @@ impl Tape {
                         }
                     }
                     // dP/draw = (C − p_gen[target]) · g(1−g).
-                    self.nodes[gate.0].grad.data[0] +=
-                        dldp * (c - p_gen[target]) * g * (1.0 - g);
+                    self.nodes[gate.0].grad.data[0] += dldp * (c - p_gen[target]) * g * (1.0 - g);
                 }
             }
         }

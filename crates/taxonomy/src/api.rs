@@ -115,16 +115,17 @@ impl ProbaseApi {
         };
         let mut seen: crate::hash::FxHashSet<EntityId> = crate::hash::FxHashSet::default();
         let mut out = Vec::new();
-        let push_all = |cid: ConceptId, seen: &mut crate::hash::FxHashSet<EntityId>, out: &mut Vec<String>| {
-            for &e in self.store.entities_of(cid) {
-                if out.len() >= limit {
-                    return;
+        let push_all =
+            |cid: ConceptId, seen: &mut crate::hash::FxHashSet<EntityId>, out: &mut Vec<String>| {
+                for &e in self.store.entities_of(cid) {
+                    if out.len() >= limit {
+                        return;
+                    }
+                    if seen.insert(e) {
+                        out.push(self.store.entity_key(e));
+                    }
                 }
-                if seen.insert(e) {
-                    out.push(self.store.entity_key(e));
-                }
-            }
-        };
+            };
         push_all(c, &mut seen, &mut out);
         if transitive && out.len() < limit {
             for sub in crate::closure::descendants(&self.store, c) {

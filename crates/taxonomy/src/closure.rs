@@ -81,7 +81,10 @@ pub fn find_cycle(store: &TaxonomyStore) -> Option<Vec<(ConceptId, ConceptId)>> 
                     }
                     Color::Grey => {
                         // Found a back edge: reconstruct the cycle p → … → node → p.
-                        let pos = path.iter().position(|&x| x == p).expect("grey node on path");
+                        let pos = path
+                            .iter()
+                            .position(|&x| x == p)
+                            .expect("grey node on path");
                         let mut edges = Vec::new();
                         for w in path[pos..].windows(2) {
                             edges.push((w[0], w[1]));
@@ -244,7 +247,10 @@ mod tests {
         let first = cache.ancestors(&s, male_actor);
         assert_eq!(first.as_ref(), &[actor, person]);
         let second = cache.ancestors(&s, male_actor);
-        assert!(Arc::ptr_eq(&first, &second), "second call must be a cache hit");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second call must be a cache hit"
+        );
         cache.invalidate();
         let third = cache.ancestors(&s, male_actor);
         assert_eq!(third.as_ref(), first.as_ref());

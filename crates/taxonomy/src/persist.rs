@@ -178,7 +178,9 @@ pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
             let c = get_u32(&mut buf, "edge concept")? as usize;
             let src = get_u8(&mut buf, "edge source")?;
             let conf = get_f32(&mut buf, "edge confidence")?;
-            let &cid = concept_ids.get(c).ok_or(PersistError::BadIndex("edge concept id"))?;
+            let &cid = concept_ids
+                .get(c)
+                .ok_or(PersistError::BadIndex("edge concept id"))?;
             let source = Source::from_u8(src).ok_or(PersistError::BadIndex("edge source tag"))?;
             store.add_entity_is_a(e, cid, IsAMeta::new(source, conf));
         }
@@ -202,7 +204,9 @@ pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
             let p = get_u32(&mut buf, "parent concept")? as usize;
             let src = get_u8(&mut buf, "parent source")?;
             let conf = get_f32(&mut buf, "parent confidence")?;
-            let &pid = concept_ids.get(p).ok_or(PersistError::BadIndex("parent concept id"))?;
+            let &pid = concept_ids
+                .get(p)
+                .ok_or(PersistError::BadIndex("parent concept id"))?;
             let source = Source::from_u8(src).ok_or(PersistError::BadIndex("parent source tag"))?;
             store.add_concept_is_a(c, pid, IsAMeta::new(source, conf));
         }

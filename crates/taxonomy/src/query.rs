@@ -35,7 +35,12 @@ pub fn depth(store: &TaxonomyStore, c: ConceptId) -> usize {
         memo.insert(c, d);
         d
     }
-    walk(store, c, &mut FxHashMap::default(), &mut FxHashSet::default())
+    walk(
+        store,
+        c,
+        &mut FxHashMap::default(),
+        &mut FxHashSet::default(),
+    )
 }
 
 /// Lowest common ancestors of two concepts: the common ancestors (including
@@ -170,7 +175,10 @@ mod tests {
     #[test]
     fn lca_of_professions_is_person() {
         let (s, male_actor, actor, person, singer, city) = fixture();
-        assert_eq!(lowest_common_ancestors(&s, male_actor, singer), vec![person]);
+        assert_eq!(
+            lowest_common_ancestors(&s, male_actor, singer),
+            vec![person]
+        );
         // One concept an ancestor of the other: the ancestor is the LCA.
         assert_eq!(lowest_common_ancestors(&s, male_actor, actor), vec![actor]);
         // Different roots: no common ancestor.

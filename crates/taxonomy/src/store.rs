@@ -205,7 +205,10 @@ impl TaxonomyStore {
 
     /// Entities that participate in at least one isA edge.
     pub fn num_linked_entities(&self) -> usize {
-        self.entity_concepts.iter().filter(|v| !v.is_empty()).count()
+        self.entity_concepts
+            .iter()
+            .filter(|v| !v.is_empty())
+            .count()
     }
 
     /// Iterates all entity ids.

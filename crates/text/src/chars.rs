@@ -18,8 +18,27 @@ pub fn is_han(c: char) -> bool {
 pub fn is_punct(c: char) -> bool {
     matches!(
         c,
-        '，' | '。' | '、' | '；' | '：' | '？' | '！' | '（' | '）' | '《' | '》' | '“'
-            | '”' | '‘' | '’' | '—' | '…' | '·' | '【' | '】' | '「' | '」'
+        '，' | '。'
+            | '、'
+            | '；'
+            | '：'
+            | '？'
+            | '！'
+            | '（'
+            | '）'
+            | '《'
+            | '》'
+            | '“'
+            | '”'
+            | '‘'
+            | '’'
+            | '—'
+            | '…'
+            | '·'
+            | '【'
+            | '】'
+            | '「'
+            | '」'
     ) || c.is_ascii_punctuation()
         || c.is_whitespace()
 }
@@ -105,18 +124,11 @@ pub fn char_len(s: &str) -> usize {
 pub fn char_slice(s: &str, start: usize, end: usize) -> &str {
     assert!(start <= end, "char_slice: start {start} > end {end}");
     let mut iter = s.char_indices();
-    let byte_start = iter
-        .nth(start)
-        .map(|(b, _)| b)
-        .unwrap_or_else(|| s.len());
+    let byte_start = iter.nth(start).map(|(b, _)| b).unwrap_or_else(|| s.len());
     if start == end {
         return &s[byte_start..byte_start];
     }
-    let byte_end = s
-        .char_indices()
-        .nth(end)
-        .map(|(b, _)| b)
-        .unwrap_or(s.len());
+    let byte_end = s.char_indices().nth(end).map(|(b, _)| b).unwrap_or(s.len());
     &s[byte_start..byte_end]
 }
 

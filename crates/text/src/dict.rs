@@ -63,7 +63,11 @@ impl Dictionary {
             Some(old) => {
                 let merged = WordInfo {
                     freq: old.freq + freq,
-                    pos: if old.pos == PosTag::Other { pos } else { old.pos },
+                    pos: if old.pos == PosTag::Other {
+                        pos
+                    } else {
+                        old.pos
+                    },
                 };
                 self.trie.insert(word, merged);
                 self.total += freq;

@@ -78,7 +78,16 @@ impl HmmModel {
         let mut start_c = [1.0f64; N_STATES];
         let mut trans_c = [[0.0f64; N_STATES]; N_STATES];
         // Structural zeros: only BM, BE, MM, ME, EB, ES, SB, SS are legal.
-        for (a, b) in [(B, M), (B, E), (M, M), (M, E), (E, B), (E, S), (S, B), (S, S)] {
+        for (a, b) in [
+            (B, M),
+            (B, E),
+            (M, M),
+            (M, E),
+            (E, B),
+            (E, S),
+            (S, B),
+            (S, S),
+        ] {
             trans_c[a][b] = 1.0;
         }
         let mut emit_c: [HashMap<char, f64>; N_STATES] = Default::default();
@@ -157,16 +166,18 @@ impl HmmModel {
         let n = chars.len();
         let mut dp = vec![[NEG_INF; N_STATES]; n];
         let mut back = vec![[0usize; N_STATES]; n];
-        for st in 0..N_STATES {
-            dp[0][st] = self.start[st] + self.emit_lp(st, chars[0]);
+        for (st, cell) in dp[0].iter_mut().enumerate() {
+            *cell = self.start[st] + self.emit_lp(st, chars[0]);
         }
         for i in 1..n {
             for st in 0..N_STATES {
                 let e = self.emit_lp(st, chars[i]);
                 let mut best = NEG_INF;
                 let mut arg = 0usize;
-                for prev in 0..N_STATES {
-                    let score = dp[i - 1][prev] + self.trans[prev][st];
+                for (prev, (&prev_score, trans_row)) in
+                    dp[i - 1].iter().zip(self.trans.iter()).enumerate()
+                {
+                    let score = prev_score + trans_row[st];
                     if score > best {
                         best = score;
                         arg = prev;
@@ -273,7 +284,11 @@ mod tests {
         let m = HmmModel::train(corpus.iter().map(|s| s.iter().copied()));
         let chars: Vec<char> = "赵小阳".chars().collect();
         let words = m.cut(&chars);
-        assert_eq!(words, vec!["赵小阳"], "trained HMM should keep 3-char names whole");
+        assert_eq!(
+            words,
+            vec!["赵小阳"],
+            "trained HMM should keep 3-char names whole"
+        );
     }
 
     #[test]

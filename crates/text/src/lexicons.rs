@@ -23,68 +23,259 @@ use std::sync::OnceLock;
 /// is a *topic* of an article, not a class its subject belongs to.
 pub static THEMATIC_WORDS: [&str; 184] = [
     // Broad domains (the paper's own examples 政治 / 军事 appear first).
-    "政治", "军事", "经济", "文化", "体育", "娱乐", "科技", "音乐", "历史", "地理",
-    "教育", "艺术", "文学", "社会", "自然", "科学", "宗教", "哲学", "法律", "医学",
+    "政治",
+    "军事",
+    "经济",
+    "文化",
+    "体育",
+    "娱乐",
+    "科技",
+    "音乐",
+    "历史",
+    "地理",
+    "教育",
+    "艺术",
+    "文学",
+    "社会",
+    "自然",
+    "科学",
+    "宗教",
+    "哲学",
+    "法律",
+    "医学",
     // Finance & industry.
-    "财经", "金融", "股票", "投资", "理财", "贸易", "商业", "工业", "农业", "林业",
-    "渔业", "畜牧", "能源", "环保", "环境", "气候", "天文", "气象", "化学", "物理",
+    "财经",
+    "金融",
+    "股票",
+    "投资",
+    "理财",
+    "贸易",
+    "商业",
+    "工业",
+    "农业",
+    "林业",
+    "渔业",
+    "畜牧",
+    "能源",
+    "环保",
+    "环境",
+    "气候",
+    "天文",
+    "气象",
+    "化学",
+    "物理",
     // Sciences & state affairs.
-    "数学", "生物", "地质", "海洋", "航天", "航空", "军工", "国防", "外交", "民族",
-    "人口", "民生", "医疗", "卫生", "健康", "养生", "心理", "情感", "婚恋", "家庭",
+    "数学",
+    "生物",
+    "地质",
+    "海洋",
+    "航天",
+    "航空",
+    "军工",
+    "国防",
+    "外交",
+    "民族",
+    "人口",
+    "民生",
+    "医疗",
+    "卫生",
+    "健康",
+    "养生",
+    "心理",
+    "情感",
+    "婚恋",
+    "家庭",
     // Lifestyle.
-    "美食", "烹饪", "菜谱", "饮食", "旅游", "旅行", "户外", "探险", "时尚", "美容",
-    "美妆", "服饰", "购物", "生活", "休闲", "摄影", "绘画", "书法", "雕塑", "设计",
+    "美食",
+    "烹饪",
+    "菜谱",
+    "饮食",
+    "旅游",
+    "旅行",
+    "户外",
+    "探险",
+    "时尚",
+    "美容",
+    "美妆",
+    "服饰",
+    "购物",
+    "生活",
+    "休闲",
+    "摄影",
+    "绘画",
+    "书法",
+    "雕塑",
+    "设计",
     // Performing arts & recreation.
-    "舞蹈", "戏曲", "曲艺", "相声", "魔术", "杂技", "影视", "综艺", "动漫", "漫画",
-    "电竞", "棋牌", "武术", "健身", "瑜伽", "跑步", "球类", "田径", "游泳", "登山",
+    "舞蹈",
+    "戏曲",
+    "曲艺",
+    "相声",
+    "魔术",
+    "杂技",
+    "影视",
+    "综艺",
+    "动漫",
+    "漫画",
+    "电竞",
+    "棋牌",
+    "武术",
+    "健身",
+    "瑜伽",
+    "跑步",
+    "球类",
+    "田径",
+    "游泳",
+    "登山",
     // Folk culture & language.
-    "民俗", "民间", "传统", "节日", "礼仪", "语言", "文字", "词汇", "语法", "翻译",
+    "民俗",
+    "民间",
+    "传统",
+    "节日",
+    "礼仪",
+    "语言",
+    "文字",
+    "词汇",
+    "语法",
+    "翻译",
     // Media & information technology.
-    "新闻", "传媒", "媒体", "出版", "广播", "网络", "互联网", "通信", "数码", "电子",
-    "编程", "程序", "算法", "数据", "信息", "智能", "自动化", "制造", "机械", "建筑",
+    "新闻",
+    "传媒",
+    "媒体",
+    "出版",
+    "广播",
+    "网络",
+    "互联网",
+    "通信",
+    "数码",
+    "电子",
+    "编程",
+    "程序",
+    "算法",
+    "数据",
+    "信息",
+    "智能",
+    "自动化",
+    "制造",
+    "机械",
+    "建筑",
     // Infrastructure & public sector.
-    "交通", "物流", "运输", "驾驶", "航运", "铁路", "公路", "桥梁", "港口", "水利",
-    "电力", "矿业", "冶金", "纺织", "化工", "医药", "保健", "保险", "税务", "审计",
-    "统计", "管理", "营销", "广告", "公关", "人力", "行政", "司法", "治安", "消防",
-    "救援", "公益", "慈善", "考古", "文物", "收藏", "古玩", "钱币", "邮票", "珠宝",
+    "交通",
+    "物流",
+    "运输",
+    "驾驶",
+    "航运",
+    "铁路",
+    "公路",
+    "桥梁",
+    "港口",
+    "水利",
+    "电力",
+    "矿业",
+    "冶金",
+    "纺织",
+    "化工",
+    "医药",
+    "保健",
+    "保险",
+    "税务",
+    "审计",
+    "统计",
+    "管理",
+    "营销",
+    "广告",
+    "公关",
+    "人力",
+    "行政",
+    "司法",
+    "治安",
+    "消防",
+    "救援",
+    "公益",
+    "慈善",
+    "考古",
+    "文物",
+    "收藏",
+    "古玩",
+    "钱币",
+    "邮票",
+    "珠宝",
     // Hobbies & genres.
-    "玉器", "陶瓷", "家具", "园艺", "花艺", "宠物", "水族", "观鸟", "垂钓", "露营",
-    "骑行", "滑雪", "冲浪", "星座",
+    "玉器",
+    "陶瓷",
+    "家具",
+    "园艺",
+    "花艺",
+    "宠物",
+    "水族",
+    "观鸟",
+    "垂钓",
+    "露营",
+    "骑行",
+    "滑雪",
+    "冲浪",
+    "星座",
 ];
 
 /// Single-character suffixes that mark place named entities (临江市, 云梦县).
 pub static PLACE_SUFFIX_CHARS: [char; 22] = [
-    '省', '市', '县', '区', '镇', '乡', '村', '国', '州', '郡', '山', '河', '江', '湖', '海',
-    '岛', '湾', '峰', '谷', '原', '漠', '洲',
+    '省', '市', '县', '区', '镇', '乡', '村', '国', '州', '郡', '山', '河', '江', '湖', '海', '岛',
+    '湾', '峰', '谷', '原', '漠', '洲',
 ];
 
 /// Multi-character suffixes that mark organization named entities.
 pub static ORG_SUFFIXES: [&str; 30] = [
-    "有限公司", "科技公司", "电影公司", "唱片公司", "公司", "集团", "大学", "学院", "中学",
-    "小学", "银行", "医院", "研究所", "研究院", "博物馆", "图书馆", "出版社", "报社",
-    "电视台", "俱乐部", "乐队", "基金会", "协会", "学会", "委员会", "工作室", "事务所",
-    "剧院", "剧团", "乐团",
+    "有限公司",
+    "科技公司",
+    "电影公司",
+    "唱片公司",
+    "公司",
+    "集团",
+    "大学",
+    "学院",
+    "中学",
+    "小学",
+    "银行",
+    "医院",
+    "研究所",
+    "研究院",
+    "博物馆",
+    "图书馆",
+    "出版社",
+    "报社",
+    "电视台",
+    "俱乐部",
+    "乐队",
+    "基金会",
+    "协会",
+    "学会",
+    "委员会",
+    "工作室",
+    "事务所",
+    "剧院",
+    "剧团",
+    "乐团",
 ];
 
 /// One hundred common Chinese surnames (frequency order, 百家姓 usage data).
 pub static SURNAMES: [&str; 100] = [
-    "王", "李", "张", "刘", "陈", "杨", "黄", "赵", "吴", "周", "徐", "孙", "马", "朱", "胡",
-    "郭", "何", "林", "罗", "高", "郑", "梁", "谢", "宋", "唐", "许", "韩", "冯", "邓", "曹",
-    "彭", "曾", "肖", "田", "董", "潘", "袁", "蔡", "蒋", "余", "于", "杜", "叶", "程", "苏",
-    "魏", "吕", "丁", "任", "沈", "姚", "卢", "姜", "崔", "钟", "谭", "陆", "汪", "范", "金",
-    "石", "廖", "贾", "夏", "韦", "傅", "方", "白", "邹", "孟", "熊", "秦", "邱", "江", "尹",
-    "薛", "闫", "段", "雷", "侯", "龙", "史", "陶", "黎", "贺", "顾", "毛", "郝", "龚", "邵",
-    "万", "钱", "严", "覃", "武", "戴", "莫", "孔", "向", "汤",
+    "王", "李", "张", "刘", "陈", "杨", "黄", "赵", "吴", "周", "徐", "孙", "马", "朱", "胡", "郭",
+    "何", "林", "罗", "高", "郑", "梁", "谢", "宋", "唐", "许", "韩", "冯", "邓", "曹", "彭", "曾",
+    "肖", "田", "董", "潘", "袁", "蔡", "蒋", "余", "于", "杜", "叶", "程", "苏", "魏", "吕", "丁",
+    "任", "沈", "姚", "卢", "姜", "崔", "钟", "谭", "陆", "汪", "范", "金", "石", "廖", "贾", "夏",
+    "韦", "傅", "方", "白", "邹", "孟", "熊", "秦", "邱", "江", "尹", "薛", "闫", "段", "雷", "侯",
+    "龙", "史", "陶", "黎", "贺", "顾", "毛", "郝", "龚", "邵", "万", "钱", "严", "覃", "武", "戴",
+    "莫", "孔", "向", "汤",
 ];
 
 /// Characters commonly used in Chinese given names.
 pub static GIVEN_NAME_CHARS: [&str; 88] = [
-    "伟", "芳", "娜", "敏", "静", "丽", "强", "磊", "军", "洋", "勇", "艳", "杰", "娟", "涛",
-    "明", "超", "秀", "霞", "平", "刚", "桂", "英", "华", "玉", "萍", "红", "玲", "芬", "燕",
-    "彬", "凤", "洁", "梅", "琳", "松", "兰", "竹", "鹏", "飞", "宇", "浩", "轩", "然", "博",
-    "文", "昊", "天", "瑞", "晨", "阳", "佳", "嘉", "俊", "辰", "宁", "宏", "志", "远", "晓",
-    "春", "龙", "海", "山", "仁", "波", "义", "兴", "良", "德", "林", "峰", "国", "庆", "云",
-    "莉", "欣", "怡", "雪", "倩", "楠", "薇", "萌", "丹", "菲", "璐", "桐", "琪",
+    "伟", "芳", "娜", "敏", "静", "丽", "强", "磊", "军", "洋", "勇", "艳", "杰", "娟", "涛", "明",
+    "超", "秀", "霞", "平", "刚", "桂", "英", "华", "玉", "萍", "红", "玲", "芬", "燕", "彬", "凤",
+    "洁", "梅", "琳", "松", "兰", "竹", "鹏", "飞", "宇", "浩", "轩", "然", "博", "文", "昊", "天",
+    "瑞", "晨", "阳", "佳", "嘉", "俊", "辰", "宁", "宏", "志", "远", "晓", "春", "龙", "海", "山",
+    "仁", "波", "义", "兴", "良", "德", "林", "峰", "国", "庆", "云", "莉", "欣", "怡", "雪", "倩",
+    "楠", "薇", "萌", "丹", "菲", "璐", "桐", "琪",
 ];
 
 /// Base segmentation dictionary: `(word, frequency, pos)`.

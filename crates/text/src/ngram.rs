@@ -41,7 +41,10 @@ impl NgramCounter {
 
     /// Adjacent-bigram count of `(a, b)`.
     pub fn bigram(&self, a: &str, b: &str) -> u64 {
-        self.bi.get(&(a.to_string(), b.to_string())).copied().unwrap_or(0)
+        self.bi
+            .get(&(a.to_string(), b.to_string()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total observed unigram tokens.

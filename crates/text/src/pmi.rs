@@ -130,9 +130,8 @@ mod tests {
 
     #[test]
     fn alpha_must_be_positive() {
-        let result = std::panic::catch_unwind(|| {
-            PmiModel::new(NgramCounter::new()).with_alpha(0.0)
-        });
+        let result =
+            std::panic::catch_unwind(|| PmiModel::new(NgramCounter::new()).with_alpha(0.0));
         assert!(result.is_err());
     }
 

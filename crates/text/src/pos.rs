@@ -94,7 +94,9 @@ impl PosTagger {
             return PosTag::PlaceName;
         }
         for suffix in crate::lexicons::ORG_SUFFIXES {
-            if word.ends_with(suffix) && crate::chars::char_len(word) > crate::chars::char_len(suffix) {
+            if word.ends_with(suffix)
+                && crate::chars::char_len(word) > crate::chars::char_len(suffix)
+            {
                 return PosTag::OrgName;
             }
         }

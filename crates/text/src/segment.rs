@@ -237,7 +237,9 @@ mod tests {
         let seg = Segmenter::new(demo_dict());
         let toks = seg.segment("赵小阳是演员");
         assert!(toks.concat() == "赵小阳是演员");
-        assert!(toks.iter().any(|t| t.chars().count() >= 2 && t.contains('赵')));
+        assert!(toks
+            .iter()
+            .any(|t| t.chars().count() >= 2 && t.contains('赵')));
     }
 
     #[test]

@@ -156,9 +156,17 @@ mod tests {
         t.insert("中国人", 3);
         t.insert("国人", 4);
         let chars: Vec<char> = "中国人民".chars().collect();
-        let ends: Vec<usize> = t.prefix_matches(&chars, 0).iter().map(|(e, _)| *e).collect();
+        let ends: Vec<usize> = t
+            .prefix_matches(&chars, 0)
+            .iter()
+            .map(|(e, _)| *e)
+            .collect();
         assert_eq!(ends, vec![1, 2, 3]);
-        let ends1: Vec<usize> = t.prefix_matches(&chars, 1).iter().map(|(e, _)| *e).collect();
+        let ends1: Vec<usize> = t
+            .prefix_matches(&chars, 1)
+            .iter()
+            .map(|(e, _)| *e)
+            .collect();
         assert_eq!(ends1, vec![3]); // 国人
     }
 

@@ -36,7 +36,12 @@ fn main() {
             InfoboxTriple::new("代表作品", "忘情水"),
             InfoboxTriple::new("体重", "63KG"),
         ],
-        tags: vec!["人物".into(), "演员".into(), "娱乐人物".into(), "音乐".into()],
+        tags: vec![
+            "人物".into(),
+            "演员".into(),
+            "娱乐人物".into(),
+            "音乐".into(),
+        ],
         aliases: vec!["Andy Lau".into()],
     };
     println!("================ Figure 1: the paper's example ================");
@@ -56,7 +61,11 @@ fn main() {
         corpus
             .gold
             .hypernyms_of(&generated.key())
-            .map(|s| { let mut v: Vec<_> = s.iter().cloned().collect(); v.sort(); v })
+            .map(|s| {
+                let mut v: Vec<_> = s.iter().cloned().collect();
+                v.sort();
+                v
+            })
             .unwrap_or_default()
     );
 }

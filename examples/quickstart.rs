@@ -27,7 +27,11 @@ fn main() {
         .expect("a resolvable entity exists");
     println!("\nmen2ent({}):", page.name);
     for sense in api.men2ent(&page.name) {
-        println!("  {} -> getConcept: {:?}", sense.key, api.get_concept(sense.id, true));
+        println!(
+            "  {} -> getConcept: {:?}",
+            sense.key,
+            api.get_concept(sense.id, true)
+        );
     }
     let concept = api
         .store()
@@ -35,7 +39,10 @@ fn main() {
         .map(|c| api.store().concept_name(c).to_string())
         .find(|c| !api.get_entity(c, true, 3).is_empty())
         .expect("a populated concept exists");
-    println!("getEntity({concept}, limit 3): {:?}", api.get_entity(&concept, true, 3));
+    println!(
+        "getEntity({concept}, limit 3): {:?}",
+        api.get_entity(&concept, true, 3)
+    );
 
     // 4) Persist and reload a snapshot.
     let path = std::env::temp_dir().join("cn_probase_quickstart.cnpb");

@@ -8,9 +8,9 @@
 //! cargo run --release --example separation_demo
 //! ```
 
+use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 use cn_probase::pipeline::generation::bracket::{SepNode, SeparationAlgorithm};
 use cn_probase::pipeline::PipelineContext;
-use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 
 fn render(node: &SepNode) -> String {
     match node {

@@ -40,9 +40,17 @@ fn bracket_and_tag_are_the_most_precise_sources() {
             .unwrap()
     };
     // Paper: bracket 96.2%, tag 97.4% — our verified sources must clear 90%.
-    assert!(get(Source::Bracket) > 0.90, "bracket {:.3}", get(Source::Bracket));
+    assert!(
+        get(Source::Bracket) > 0.90,
+        "bracket {:.3}",
+        get(Source::Bracket)
+    );
     assert!(get(Source::Tag) > 0.92, "tag {:.3}", get(Source::Tag));
-    assert!(get(Source::Infobox) > 0.85, "infobox {:.3}", get(Source::Infobox));
+    assert!(
+        get(Source::Infobox) > 0.85,
+        "infobox {:.3}",
+        get(Source::Infobox)
+    );
 }
 
 #[test]
@@ -123,7 +131,10 @@ fn verification_trades_little_coverage_for_precision() {
     let unverified = Pipeline::new(PipelineConfig::unverified()).run(&corpus);
     let p_v = eval::estimate(&verified.candidates, &corpus.gold, 2_000, 3).precision();
     let p_u = eval::estimate(&unverified.candidates, &corpus.gold, 2_000, 3).precision();
-    assert!(p_v > p_u, "verification must raise precision ({p_v:.3} vs {p_u:.3})");
+    assert!(
+        p_v > p_u,
+        "verification must raise precision ({p_v:.3} vs {p_u:.3})"
+    );
     // Coverage cost bounded: at least 85% of edges survive.
     assert!(
         verified.candidates.len() * 100 >= unverified.candidates.len() * 85,

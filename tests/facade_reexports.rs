@@ -1,0 +1,48 @@
+//! Workspace-level integration test for the `cn_probase` facade: every
+//! documented re-export must resolve, and the README/lib.rs quickstart must
+//! work exactly as written.
+
+use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
+use cn_probase::pipeline::{Pipeline, PipelineConfig};
+
+/// Each facade module path resolves to the member crate's public API.
+/// A type/function per module keeps this a compile-time check with a
+/// runtime smoke assertion where construction is cheap.
+#[test]
+fn reexported_modules_resolve() {
+    // text → cnp_text
+    let dict = cn_probase::text::Dictionary::base();
+    let seg = cn_probase::text::Segmenter::new(dict);
+    assert!(!seg.words("中国演员").is_empty());
+
+    // nn → cnp_nn
+    let vocab = cn_probase::nn::Vocab::new();
+    assert!(vocab.len() >= 4, "PAD/BOS/EOS/UNK reserved entries");
+
+    // encyclopedia → cnp_encyclopedia
+    let config = cn_probase::encyclopedia::CorpusConfig::tiny(1);
+    let _generator = cn_probase::encyclopedia::CorpusGenerator::new(config);
+
+    // taxonomy → cnp_taxonomy
+    let store = cn_probase::taxonomy::TaxonomyStore::new();
+    assert_eq!(store.num_is_a(), 0);
+    // The submodules integration code depends on must stay public.
+    let empty = cn_probase::taxonomy::persist::encode(&store);
+    assert!(cn_probase::taxonomy::persist::decode(&empty).is_ok());
+
+    // pipeline → cnp_core
+    let _config = cn_probase::pipeline::PipelineConfig::fast();
+
+    // eval → cnp_eval
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(1)).generate();
+    let questions = cn_probase::eval::generate_questions(&corpus, 5, 9);
+    assert_eq!(questions.len(), 5);
+}
+
+/// The quickstart from the facade's crate docs, verbatim.
+#[test]
+fn quickstart_builds_a_nonempty_taxonomy() {
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(7)).generate();
+    let outcome = Pipeline::new(PipelineConfig::fast()).run(&corpus);
+    assert!(outcome.taxonomy.num_is_a() > 0);
+}

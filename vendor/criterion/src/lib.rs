@@ -1,0 +1,231 @@
+//! Offline drop-in for the subset of Criterion.rs this workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}` and
+//! `Bencher::iter`.
+//!
+//! Semantics mirror Criterion where it matters for correctness:
+//!
+//! * invoked by `cargo bench` (cargo passes `--bench`) it warms up, runs
+//!   `sample_size` timed samples per benchmark and reports mean ns/iter;
+//! * invoked any other way (e.g. `cargo test`, which runs bench targets
+//!   with no `--bench` flag) it runs every benchmark exactly once as a
+//!   smoke test, like Criterion's test mode.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (Criterion forwards to
+/// `std::hint::black_box` on modern toolchains too).
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// One iteration per benchmark (`cargo test` smoke run).
+    Test,
+}
+
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    /// Substring filter from `cargo bench <filter>`; `None` runs everything.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Test,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Decide bench vs. test mode and pick up the name filter from the
+    /// process arguments, the same signals real Criterion uses: `cargo
+    /// bench` passes `--bench`, and a positional argument is a substring
+    /// filter on benchmark names.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                self.mode = Mode::Bench;
+            } else if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n-- group: {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(name) {
+            run_one(self.mode, 100, name, f);
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| label.contains(f))
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        if self.criterion.matches(&label) {
+            run_one(self.criterion.mode, self.sample_size, &label, f);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(mode: Mode, sample_size: usize, label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    match mode {
+        Mode::Test => {
+            f(&mut bencher);
+            println!("{label:<50} ok (test mode, 1 iter)");
+        }
+        Mode::Bench => {
+            // Warm-up sample, then timed samples.
+            f(&mut bencher);
+            let mut total = Duration::ZERO;
+            let mut iters = 0u64;
+            for _ in 0..sample_size {
+                f(&mut bencher);
+                total += bencher.elapsed;
+                iters += bencher.iters;
+            }
+            let mean_ns = if iters == 0 {
+                0.0
+            } else {
+                total.as_nanos() as f64 / iters as f64
+            };
+            println!("{label:<50} {mean_ns:>14.1} ns/iter ({iters} iters)");
+        }
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`. In bench mode each call to `iter` is one sample of
+    /// one iteration; the harness aggregates samples into a mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iters = 1;
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// `criterion_group!(name, target_a, target_b, ...)` — the simple form the
+/// workspace uses (no custom `config = ...`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("one", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn name_filter_skips_non_matching_benches() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("fig2".to_string()),
+        };
+        let mut ran = Vec::new();
+        let mut group = c.benchmark_group("fig2_pipeline");
+        group.bench_function("generation", |b| b.iter(|| ran.push("fig2")));
+        group.finish();
+        let mut group = c.benchmark_group("table1");
+        group.bench_function("comparison", |b| b.iter(|| ran.push("table1")));
+        group.finish();
+        assert_eq!(ran, ["fig2"], "only the matching group's bench runs");
+    }
+
+    #[test]
+    fn bench_mode_runs_warmup_plus_samples() {
+        let mut c = Criterion {
+            mode: Mode::Bench,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).bench_function("one", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert_eq!(calls, 6, "1 warm-up + 5 samples");
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline drop-in for `crossbeam::scope`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63). The build environment
+//! has no crates.io access; this wrapper keeps crossbeam's call-site shape
+//! — the spawn closure receives the scope, and both `scope` and `join`
+//! return `thread::Result` — so workspace code is unchanged.
+
+use std::thread;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope so workers can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let reentrant = Scope { inner: self.inner };
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&reentrant)),
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which all spawned threads are joined before return.
+///
+/// Unlike crossbeam this can only report `Ok`: a panic in a thread that the
+/// caller never joins propagates out of `std::thread::scope` as a panic
+/// instead of an `Err`. Workspace call sites join every handle, so the two
+/// behaviours coincide.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_share_borrowed_state_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn joined_panics_surface_as_err() {
+        let caught = super::scope(|scope| scope.spawn(|_| panic!("worker died")).join().is_err())
+            .expect("scope");
+        assert!(caught);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_closure_arg() {
+        let v = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,18 @@
+//! Boolean strategies (`proptest::bool` subset).
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random booleans, matching `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool_even()
+    }
+}

@@ -1,0 +1,42 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use core::ops::Range;
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+
+/// `Vec` strategy: length uniform in `size`, elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(!size.is_empty(), "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_respects_bounds() {
+        let mut rng = TestRng::for_test("vec-bounds");
+        let strat = vec(0u32..5, 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline drop-in for the subset of proptest this workspace's tests use.
+//!
+//! The build environment has no crates.io access, so the real crate cannot
+//! be fetched. This implementation keeps call sites source-compatible:
+//!
+//! * the [`proptest!`] macro (named-argument `arg in strategy` form);
+//! * `prop_assert!` / `prop_assert_eq!`;
+//! * [`Strategy`] with `prop_map`, implemented for integer/float ranges,
+//!   `&str` character-class regexes (`"[一-龥a-z]{1,4}"`), tuples, and
+//!   [`collection::vec`];
+//! * `proptest::bool::ANY`.
+//!
+//! Differences from real proptest, acceptable for this workspace: no
+//! shrinking on failure (the failing input is printed instead) and a fixed
+//! deterministic seed per test derived from the test's module path.
+
+pub mod bool;
+pub mod collection;
+pub mod string;
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: usize = 128;
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree/shrinking; `generate` produces the value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategies pass by reference transparently.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f64, f32);
+
+/// String literals are character-class regex strategies, as in proptest.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Source-compatible with proptest's macro for the `arg in strategy` form.
+/// Each test runs [`CASES`] deterministic random cases; a failing case
+/// panics immediately with the generated inputs visible in the assert
+/// message (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _ in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = crate::test_runner::TestRng::for_test("self");
+        let strat = (0usize..5, 0.0f32..=1.0).prop_map(|(i, f)| i as f32 + f);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((0.0..6.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        /// The macro itself, end to end: doc attrs, multiple args,
+        /// trailing comma, vec-of-tuple strategies.
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec(("[a-c]{1,3}", 0u32..10), 0..8),
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!(xs.len() < 8);
+            for (s, n) in &xs {
+                prop_assert!((1..=3).contains(&s.chars().count()));
+                prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+                prop_assert!(*n < 10);
+            }
+            let _ = flag;
+        }
+    }
+}

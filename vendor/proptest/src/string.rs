@@ -1,0 +1,149 @@
+//! Character-class regex string strategies.
+//!
+//! Real proptest accepts any regex as a `&str` strategy. This workspace
+//! only uses the character-class form `[class]` or `[class]{m,n}` (with
+//! CJK ranges such as `一-龥`), so that is what this parser supports —
+//! anything else panics loudly rather than generating wrong data.
+
+use crate::test_runner::TestRng;
+
+/// A parsed pattern: alternatives of codepoint ranges plus a repetition.
+struct Pattern {
+    /// Inclusive codepoint ranges.
+    ranges: Vec<(u32, u32)>,
+    /// Total number of codepoints across `ranges` (for uniform sampling).
+    total: u64,
+    min_len: usize,
+    max_len: usize,
+}
+
+fn parse(pattern: &str) -> Pattern {
+    let mut chars = pattern.chars().peekable();
+    assert_eq!(
+        chars.next(),
+        Some('['),
+        "unsupported proptest regex {pattern:?}: expected a character class"
+    );
+    let mut class: Vec<char> = Vec::new();
+    for c in chars.by_ref() {
+        if c == ']' {
+            break;
+        }
+        class.push(c);
+    }
+    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` forms a range when '-' sits between two chars.
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            let c = class[i] as u32;
+            ranges.push((c, c));
+            i += 1;
+        }
+    }
+
+    // Optional repetition: `{m,n}` (inclusive) or `{n}`.
+    let rest: String = chars.collect();
+    let (min_len, max_len) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported proptest regex suffix in {pattern:?}"));
+        match inner.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("bad repetition min"),
+                n.trim().parse().expect("bad repetition max"),
+            ),
+            None => {
+                let n = inner.trim().parse().expect("bad repetition count");
+                (n, n)
+            }
+        }
+    };
+    assert!(min_len <= max_len, "inverted repetition in {pattern:?}");
+
+    let total = ranges.iter().map(|&(lo, hi)| u64::from(hi - lo) + 1).sum();
+    Pattern {
+        ranges,
+        total,
+        min_len,
+        max_len,
+    }
+}
+
+fn sample_char(p: &Pattern, rng: &mut TestRng) -> char {
+    let mut idx = rng.gen_range(0..p.total);
+    for &(lo, hi) in &p.ranges {
+        let size = u64::from(hi - lo) + 1;
+        if idx < size {
+            // CJK ranges used here never straddle the surrogate gap, and
+            // out-of-range picks would be a parser bug — fail loudly.
+            return char::from_u32(lo + idx as u32)
+                .expect("character class produced an invalid codepoint");
+        }
+        idx -= size;
+    }
+    unreachable!("sample index exceeded class size")
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let p = parse(pattern);
+    let len = rng.gen_range(p.min_len..=p.max_len);
+    (0..len).map(|_| sample_char(&p, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_char_class() {
+        let mut rng = TestRng::for_test("single");
+        for _ in 0..100 {
+            let s = generate("[a-e]", &mut rng);
+            assert_eq!(s.chars().count(), 1);
+            assert!(('a'..='e').contains(&s.chars().next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn cjk_class_with_repetition() {
+        let mut rng = TestRng::for_test("cjk");
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let s = generate("[一-龥a-z]{0,6}", &mut rng);
+            let n = s.chars().count();
+            lengths.insert(n);
+            assert!(n <= 6);
+            assert!(s
+                .chars()
+                .all(|c| ('一'..='龥').contains(&c) || c.is_ascii_lowercase()));
+        }
+        assert!(lengths.len() > 3, "should exercise several lengths");
+    }
+
+    #[test]
+    fn literal_chars_in_class() {
+        let mut rng = TestRng::for_test("literal");
+        for _ in 0..100 {
+            let s = generate("[（）xy]{2,3}", &mut rng);
+            assert!(s.chars().all(|c| "（）xy".contains(c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported proptest regex")]
+    fn non_class_patterns_are_rejected() {
+        let mut rng = TestRng::for_test("reject");
+        generate("abc+", &mut rng);
+    }
+}

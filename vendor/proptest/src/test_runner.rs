@@ -1,0 +1,26 @@
+//! Deterministic RNG for property tests: seeded from the test's name so
+//! every test exercises a distinct but reproducible stream.
+
+use rand::{Rng as _, SeedableRng, StdRng};
+
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn gen_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.gen_range(range)
+    }
+
+    pub fn gen_bool_even(&mut self) -> bool {
+        self.0.gen_bool(0.5)
+    }
+}

@@ -1,0 +1,57 @@
+//! Slice helpers (`rand::seq` subset).
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_handles_empty_and_full() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+}
