@@ -1,0 +1,232 @@
+//! Mutable-store vs frozen-snapshot serving (Table II read path).
+//!
+//! The deployed system answers 43.9 M `men2ent` and 13.8 M `getConcept`
+//! calls off an immutable snapshot. This bench builds one taxonomy and
+//! serves the same query stream two ways:
+//!
+//! * **mutable** — the build-time `TaxonomyStore`: `Vec<Vec<_>>` adjacency,
+//!   `MentionIndex`, and the mutex-guarded `AncestorCache` for transitive
+//!   hypernyms (the pre-freeze serving path);
+//! * **frozen** — `FrozenTaxonomy`/`ProbaseApi`: CSR adjacency and the
+//!   precomputed ancestor closure, lock-free and `&self`-only.
+//!
+//! A multi-threaded group hammers `men2ent` + `getConcept(transitive)`
+//! from 8 threads to expose the mutex contention the frozen path removes.
+
+use cnp_taxonomy::closure::AncestorCache;
+use cnp_taxonomy::mention::MentionIndex;
+use cnp_taxonomy::{ConceptId, EntityId, ProbaseApi, TaxonomyStore};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The pre-freeze serving path, reconstructed from store-side primitives.
+struct MutablePath {
+    store: TaxonomyStore,
+    mentions: MentionIndex,
+    ancestors: AncestorCache,
+}
+
+impl MutablePath {
+    fn new(mut store: TaxonomyStore) -> Self {
+        let mentions = MentionIndex::build(&mut store);
+        MutablePath {
+            store,
+            mentions,
+            ancestors: AncestorCache::new(),
+        }
+    }
+
+    fn men2ent(&self, mention: &str) -> Vec<EntityId> {
+        self.mentions.men2ent(&self.store, mention)
+    }
+
+    fn get_concept_transitive(&self, entity: EntityId) -> Vec<String> {
+        let mut out: Vec<ConceptId> = Vec::new();
+        for &(c, _) in self.store.concepts_of(entity) {
+            out.push(c);
+        }
+        let direct: Vec<ConceptId> = out.clone();
+        for c in direct {
+            for &a in self.ancestors.ancestors(&self.store, c).iter() {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+        out.into_iter()
+            .map(|c| self.store.concept_name(c).to_string())
+            .collect()
+    }
+}
+
+struct Fixture {
+    mutable: MutablePath,
+    api: ProbaseApi,
+    mentions: Vec<String>,
+    entities: Vec<EntityId>,
+}
+
+fn build_fixture() -> Fixture {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7)).generate();
+    let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
+    let api = ProbaseApi::from_frozen(outcome.freeze());
+    let mutable = MutablePath::new(outcome.taxonomy);
+    let mentions: Vec<String> = corpus
+        .pages
+        .iter()
+        .take(4000)
+        .map(|p| p.name.clone())
+        .collect();
+    let entities: Vec<EntityId> = mentions
+        .iter()
+        .filter_map(|m| api.frozen().men2ent(m).first().copied())
+        .take(1000)
+        .collect();
+    Fixture {
+        mutable,
+        api,
+        mentions,
+        entities,
+    }
+}
+
+/// One-shot wall-clock comparison so the winner is visible without reading
+/// Criterion output: the frozen transitive `getConcept` must beat the
+/// mutex-cached mutable path, single-threaded and under 8-way concurrency.
+fn print_comparison(f: &Fixture) {
+    let reps = 200;
+    let t = Instant::now();
+    for _ in 0..reps {
+        for &e in &f.entities {
+            black_box(f.mutable.get_concept_transitive(e));
+        }
+    }
+    let mutable_t = t.elapsed();
+    let t = Instant::now();
+    for _ in 0..reps {
+        for &e in &f.entities {
+            black_box(f.api.get_concept(e, true));
+        }
+    }
+    let frozen_t = t.elapsed();
+    // 8 threads, the whole entity list each, long enough to amortize spawn.
+    let mt_reps = 50;
+    let t = Instant::now();
+    run_threads(8, || {
+        for _ in 0..mt_reps {
+            for &e in &f.entities {
+                black_box(f.mutable.get_concept_transitive(e));
+            }
+        }
+    });
+    let mutable_mt = t.elapsed();
+    let t = Instant::now();
+    run_threads(8, || {
+        for _ in 0..mt_reps {
+            for &e in &f.entities {
+                black_box(f.api.get_concept(e, true));
+            }
+        }
+    });
+    let frozen_mt = t.elapsed();
+    let speedup = |m: std::time::Duration, fr: std::time::Duration| {
+        m.as_secs_f64() / fr.as_secs_f64().max(1e-12)
+    };
+    println!("\n========= frozen vs mutable: getConcept(transitive) =========");
+    println!(
+        "1 thread : mutable (mutex-cached) {:>10.1?}   frozen (CSR closure) {:>10.1?}   speedup {:.2}x",
+        mutable_t,
+        frozen_t,
+        speedup(mutable_t, frozen_t)
+    );
+    println!(
+        "8 threads: mutable (mutex-cached) {:>10.1?}   frozen (CSR closure) {:>10.1?}   speedup {:.2}x",
+        mutable_mt,
+        frozen_mt,
+        speedup(mutable_mt, frozen_mt)
+    );
+    println!("=============================================================\n");
+}
+
+fn run_threads<F: Fn() + Sync>(threads: usize, work: F) {
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(&work);
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let f = build_fixture();
+    print_comparison(&f);
+
+    let mut group = c.benchmark_group("frozen_api");
+    group.bench_function("men2ent/mutable", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+            black_box(f.mutable.men2ent(black_box(m)))
+        })
+    });
+    group.bench_function("men2ent/frozen", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+            black_box(f.api.frozen().men2ent(black_box(m)))
+        })
+    });
+    group.bench_function("get_concept_transitive/mutable", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let e = f.entities[rng.gen_range(0..f.entities.len())];
+            black_box(f.mutable.get_concept_transitive(e))
+        })
+    });
+    group.bench_function("get_concept_transitive/frozen", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let e = f.entities[rng.gen_range(0..f.entities.len())];
+            black_box(f.api.get_concept(e, true))
+        })
+    });
+    // 8 threads × (men2ent + getConcept(transitive)) over a shared service:
+    // the mutable side serialises on the AncestorCache mutex, the frozen
+    // side never takes a lock.
+    const MT_THREADS: usize = 8;
+    const MT_BATCH: usize = 512;
+    group.sample_size(10);
+    group.bench_function("mt8_men2ent_get_concept/mutable", |b| {
+        b.iter(|| {
+            run_threads(MT_THREADS, || {
+                let mut rng = StdRng::seed_from_u64(3);
+                for _ in 0..MT_BATCH {
+                    let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+                    for id in f.mutable.men2ent(m) {
+                        black_box(f.mutable.get_concept_transitive(id));
+                    }
+                }
+            })
+        })
+    });
+    group.bench_function("mt8_men2ent_get_concept/frozen", |b| {
+        b.iter(|| {
+            run_threads(MT_THREADS, || {
+                let mut rng = StdRng::seed_from_u64(3);
+                for _ in 0..MT_BATCH {
+                    let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+                    for &id in f.api.frozen().men2ent(m) {
+                        black_box(f.api.get_concept(id, true));
+                    }
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

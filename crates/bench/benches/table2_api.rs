@@ -28,10 +28,10 @@ fn build_fixture() -> Fixture {
         .collect();
     let api = cnp_taxonomy::ProbaseApi::new(outcome.taxonomy);
     let concepts: Vec<String> = api
-        .store()
+        .frozen()
         .concept_ids()
         .take(2000)
-        .map(|c| api.store().concept_name(c).to_string())
+        .map(|c| api.frozen().concept_name(c).to_string())
         .collect();
     Fixture {
         api,

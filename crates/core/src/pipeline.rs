@@ -7,7 +7,7 @@ use crate::generation::{self, abstract_gen, infobox, tag};
 use crate::report::PipelineReport;
 use crate::verification::{self, VerificationConfig};
 use cnp_encyclopedia::Corpus;
-use cnp_taxonomy::{IsAMeta, Source, TaxonomyStats, TaxonomyStore};
+use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStats, TaxonomyStore};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -78,6 +78,17 @@ pub struct PipelineOutcome {
     pub report: PipelineReport,
     /// The verified candidates the taxonomy was built from.
     pub candidates: CandidateSet,
+    /// Bracket rightmost-path chains `(sub, sup)` that assembly turned into
+    /// subconcept→concept edges; incremental updates replay them too.
+    pub chains: Vec<(String, String)>,
+}
+
+impl PipelineOutcome {
+    /// Freezes the constructed taxonomy into the read-optimized serving
+    /// snapshot ([`FrozenTaxonomy`]).
+    pub fn freeze(&self) -> FrozenTaxonomy {
+        FrozenTaxonomy::freeze(&self.taxonomy)
+    }
 }
 
 /// The CN-Probase construction pipeline.
@@ -101,6 +112,8 @@ impl Pipeline {
     /// surviving relations into an existing store — the *never-ending
     /// extraction* mode in which the deployed system ingests CN-DBpedia
     /// batches. Returns the construction report and the verified batch.
+    /// After a batch lands, freeze the store ([`FrozenTaxonomy::freeze`])
+    /// to publish a fresh read-optimized serving snapshot.
     pub fn run_into(
         &self,
         corpus: &Corpus,
@@ -108,6 +121,13 @@ impl Pipeline {
     ) -> (PipelineReport, CandidateSet) {
         let outcome = self.run(corpus);
         let mut report = outcome.report;
+        // Concepts the store knew before this batch: chain replay below must
+        // mirror `assemble` (batch hypernyms qualify) plus the never-ending
+        // setting (already-known concepts qualify too), without being
+        // confused by concepts this very replay adds along the way. Concept
+        // ids are append-only, so `index < n_prior_concepts` identifies the
+        // pre-batch ones without materialising their names.
+        let n_prior_concepts = store.num_concepts();
         // Merge: replay candidates against the existing store.
         let concept_names: HashSet<&str> = outcome
             .candidates
@@ -134,6 +154,23 @@ impl Pipeline {
                 for alias in &page.aliases {
                     store.add_alias(e, alias);
                 }
+            }
+        }
+        // Replay the bracket rightmost-path chains exactly like `assemble`
+        // does for a fresh build — dropping them here used to leave the
+        // never-ending mode with a flatter hierarchy than a fresh build on
+        // the same pages.
+        for (sub, sup) in &outcome.chains {
+            let known = |name: &str| {
+                concept_names.contains(name)
+                    || store
+                        .find_concept(name)
+                        .is_some_and(|c| c.index() < n_prior_concepts)
+            };
+            if known(sub) || known(sup) {
+                let sub = store.add_concept(sub);
+                let sup = store.add_concept(sup);
+                store.add_concept_is_a(sub, sup, IsAMeta::new(Source::SubConcept, 0.9));
             }
         }
         report.cycle_edges_removed += cnp_taxonomy::closure::break_cycles(store).len();
@@ -239,6 +276,7 @@ impl Pipeline {
             taxonomy,
             report,
             candidates: verified,
+            chains,
         }
     }
 }
@@ -412,6 +450,34 @@ mod tests {
         assert!(!batch_candidates.is_empty());
         assert_eq!(report.stats, after);
         assert!(cnp_taxonomy::closure::is_dag(&store));
+    }
+
+    /// Regression: `run_into` used to silently drop the bracket
+    /// rightmost-path chains that `assemble` turns into subconcept→concept
+    /// edges, so never-ending extraction grew a flatter hierarchy than a
+    /// fresh build on the same pages.
+    #[test]
+    fn run_into_replays_bracket_chains_like_a_fresh_build() {
+        let batch = CorpusGenerator::new(CorpusConfig::tiny(784)).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let fresh = pipeline.run(&batch);
+        assert!(!fresh.chains.is_empty(), "corpus produced no chains");
+        let mut store = TaxonomyStore::new();
+        let (report, _) = pipeline.run_into(&batch, &mut store);
+        assert_eq!(
+            report.stats.concept_is_a, fresh.report.stats.concept_is_a,
+            "incremental mode must grow the same concept hierarchy"
+        );
+        assert_eq!(report.stats, fresh.report.stats);
+    }
+
+    #[test]
+    fn outcome_freezes_into_equivalent_snapshot() {
+        let (_, outcome) = run_tiny(78);
+        let frozen = outcome.freeze();
+        assert_eq!(frozen.num_entities(), outcome.taxonomy.num_entities());
+        assert_eq!(frozen.num_is_a(), outcome.taxonomy.num_is_a());
+        assert_eq!(frozen.topo_order().len(), outcome.taxonomy.num_concepts());
     }
 
     #[test]

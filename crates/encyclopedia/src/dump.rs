@@ -14,7 +14,7 @@
 //! ```
 //!
 //! Gold labels are *not* part of the dump — like the real dump, it carries
-//! only observable page data. [`write_corpus`]/[`read_pages`] round-trip the
+//! only observable page data. [`write_pages`]/[`read_pages`] round-trip the
 //! page list exactly.
 
 use crate::page::{InfoboxTriple, Page};

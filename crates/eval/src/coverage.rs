@@ -121,7 +121,7 @@ pub fn coverage(api: &ProbaseApi, questions: &[Question]) -> CoverageResult {
             let mut matched_len = 0usize;
             for len in (2..=10usize.min(chars.len() - i)).rev() {
                 let cand: String = chars[i..i + len].iter().collect();
-                if api.store().find_concept(&cand).is_some() {
+                if api.frozen().find_concept(&cand).is_some() {
                     hit = true;
                     matched_len = len;
                     break;

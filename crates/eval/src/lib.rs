@@ -4,7 +4,7 @@
 //!
 //! * [`precision`] — sampled precision (the paper's 2 000-pair protocol)
 //!   with an exact gold judge, plus per-source precision.
-//! * [`coverage`] — the QA coverage experiment (NLPCC-2016-style question
+//! * [`coverage`](mod@coverage) — the QA coverage experiment (NLPCC-2016-style question
 //!   set; covered = question mentions a taxonomy entity or concept).
 //! * [`baselines`] — Chinese WikiTaxonomy, Bigcilin and Probase-Tran.
 //! * [`comparison`] — the Table I four-system comparison.

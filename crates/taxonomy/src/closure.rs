@@ -119,7 +119,9 @@ pub fn break_cycles(store: &mut TaxonomyStore) -> Vec<(ConceptId, ConceptId)> {
             .min_by(|&&(a, b), &&(c, d)| {
                 let ca = edge_confidence(store, a, b);
                 let cb = edge_confidence(store, c, d);
-                ca.partial_cmp(&cb).unwrap()
+                // total_cmp: NaN orders above every number instead of
+                // panicking, so a poisoned confidence loses the tie-break.
+                ca.total_cmp(&cb)
             })
             .expect("cycle is non-empty");
         store.remove_concept_is_a(sub, sup);
@@ -236,6 +238,26 @@ mod tests {
         s.add_concept_is_a(a, b, meta(0.9));
         s.add_concept_is_a(b, a, meta(0.2));
         let removed = break_cycles(&mut s);
+        assert_eq!(removed, vec![(b, a)]);
+        assert!(is_dag(&s));
+    }
+
+    /// Regression: a NaN confidence (possible through the public `IsAMeta`
+    /// fields) used to panic `partial_cmp(..).unwrap()` during cycle repair.
+    #[test]
+    fn break_cycles_survives_nan_confidence() {
+        let mut s = TaxonomyStore::new();
+        let a = s.add_concept("甲");
+        let b = s.add_concept("乙");
+        let nan_meta = IsAMeta {
+            source: Source::SubConcept,
+            confidence: f32::NAN,
+        };
+        s.add_concept_is_a(a, b, nan_meta);
+        s.add_concept_is_a(b, a, meta(0.2));
+        let removed = break_cycles(&mut s);
+        // NaN orders above every number under total_cmp, so the real 0.2
+        // edge is the minimum and gets removed — without a panic.
         assert_eq!(removed, vec![(b, a)]);
         assert!(is_dag(&s));
     }

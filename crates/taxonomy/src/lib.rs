@@ -14,7 +14,13 @@
 //!   bracket-stripped names, aliases).
 //! * [`closure`] — transitive hypernym closure with cycle handling and a
 //!   memoized ancestor cache.
-//! * [`api`] — [`ProbaseApi`], the three-call public interface of Table II.
+//! * [`topo`] — SCC condensation of the concept graph: topological order
+//!   and exact one-pass depths.
+//! * [`frozen`] — [`FrozenTaxonomy`], the immutable CSR-packed serving
+//!   snapshot: freeze a finished store once, then answer every Table II
+//!   query lock-free from flat arrays and a precomputed ancestor closure.
+//! * [`api`] — [`ProbaseApi`], the three-call public interface of Table II,
+//!   served from a frozen snapshot.
 //! * [`query`] — higher-level queries: concept depth, lowest common
 //!   ancestors, siblings, Wu–Palmer similarity, conceptualisation.
 //! * [`persist`] — compact binary snapshots (save/load round-trip).
@@ -22,6 +28,7 @@
 
 pub mod api;
 pub mod closure;
+pub mod frozen;
 pub mod hash;
 pub mod interner;
 pub mod mention;
@@ -29,8 +36,10 @@ pub mod persist;
 pub mod query;
 pub mod stats;
 pub mod store;
+pub mod topo;
 
 pub use api::ProbaseApi;
+pub use frozen::FrozenTaxonomy;
 pub use interner::{Interner, Symbol};
 pub use stats::TaxonomyStats;
 pub use store::{ConceptId, EntityId, IsAMeta, Source, TaxonomyStore};

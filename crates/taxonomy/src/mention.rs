@@ -11,6 +11,14 @@ use crate::hash::FxHashMap;
 use crate::interner::Symbol;
 use crate::store::{EntityId, TaxonomyStore};
 
+/// True when a mention carries a `（…）` disambiguation — the only form a
+/// full key can take. Shared by the build-time [`MentionIndex`] and the
+/// frozen snapshot so the two `men2ent` paths can never disagree on when
+/// the full-key table applies.
+pub(crate) fn has_disambig(mention: &str) -> bool {
+    mention.contains('（')
+}
+
 /// Immutable mention index built from a store snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct MentionIndex {
@@ -30,7 +38,12 @@ impl MentionIndex {
             for &alias in store.aliases_of(id).to_vec().iter() {
                 by_mention.entry(alias).or_default().push(id);
             }
-            full_keys.insert(store.entity_key(id), id);
+            // Only disambiguated senses get a full-key entry: a bracket-less
+            // sense has `entity_key == name`, and registering that as a full
+            // key would shadow every disambiguated sibling sense.
+            if rec.disambig != crate::interner::Symbol(0) {
+                full_keys.insert(store.entity_key(id), id);
+            }
         }
         for v in by_mention.values_mut() {
             v.sort_unstable();
@@ -45,10 +58,14 @@ impl MentionIndex {
     /// Resolves a mention to candidate entities (the `men2ent` API).
     ///
     /// A full disambiguated key resolves to exactly its sense; a bare name
-    /// or alias resolves to every matching sense.
+    /// or alias resolves to every matching sense. The full-key table is
+    /// only consulted when the mention carries a `（…）` disambiguation, so
+    /// a bracket-less sense never shadows its disambiguated siblings.
     pub fn men2ent(&self, store: &TaxonomyStore, mention: &str) -> Vec<EntityId> {
-        if let Some(&id) = self.full_keys.get(mention) {
-            return vec![id];
+        if has_disambig(mention) {
+            if let Some(&id) = self.full_keys.get(mention) {
+                return vec![id];
+            }
         }
         let Some(sym) = store.interner().get(mention) else {
             return Vec::new();
@@ -103,6 +120,23 @@ mod tests {
     fn unknown_mention_is_empty() {
         let (s, _, _, idx) = store_with_senses();
         assert!(idx.men2ent(&s, "不存在").is_empty());
+    }
+
+    /// Regression: a bracket-less sense has `entity_key == name`; looking
+    /// the bare name up through the full-key table used to return only
+    /// that sense and hide every disambiguated sibling.
+    #[test]
+    fn bare_sense_does_not_shadow_disambiguated_senses() {
+        let mut s = TaxonomyStore::new();
+        let bare = s.add_entity("刘德华", None);
+        let actor = s.add_entity("刘德华", Some("中国香港男演员"));
+        let idx = MentionIndex::build(&mut s);
+        let hits = idx.men2ent(&s, "刘德华");
+        assert_eq!(hits.len(), 2, "bare mention must surface every sense");
+        assert!(hits.contains(&bare));
+        assert!(hits.contains(&actor));
+        // The full key still resolves to exactly its sense.
+        assert_eq!(idx.men2ent(&s, "刘德华（中国香港男演员）"), vec![actor]);
     }
 
     #[test]

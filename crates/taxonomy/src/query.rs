@@ -4,68 +4,70 @@
 //! classification (paper §V), which need more than raw edge lookups:
 //! concept depth, lowest common ancestors, siblings and path-based concept
 //! similarity (Wu–Palmer). All queries are read-only and cycle-safe.
+//!
+//! Depths are computed through the SCC condensation of the parent graph
+//! ([`crate::topo`]) — exact longest-chain values on the post-
+//! [`crate::closure::break_cycles`] DAG, with any remaining cycle collapsed
+//! to a single component instead of being silently truncated (the previous
+//! per-call memoized DFS could cache cycle-truncated values and overcount
+//! back edges). Each call here recomputes the depth array in one `O(V + E)`
+//! pass; hot serving paths should use the precomputed
+//! [`crate::frozen::FrozenTaxonomy`] instead.
 
 use crate::closure::ancestors;
-use crate::hash::{FxHashMap, FxHashSet};
+use crate::hash::FxHashSet;
 use crate::store::{ConceptId, TaxonomyStore};
+use crate::topo::Condensation;
+
+/// Exact depth of every concept in one pass: longest parent-chain length
+/// to a root (0 for roots), cycles collapsed to their component.
+pub fn depths(store: &TaxonomyStore) -> Vec<u32> {
+    Condensation::of(store).depths(store)
+}
 
 /// Depth of a concept: longest parent-chain length to a root (0 for roots).
 ///
-/// Cycle-safe: edges on cycles are ignored past the first visit.
+/// Computes the full [`depths`] array; batch callers should call that once.
 pub fn depth(store: &TaxonomyStore, c: ConceptId) -> usize {
-    fn walk(
-        store: &TaxonomyStore,
-        c: ConceptId,
-        memo: &mut FxHashMap<ConceptId, usize>,
-        on_path: &mut FxHashSet<ConceptId>,
-    ) -> usize {
-        if let Some(&d) = memo.get(&c) {
-            return d;
-        }
-        if !on_path.insert(c) {
-            return 0; // cycle guard
-        }
-        let d = store
-            .parents_of(c)
-            .iter()
-            .map(|&(p, _)| walk(store, p, memo, on_path) + 1)
-            .max()
-            .unwrap_or(0);
-        on_path.remove(&c);
-        memo.insert(c, d);
-        d
-    }
-    walk(
-        store,
-        c,
-        &mut FxHashMap::default(),
-        &mut FxHashSet::default(),
-    )
+    depths(store)[c.index()] as usize
+}
+
+/// Common ancestors of two concepts, including the concepts themselves.
+fn common_ancestors(store: &TaxonomyStore, a: ConceptId, b: ConceptId) -> Vec<ConceptId> {
+    let mut up_a: FxHashSet<ConceptId> = ancestors(store, a).into_iter().collect();
+    up_a.insert(a);
+    let mut up_b: FxHashSet<ConceptId> = ancestors(store, b).into_iter().collect();
+    up_b.insert(b);
+    up_a.intersection(&up_b).copied().collect()
+}
+
+/// The deepest concepts of `common`, sorted by id.
+fn deepest(common: Vec<ConceptId>, depth_of: &[u32]) -> Vec<ConceptId> {
+    let Some(max_depth) = common.iter().map(|&c| depth_of[c.index()]).max() else {
+        return Vec::new();
+    };
+    let mut out: Vec<ConceptId> = common
+        .into_iter()
+        .filter(|&c| depth_of[c.index()] == max_depth)
+        .collect();
+    out.sort_unstable();
+    out
 }
 
 /// Lowest common ancestors of two concepts: the common ancestors (including
 /// the concepts themselves) of maximal depth. Empty when the concepts share
-/// no root.
+/// no root. Depths come from a single exact pass, not one recomputation per
+/// candidate.
 pub fn lowest_common_ancestors(
     store: &TaxonomyStore,
     a: ConceptId,
     b: ConceptId,
 ) -> Vec<ConceptId> {
-    let mut up_a: FxHashSet<ConceptId> = ancestors(store, a).into_iter().collect();
-    up_a.insert(a);
-    let mut up_b: FxHashSet<ConceptId> = ancestors(store, b).into_iter().collect();
-    up_b.insert(b);
-    let common: Vec<ConceptId> = up_a.intersection(&up_b).copied().collect();
+    let common = common_ancestors(store, a, b);
     if common.is_empty() {
         return Vec::new();
     }
-    let max_depth = common.iter().map(|&c| depth(store, c)).max().unwrap();
-    let mut out: Vec<ConceptId> = common
-        .into_iter()
-        .filter(|&c| depth(store, c) == max_depth)
-        .collect();
-    out.sort_unstable();
-    out
+    deepest(common, &depths(store))
 }
 
 /// Sibling concepts: other children of `c`'s parents.
@@ -90,13 +92,17 @@ pub fn wu_palmer(store: &TaxonomyStore, a: ConceptId, b: ConceptId) -> f64 {
     if a == b {
         return 1.0;
     }
-    let lcas = lowest_common_ancestors(store, a, b);
-    let Some(&lca) = lcas.first() else {
+    let common = common_ancestors(store, a, b);
+    if common.is_empty() {
         return 0.0;
-    };
-    let dl = depth(store, lca) as f64 + 1.0;
-    let da = depth(store, a) as f64 + 1.0;
-    let db = depth(store, b) as f64 + 1.0;
+    }
+    // One depth pass serves both the LCA selection and the formula.
+    let depth_of = depths(store);
+    let lcas = deepest(common, &depth_of);
+    let lca = lcas[0];
+    let dl = depth_of[lca.index()] as f64 + 1.0;
+    let da = depth_of[a.index()] as f64 + 1.0;
+    let db = depth_of[b.index()] as f64 + 1.0;
     (2.0 * dl / (da + db)).clamp(0.0, 1.0)
 }
 
@@ -227,10 +233,42 @@ mod tests {
     #[test]
     fn depth_survives_cycles() {
         let (mut s, male_actor, actor, person, _, _) = fixture();
-        // Introduce a cycle 人物 → 男演员.
+        // Introduce a cycle 人物 → 男演员: the whole chain collapses into
+        // one root component, so every member has depth 0; repairing the
+        // cycle restores the exact chain depths.
         s.add_concept_is_a(person, male_actor, IsAMeta::new(Source::SubConcept, 0.1));
-        // Must terminate and still give a sane depth for 演员.
-        let d = depth(&s, actor);
-        assert!(d >= 1);
+        assert_eq!(depth(&s, actor), 0);
+        let removed = crate::closure::break_cycles(&mut s);
+        assert_eq!(removed, vec![(person, male_actor)]);
+        assert_eq!(depth(&s, actor), 1);
+        assert_eq!(depth(&s, male_actor), 2);
+    }
+
+    /// Regression: the old per-call memoized DFS cached cycle-truncated
+    /// values. With 起点 → {甲, 丙}, the noise cycle 甲 ⇄ 乙 and 丙 → 乙,
+    /// the DFS walked 起点 → 甲 → 乙 → (甲 on path, guard fires) and
+    /// memoized depth(乙) = 1 — counting the back edge 乙 → 甲 as a real
+    /// step — giving depth(起点) = 3. Exact semantics collapse the cycle:
+    /// depth(起点) = 2, the same answer break_cycles + exact depth give.
+    #[test]
+    fn depth_does_not_count_cycle_back_edges() {
+        let mut s = TaxonomyStore::new();
+        let start = s.add_concept("起点");
+        let jia = s.add_concept("甲");
+        let yi = s.add_concept("乙");
+        let bing = s.add_concept("丙");
+        let m = |c: f32| IsAMeta::new(Source::SubConcept, c);
+        s.add_concept_is_a(start, jia, m(0.9));
+        s.add_concept_is_a(start, bing, m(0.9));
+        s.add_concept_is_a(jia, yi, m(0.9));
+        s.add_concept_is_a(yi, jia, m(0.1)); // extraction-noise back edge
+        s.add_concept_is_a(bing, yi, m(0.9));
+        assert_eq!(depth(&s, start), 2);
+        // And the answer is stable across cycle repair.
+        let removed = crate::closure::break_cycles(&mut s);
+        assert_eq!(removed, vec![(yi, jia)]);
+        assert_eq!(depth(&s, start), 2);
+        assert_eq!(depth(&s, yi), 0);
+        assert_eq!(depth(&s, jia), 1);
     }
 }

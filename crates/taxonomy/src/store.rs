@@ -68,8 +68,15 @@ pub struct IsAMeta {
 }
 
 impl IsAMeta {
-    /// Convenience constructor.
+    /// Convenience constructor. The confidence is clamped into `[0, 1]`;
+    /// a NaN collapses to `0.0` so it can never poison the ordering used
+    /// by dedup and cycle repair.
     pub fn new(source: Source, confidence: f32) -> Self {
+        let confidence = if confidence.is_nan() {
+            0.0
+        } else {
+            confidence.clamp(0.0, 1.0)
+        };
         IsAMeta { source, confidence }
     }
 }
@@ -550,6 +557,14 @@ mod tests {
         s.add_alias(e, "别名");
         assert_eq!(s.attributes_of(e).len(), 1);
         assert_eq!(s.aliases_of(e).len(), 1);
+    }
+
+    #[test]
+    fn is_a_meta_clamps_confidence_and_absorbs_nan() {
+        assert_eq!(IsAMeta::new(Source::Tag, f32::NAN).confidence, 0.0);
+        assert_eq!(IsAMeta::new(Source::Tag, 1.5).confidence, 1.0);
+        assert_eq!(IsAMeta::new(Source::Tag, -0.5).confidence, 0.0);
+        assert_eq!(IsAMeta::new(Source::Tag, 0.7).confidence, 0.7);
     }
 
     #[test]

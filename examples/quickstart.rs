@@ -18,7 +18,12 @@ fn main() {
     let outcome = Pipeline::new(PipelineConfig::fast()).run(&corpus);
     println!("{}", TaxonomyStats::of(&outcome.taxonomy));
 
-    // 3) Query the three public APIs of Table II.
+    // 3) Persist the build store, then freeze it for serving: the mutable
+    //    store is the write side, the frozen snapshot the read side.
+    let path = std::env::temp_dir().join("cn_probase_quickstart.cnpb");
+    persist::save_to_file(&outcome.taxonomy, &path).expect("save snapshot");
+
+    // 4) Query the three public APIs of Table II off the frozen snapshot.
     let api = ProbaseApi::new(outcome.taxonomy);
     let page = corpus
         .pages
@@ -34,9 +39,9 @@ fn main() {
         );
     }
     let concept = api
-        .store()
+        .frozen()
         .concept_ids()
-        .map(|c| api.store().concept_name(c).to_string())
+        .map(|c| api.frozen().concept_name(c).to_string())
         .find(|c| !api.get_entity(c, true, 3).is_empty())
         .expect("a populated concept exists");
     println!(
@@ -44,9 +49,7 @@ fn main() {
         api.get_entity(&concept, true, 3)
     );
 
-    // 4) Persist and reload a snapshot.
-    let path = std::env::temp_dir().join("cn_probase_quickstart.cnpb");
-    persist::save_to_file(api.store(), &path).expect("save snapshot");
+    // 5) Reload the persisted snapshot.
     let reloaded = persist::load_from_file(&path).expect("load snapshot");
     println!(
         "\nsnapshot round-trip: {} bytes, {} isA relations preserved",

@@ -35,3 +35,8 @@ pub use cnp_eval as eval;
 pub use cnp_nn as nn;
 pub use cnp_taxonomy as taxonomy;
 pub use cnp_text as text;
+
+// The headline serving types, re-exported at the crate root: build a
+// taxonomy with [`pipeline`], freeze it into a [`FrozenTaxonomy`] and serve
+// the Table II APIs through [`ProbaseApi`] from any number of threads.
+pub use cnp_taxonomy::{FrozenTaxonomy, ProbaseApi};

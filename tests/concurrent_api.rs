@@ -1,0 +1,108 @@
+//! Lock-free serving under concurrency: a shared [`ProbaseApi`] hammered
+//! from 8 threads must return exactly the single-threaded answers.
+//!
+//! The frozen snapshot has no interior mutability (the old serving path
+//! memoized ancestors behind a mutex), so the only thing threads share is
+//! immutable data — this test locks that claim in, via both
+//! `std::thread::scope` and the vendored `crossbeam::scope`.
+
+use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
+use cn_probase::pipeline::{Pipeline, PipelineConfig};
+use cn_probase::ProbaseApi;
+
+const THREADS: usize = 8;
+
+struct Golden {
+    api: ProbaseApi,
+    mentions: Vec<String>,
+    concepts: Vec<String>,
+    /// Per-mention single-threaded answers: senses and transitive concepts.
+    men2ent: Vec<Vec<String>>,
+    get_concept: Vec<Vec<String>>,
+    /// Per-concept single-threaded `getEntity` answers.
+    get_entity: Vec<Vec<String>>,
+}
+
+fn build_golden() -> Golden {
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(9)).generate();
+    let outcome = Pipeline::new(PipelineConfig::fast()).run(&corpus);
+    let api = ProbaseApi::from_frozen(outcome.freeze());
+    let mentions: Vec<String> = corpus.pages.iter().map(|p| p.name.clone()).collect();
+    let concepts: Vec<String> = api
+        .frozen()
+        .concept_ids()
+        .map(|c| api.frozen().concept_name(c).to_string())
+        .collect();
+    let men2ent = mentions
+        .iter()
+        .map(|m| api.men2ent(m).into_iter().map(|s| s.key).collect())
+        .collect();
+    let get_concept = mentions
+        .iter()
+        .map(|m| api.get_concept_by_mention(m, true))
+        .collect();
+    let get_entity = concepts
+        .iter()
+        .map(|c| api.get_entity(c, true, 50))
+        .collect();
+    Golden {
+        api,
+        mentions,
+        concepts,
+        men2ent,
+        get_concept,
+        get_entity,
+    }
+}
+
+/// One worker pass over every query, asserting against the golden answers.
+/// Offsetting the start index per thread makes the threads interleave
+/// different queries instead of marching in lockstep.
+fn hammer(g: &Golden, offset: usize) {
+    let n = g.mentions.len();
+    for i in 0..n {
+        let i = (i + offset) % n;
+        let m = &g.mentions[i];
+        let senses: Vec<String> = g.api.men2ent(m).into_iter().map(|s| s.key).collect();
+        assert_eq!(senses, g.men2ent[i], "men2ent({m}) diverged across threads");
+        assert_eq!(
+            g.api.get_concept_by_mention(m, true),
+            g.get_concept[i],
+            "getConcept({m}) diverged across threads"
+        );
+    }
+    let nc = g.concepts.len();
+    for j in 0..nc {
+        let j = (j + offset) % nc;
+        assert_eq!(
+            g.api.get_entity(&g.concepts[j], true, 50),
+            g.get_entity[j],
+            "getEntity({}) diverged across threads",
+            g.concepts[j]
+        );
+    }
+}
+
+#[test]
+fn eight_std_threads_match_single_threaded_answers() {
+    let g = build_golden();
+    assert!(g.mentions.len() > 100 && g.concepts.len() > 20);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let g = &g;
+            s.spawn(move || hammer(g, t * 37));
+        }
+    });
+}
+
+#[test]
+fn crossbeam_scope_workers_match_single_threaded_answers() {
+    let g = build_golden();
+    crossbeam::scope(|scope| {
+        for t in 0..THREADS {
+            let g = &g;
+            scope.spawn(move |_| hammer(g, t * 53));
+        }
+    })
+    .expect("no worker panicked");
+}

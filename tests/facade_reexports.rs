@@ -29,6 +29,11 @@ fn reexported_modules_resolve() {
     // The submodules integration code depends on must stay public.
     let empty = cn_probase::taxonomy::persist::encode(&store);
     assert!(cn_probase::taxonomy::persist::decode(&empty).is_ok());
+    // The serving types are re-exported at the crate root.
+    let frozen: cn_probase::FrozenTaxonomy = cn_probase::taxonomy::FrozenTaxonomy::freeze(&store);
+    assert_eq!(frozen.num_is_a(), 0);
+    let api = cn_probase::ProbaseApi::from_frozen(frozen);
+    assert!(api.men2ent("刘德华").is_empty());
 
     // pipeline → cnp_core
     let _config = cn_probase::pipeline::PipelineConfig::fast();
