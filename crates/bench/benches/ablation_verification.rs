@@ -60,6 +60,7 @@ fn bench(c: &mut Criterion) {
     let tiny =
         cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(6)).generate();
     let ctx = cnp_core::PipelineContext::build(&tiny, 4);
+    let rt = cnp_runtime::Runtime::new(4);
     let raw = Pipeline::new(PipelineConfig::unverified()).run(&tiny);
     let mut group = c.benchmark_group("verification");
     group.sample_size(20);
@@ -71,7 +72,7 @@ fn bench(c: &mut Criterion) {
                     items: raw.candidates.items.clone(),
                 };
                 let (out, report) =
-                    cnp_core::verification::verify(set, black_box(&tiny.pages), &ctx, &cfg);
+                    cnp_core::verification::verify(set, black_box(&tiny.pages), &ctx, &cfg, &rt);
                 black_box((out.len(), report.total()))
             })
         });

@@ -47,6 +47,7 @@ fn print_per_source() {
 
 fn bench(c: &mut Criterion) {
     print_per_source();
+    let rt = cnp_runtime::Runtime::new(4);
     let corpus =
         cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::tiny(4)).generate();
     let ctx = cnp_core::PipelineContext::build(&corpus, 4);
@@ -56,15 +57,17 @@ fn bench(c: &mut Criterion) {
     group.bench_function("bracket_separation_all_pages", |b| {
         b.iter(|| {
             let (cands, chains) =
-                cnp_core::generation::extract_bracket(black_box(&corpus.pages), &ctx, 4);
+                cnp_core::generation::extract_bracket(black_box(&corpus.pages), &ctx, &rt);
             black_box((cands.len(), chains.len()))
         })
     });
     group.bench_function("tag_direct_all_pages", |b| {
-        b.iter(|| black_box(cnp_core::generation::tag::extract(black_box(&corpus.pages)).len()))
+        b.iter(|| {
+            black_box(cnp_core::generation::tag::extract(black_box(&corpus.pages), &rt).len())
+        })
     });
     group.bench_function("infobox_discovery_and_extract", |b| {
-        let (bracket_cands, _) = cnp_core::generation::extract_bracket(&corpus.pages, &ctx, 4);
+        let (bracket_cands, _) = cnp_core::generation::extract_bracket(&corpus.pages, &ctx, &rt);
         let prior = cnp_core::generation::bracket_pairs_by_entity(&bracket_cands);
         b.iter(|| {
             let d = cnp_core::generation::infobox::discover_predicates(
@@ -72,8 +75,9 @@ fn bench(c: &mut Criterion) {
                 &prior,
                 12,
                 5,
+                &rt,
             );
-            black_box(cnp_core::generation::infobox::extract(&corpus.pages, &d.selected).len())
+            black_box(cnp_core::generation::infobox::extract(&corpus.pages, &d.selected, &rt).len())
         })
     });
     group.finish();

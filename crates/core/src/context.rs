@@ -1,12 +1,15 @@
 //! Pipeline context: corpus-wide statistics every stage shares.
 //!
-//! Built once per corpus, in parallel over page chunks (crossbeam scoped
-//! threads): the segmenter (base dictionary + corpus vocabulary + HMM
-//! trained on the corpus's own segmentations), the PMI model that drives
-//! the separation algorithm, NE statistics for verification strategy B,
-//! and the lexical-head analyzer for the syntax rules.
+//! Built once per corpus, in parallel over page chunks on the shared
+//! [`cnp_runtime::Runtime`]: the segmenter (base dictionary + corpus
+//! vocabulary + HMM trained on the corpus's own segmentations), the PMI
+//! model that drives the separation algorithm, NE statistics for
+//! verification strategy B, and the lexical-head analyzer for the syntax
+//! rules. Per-chunk statistics are reduced in chunk order, so the built
+//! context is identical at every thread count.
 
 use cnp_encyclopedia::Corpus;
+use cnp_runtime::Runtime;
 use cnp_text::{
     dict::Dictionary,
     head::HeadAnalyzer,
@@ -35,9 +38,25 @@ pub struct PipelineContext {
     pub pos: PosTagger,
 }
 
+/// Sentences kept for HMM training (distant supervision over our own
+/// segmentations; more adds training time without adding signal).
+const HMM_SENTENCE_CAP: usize = 2_000;
+
+/// Only pages below this index contribute HMM sentences. The bound is a
+/// property of the *corpus position*, not of the chunking, so the harvested
+/// sentence list — and therefore the trained HMM — is identical at every
+/// thread count.
+const HMM_PAGE_CAP: usize = 2_000;
+
 impl PipelineContext {
     /// Builds the context from a corpus using `threads` worker threads.
+    /// The result is independent of `threads`.
     pub fn build(corpus: &Corpus, threads: usize) -> Self {
+        Self::build_with(corpus, &Runtime::new(threads))
+    }
+
+    /// Builds the context on an existing [`Runtime`].
+    pub fn build_with(corpus: &Corpus, rt: &Runtime) -> Self {
         // Dictionary: base vocabulary + corpus-derived words.
         let mut dict = Dictionary::base();
         for (word, freq, pos) in corpus.dictionary() {
@@ -46,54 +65,51 @@ impl PipelineContext {
         let bootstrap = Segmenter::new(dict.clone());
 
         // Parallel pass: segment all page text, counting n-grams and NE
-        // occurrences per chunk, then merge.
-        let threads = threads.max(1);
-        let chunk = corpus.pages.len().div_ceil(threads).max(1);
+        // occurrences per chunk, then merge in chunk order. N-gram and NE
+        // counts are additive (merge-order invariant); the HMM sentence
+        // list is order-sensitive, which the in-order reduction plus the
+        // page-index harvest bound keep deterministic.
         let ner_boot = NeRecognizer::new(dict.clone());
-        let mut merged_counts = NgramCounter::new();
-        let mut merged_ne = NeStats::new();
-        let mut sentences_for_hmm: Vec<Vec<String>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for pages in corpus.pages.chunks(chunk) {
-                let bootstrap = &bootstrap;
-                let ner_boot = &ner_boot;
-                handles.push(scope.spawn(move |_| {
-                    let mut counts = NgramCounter::new();
-                    let mut ne = NeStats::new();
-                    let mut hmm_sents: Vec<Vec<String>> = Vec::new();
-                    for page in pages {
-                        let mut texts: Vec<&str> = vec![&page.abstract_text];
-                        if let Some(b) = &page.bracket {
-                            texts.push(b);
-                        }
-                        for t in &page.tags {
-                            texts.push(t);
-                        }
-                        for text in texts {
-                            let words = bootstrap.words(text);
-                            for w in &words {
-                                ne.observe(w, ner_boot.is_entity(w));
-                            }
-                            counts.observe(&words);
-                            if hmm_sents.len() < 2_000 {
-                                hmm_sents.push(words.clone());
-                            }
-                        }
-                        // Page names are NE usages by definition.
-                        ne.observe(&page.name, true);
+        let reduced = rt.par_map_reduce(
+            &corpus.pages,
+            |base, pages| {
+                let mut counts = NgramCounter::new();
+                let mut ne = NeStats::new();
+                let mut hmm_sents: Vec<Vec<String>> = Vec::new();
+                for (off, page) in pages.iter().enumerate() {
+                    let harvest_hmm = base + off < HMM_PAGE_CAP;
+                    let mut texts: Vec<&str> = vec![&page.abstract_text];
+                    if let Some(b) = &page.bracket {
+                        texts.push(b);
                     }
-                    (counts, ne, hmm_sents)
-                }));
-            }
-            for h in handles {
-                let (counts, ne, hmm_sents) = h.join().expect("stats worker panicked");
-                merged_counts.merge(&counts);
-                merge_ne(&mut merged_ne, ne);
-                sentences_for_hmm.extend(hmm_sents);
-            }
-        })
-        .expect("crossbeam scope");
+                    for t in &page.tags {
+                        texts.push(t);
+                    }
+                    for text in texts {
+                        let words = bootstrap.words(text);
+                        for w in &words {
+                            ne.observe(w, ner_boot.is_entity(w));
+                        }
+                        counts.observe(&words);
+                        if harvest_hmm && hmm_sents.len() < HMM_SENTENCE_CAP {
+                            hmm_sents.push(words.clone());
+                        }
+                    }
+                    // Page names are NE usages by definition.
+                    ne.observe(&page.name, true);
+                }
+                (counts, ne, hmm_sents)
+            },
+            |mut acc, part| {
+                acc.0.merge(&part.0);
+                acc.1.merge(part.1);
+                acc.2.extend(part.2);
+                acc
+            },
+        );
+        let (merged_counts, merged_ne, mut sentences_for_hmm) =
+            reduced.unwrap_or_else(|| (NgramCounter::new(), NeStats::new(), Vec::new()));
+        sentences_for_hmm.truncate(HMM_SENTENCE_CAP);
 
         // HMM trained on the bootstrapped segmentations (distant
         // supervision over our own output, as jieba's model was trained on
@@ -114,10 +130,6 @@ impl PipelineContext {
             pos: PosTagger::new(dict),
         }
     }
-}
-
-fn merge_ne(into: &mut NeStats, from: NeStats) {
-    into.merge(from);
 }
 
 #[cfg(test)]
@@ -168,5 +180,11 @@ mod tests {
             b.pmi.counts().total_bigrams()
         );
         assert_eq!(a.ne_stats.support("中国"), b.ne_stats.support("中国"));
+        // The HMM sentence harvest is order-sensitive; the page-index
+        // bound keeps it (and thus segmentation of unknown text) identical
+        // at every thread count.
+        for text in ["李明华是著名男演员", "临江市出生的作家"] {
+            assert_eq!(a.segmenter.words(text), b.segmenter.words(text), "{text}");
+        }
     }
 }

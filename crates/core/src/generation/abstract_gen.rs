@@ -12,6 +12,7 @@ use crate::candidate::Candidate;
 use cnp_encyclopedia::Page;
 use cnp_nn::copynet::{CopyNet, CopyNetConfig, CopySample};
 use cnp_nn::vocab::Vocab;
+use cnp_runtime::Runtime;
 use cnp_taxonomy::Source;
 use cnp_text::segment::Segmenter;
 use std::collections::{HashMap, HashSet};
@@ -121,35 +122,43 @@ pub fn train(samples: &[CopySample], cfg: &NeuralConfig) -> (CopyNet, Vec<f32>) 
 }
 
 /// Generates hypernym candidates for every page from its abstract.
-pub fn extract(pages: &[Page], seg: &Segmenter, model: &CopyNet) -> Vec<Candidate> {
-    let mut out = Vec::new();
-    for (i, page) in pages.iter().enumerate() {
-        if page.abstract_text.is_empty() {
-            continue;
+///
+/// Per-page inference (segmentation + greedy decoding) is embarrassingly
+/// parallel and runs in page chunks on the shared runtime; training stays
+/// serial because minibatch SGD is order-sensitive. Chunk results
+/// concatenate in page order.
+pub fn extract(pages: &[Page], seg: &Segmenter, model: &CopyNet, rt: &Runtime) -> Vec<Candidate> {
+    let parts = rt.par_chunks_indexed(pages, |base, chunk| {
+        let mut out = Vec::new();
+        for (off, page) in chunk.iter().enumerate() {
+            if page.abstract_text.is_empty() {
+                continue;
+            }
+            let src = seg.words(&page.abstract_text);
+            if src.is_empty() {
+                continue;
+            }
+            let generated = model.generate(&src);
+            let hypernym: String = generated.concat();
+            if hypernym.chars().count() < 2 || hypernym == page.name {
+                continue;
+            }
+            if !hypernym.chars().all(cnp_text::chars::is_han) {
+                continue;
+            }
+            out.push(Candidate::new(
+                base + off,
+                page.key(),
+                page.name.clone(),
+                page.bracket_str(),
+                hypernym,
+                Source::Abstract,
+                ABSTRACT_CONFIDENCE,
+            ));
         }
-        let src = seg.words(&page.abstract_text);
-        if src.is_empty() {
-            continue;
-        }
-        let generated = model.generate(&src);
-        let hypernym: String = generated.concat();
-        if hypernym.chars().count() < 2 || hypernym == page.name {
-            continue;
-        }
-        if !hypernym.chars().all(cnp_text::chars::is_han) {
-            continue;
-        }
-        out.push(Candidate::new(
-            i,
-            page.key(),
-            page.name.clone(),
-            page.bracket_str(),
-            hypernym,
-            Source::Abstract,
-            ABSTRACT_CONFIDENCE,
-        ));
-    }
-    out
+        out
+    });
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -224,7 +233,7 @@ mod tests {
             losses.last().unwrap() < &(losses[0] * 0.7),
             "training did not converge: {losses:?}"
         );
-        let cands = extract(&pages, &seg, &model);
+        let cands = extract(&pages, &seg, &model, &Runtime::new(2));
         // The model should recover the concept for most template pages.
         let correct = cands
             .iter()
@@ -252,7 +261,7 @@ mod tests {
             abstract_text: "著名演员。".into(),
             ..Default::default()
         };
-        let cands = extract(&[page], &seg, &model);
+        let cands = extract(&[page], &seg, &model, &Runtime::serial());
         // Whatever the model outputs, it must never propose the page name.
         assert!(cands.iter().all(|c| c.hypernym != "演员"));
     }

@@ -10,6 +10,7 @@
 
 use crate::candidate::Candidate;
 use cnp_encyclopedia::Page;
+use cnp_runtime::Runtime;
 use cnp_taxonomy::Source;
 use std::collections::{HashMap, HashSet};
 
@@ -50,26 +51,45 @@ pub struct DiscoveryResult {
 /// Discovers isA-bearing predicates by aligning bracket pairs with triples.
 ///
 /// `bracket_pairs` maps entity keys to their bracket-derived hypernyms.
+/// Alignment counting runs in parallel page chunks; the per-chunk counts
+/// are additive, so the merged statistics are thread-count-independent.
 pub fn discover_predicates(
     pages: &[Page],
     bracket_pairs: &HashMap<String, HashSet<String>>,
     top_k: usize,
     min_support: usize,
+    rt: &Runtime,
 ) -> DiscoveryResult {
-    let mut stats: HashMap<&str, (usize, usize)> = HashMap::new();
-    for page in pages {
-        let key = page.key();
-        let known = bracket_pairs.get(&key);
-        for t in &page.infobox {
-            let entry = stats.entry(t.predicate.as_str()).or_insert((0, 0));
-            entry.1 += 1;
-            if let Some(known) = known {
-                if known.contains(&t.value) {
-                    entry.0 += 1;
+    let stats: HashMap<&str, (usize, usize)> = rt
+        .par_map_reduce(
+            pages,
+            |_, chunk| {
+                let mut stats: HashMap<&str, (usize, usize)> = HashMap::new();
+                for page in chunk {
+                    let key = page.key();
+                    let known = bracket_pairs.get(&key);
+                    for t in &page.infobox {
+                        let entry = stats.entry(t.predicate.as_str()).or_insert((0, 0));
+                        entry.1 += 1;
+                        if let Some(known) = known {
+                            if known.contains(&t.value) {
+                                entry.0 += 1;
+                            }
+                        }
+                    }
                 }
-            }
-        }
-    }
+                stats
+            },
+            |mut acc, part| {
+                for (p, (aligned, total)) in part {
+                    let entry = acc.entry(p).or_insert((0, 0));
+                    entry.0 += aligned;
+                    entry.1 += total;
+                }
+                acc
+            },
+        )
+        .unwrap_or_default();
     let mut candidates: Vec<PredicateStats> = stats
         .into_iter()
         .filter(|(_, (aligned, _))| *aligned >= 1)
@@ -98,33 +118,37 @@ pub fn discover_predicates(
     }
 }
 
-/// Extracts isA candidates from the selected predicates' triples.
+/// Extracts isA candidates from the selected predicates' triples, in
+/// parallel page chunks concatenated in page order.
 ///
 /// Values that cannot be class names (digits, over-long literals,
 /// punctuation) are dropped at extraction time.
-pub fn extract(pages: &[Page], selected: &[String]) -> Vec<Candidate> {
+pub fn extract(pages: &[Page], selected: &[String], rt: &Runtime) -> Vec<Candidate> {
     let selected: HashSet<&str> = selected.iter().map(String::as_str).collect();
-    let mut out = Vec::new();
-    for (i, page) in pages.iter().enumerate() {
-        for t in &page.infobox {
-            if !selected.contains(t.predicate.as_str()) {
-                continue;
+    let parts = rt.par_chunks_indexed(pages, |base, chunk| {
+        let mut out = Vec::new();
+        for (off, page) in chunk.iter().enumerate() {
+            for t in &page.infobox {
+                if !selected.contains(t.predicate.as_str()) {
+                    continue;
+                }
+                if !plausible_class_value(&t.value) || t.value == page.name {
+                    continue;
+                }
+                out.push(Candidate::new(
+                    base + off,
+                    page.key(),
+                    page.name.clone(),
+                    page.bracket_str(),
+                    t.value.clone(),
+                    Source::Infobox,
+                    INFOBOX_CONFIDENCE,
+                ));
             }
-            if !plausible_class_value(&t.value) || t.value == page.name {
-                continue;
-            }
-            out.push(Candidate::new(
-                i,
-                page.key(),
-                page.name.clone(),
-                page.bracket_str(),
-                t.value.clone(),
-                Source::Infobox,
-                INFOBOX_CONFIDENCE,
-            ));
         }
-    }
-    out
+        out
+    });
+    parts.into_iter().flatten().collect()
 }
 
 /// A value can name a class when it is short, purely Han, digit-free text.
@@ -167,7 +191,7 @@ mod tests {
             page("丙", vec![("职业", "作家"), ("出生地", "云梦县")]),
         ];
         let known = bracket_pairs(&[("甲", "歌手"), ("乙", "演员"), ("丙", "作家")]);
-        let result = discover_predicates(&pages, &known, 1, 2);
+        let result = discover_predicates(&pages, &known, 1, 2, &Runtime::new(2));
         // 职业 aligns 3/3; 相关奖项 aligns 1/1 but lacks support.
         assert_eq!(result.selected, vec!["职业"]);
         assert!(result.candidates.iter().any(|c| c.predicate == "相关奖项"));
@@ -185,7 +209,7 @@ mod tests {
     fn unaligned_predicates_are_not_candidates() {
         let pages = vec![page("甲", vec![("职业", "歌手"), ("身高", "180cm")])];
         let known = bracket_pairs(&[("甲", "歌手")]);
-        let result = discover_predicates(&pages, &known, 12, 1);
+        let result = discover_predicates(&pages, &known, 12, 1, &Runtime::serial());
         assert!(result.candidates.iter().all(|c| c.predicate != "身高"));
     }
 
@@ -195,7 +219,7 @@ mod tests {
             "甲",
             vec![("职业", "歌手"), ("出生地", "临江市"), ("职业", "演员")],
         )];
-        let cands = extract(&pages, &["职业".to_string()]);
+        let cands = extract(&pages, &["职业".to_string()], &Runtime::new(2));
         assert_eq!(cands.len(), 2);
         assert!(cands.iter().all(|c| c.source == Source::Infobox));
         assert!(cands.iter().any(|c| c.hypernym == "歌手"));
@@ -208,7 +232,7 @@ mod tests {
             "甲",
             vec![("职业", "180cm"), ("职业", "歌"), ("职业", "自由撰稿人")],
         )];
-        let cands = extract(&pages, &["职业".to_string()]);
+        let cands = extract(&pages, &["职业".to_string()], &Runtime::new(2));
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].hypernym, "自由撰稿人");
     }
@@ -216,7 +240,7 @@ mod tests {
     #[test]
     fn self_values_are_dropped() {
         let pages = vec![page("演员", vec![("职业", "演员")])];
-        let cands = extract(&pages, &["职业".to_string()]);
+        let cands = extract(&pages, &["职业".to_string()], &Runtime::new(2));
         assert!(cands.is_empty());
     }
 }

@@ -16,6 +16,7 @@ pub mod tag;
 use crate::candidate::Candidate;
 use crate::context::PipelineContext;
 use cnp_encyclopedia::Page;
+use cnp_runtime::Runtime;
 use cnp_taxonomy::Source;
 use std::collections::{HashMap, HashSet};
 
@@ -23,55 +24,46 @@ use std::collections::{HashMap, HashSet};
 /// 96.2% precision for this source).
 pub const BRACKET_CONFIDENCE: f32 = 0.96;
 
-/// Runs the separation algorithm over all pages (in parallel) and returns
-/// the candidates plus the subconcept pairs implied by rightmost-path
-/// chains (首席战略官 → 战略官).
+/// Runs the separation algorithm over all pages (in parallel on the shared
+/// runtime) and returns the candidates plus the subconcept pairs implied by
+/// rightmost-path chains (首席战略官 → 战略官). Chunk results concatenate
+/// in page order, so the output is identical at every thread count.
 pub fn extract_bracket(
     pages: &[Page],
     ctx: &PipelineContext,
-    threads: usize,
+    rt: &Runtime,
 ) -> (Vec<Candidate>, Vec<(String, String)>) {
-    let threads = threads.max(1);
-    let chunk = pages.len().div_ceil(threads).max(1);
+    let parts = rt.par_chunks_indexed(pages, |base, page_chunk| {
+        let alg = bracket::SeparationAlgorithm::new(&ctx.segmenter, &ctx.pmi);
+        let mut cands = Vec::new();
+        let mut pairs = Vec::new();
+        for (off, page) in page_chunk.iter().enumerate() {
+            let Some(br) = &page.bracket else { continue };
+            for result in alg.separate(br) {
+                for h in &result.hypernyms {
+                    cands.push(Candidate::new(
+                        base + off,
+                        page.key(),
+                        page.name.clone(),
+                        page.bracket_str(),
+                        h.clone(),
+                        Source::Bracket,
+                        BRACKET_CONFIDENCE,
+                    ));
+                }
+                for w in result.hypernyms.windows(2) {
+                    pairs.push((w[0].clone(), w[1].clone()));
+                }
+            }
+        }
+        (cands, pairs)
+    });
     let mut candidates = Vec::new();
     let mut chains: Vec<(String, String)> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_idx, page_chunk) in pages.chunks(chunk).enumerate() {
-            let base = chunk_idx * chunk;
-            handles.push(scope.spawn(move |_| {
-                let alg = bracket::SeparationAlgorithm::new(&ctx.segmenter, &ctx.pmi);
-                let mut cands = Vec::new();
-                let mut pairs = Vec::new();
-                for (off, page) in page_chunk.iter().enumerate() {
-                    let Some(br) = &page.bracket else { continue };
-                    for result in alg.separate(br) {
-                        for h in &result.hypernyms {
-                            cands.push(Candidate::new(
-                                base + off,
-                                page.key(),
-                                page.name.clone(),
-                                page.bracket_str(),
-                                h.clone(),
-                                Source::Bracket,
-                                BRACKET_CONFIDENCE,
-                            ));
-                        }
-                        for w in result.hypernyms.windows(2) {
-                            pairs.push((w[0].clone(), w[1].clone()));
-                        }
-                    }
-                }
-                (cands, pairs)
-            }));
-        }
-        for h in handles {
-            let (cands, pairs) = h.join().expect("bracket worker panicked");
-            candidates.extend(cands);
-            chains.extend(pairs);
-        }
-    })
-    .expect("crossbeam scope");
+    for (cands, pairs) in parts {
+        candidates.extend(cands);
+        chains.extend(pairs);
+    }
     (candidates, chains)
 }
 
@@ -98,7 +90,7 @@ mod tests {
     fn bracket_extraction_produces_mostly_gold_pairs() {
         let corpus = CorpusGenerator::new(CorpusConfig::tiny(31)).generate();
         let ctx = PipelineContext::build(&corpus, 2);
-        let (cands, chains) = extract_bracket(&corpus.pages, &ctx, 2);
+        let (cands, chains) = extract_bracket(&corpus.pages, &ctx, &Runtime::new(2));
         assert!(!cands.is_empty());
         let correct = cands
             .iter()
@@ -124,12 +116,12 @@ mod tests {
     fn parallel_and_serial_extraction_agree() {
         let corpus = CorpusGenerator::new(CorpusConfig::tiny(32)).generate();
         let ctx = PipelineContext::build(&corpus, 2);
-        let (mut a, _) = extract_bracket(&corpus.pages, &ctx, 1);
-        let (mut b, _) = extract_bracket(&corpus.pages, &ctx, 4);
-        let key = |c: &Candidate| (c.entity_key.clone(), c.hypernym.clone());
-        a.sort_by_key(key);
-        b.sort_by_key(key);
+        let (a, chains_a) = extract_bracket(&corpus.pages, &ctx, &Runtime::serial());
+        let (b, chains_b) = extract_bracket(&corpus.pages, &ctx, &Runtime::new(4));
+        // Chunk results concatenate in page order: not merely the same
+        // set, the same sequence.
         assert_eq!(a, b);
+        assert_eq!(chains_a, chains_b);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::candidate::Candidate;
 use cnp_encyclopedia::Page;
+use cnp_runtime::Runtime;
 use cnp_taxonomy::Source;
 
 /// Default confidence for tag-derived candidates.
@@ -30,13 +31,19 @@ pub fn extract_page(page_idx: usize, page: &Page) -> Vec<Candidate> {
         .collect()
 }
 
-/// Extracts tag candidates from all pages.
-pub fn extract(pages: &[Page]) -> Vec<Candidate> {
-    pages
-        .iter()
-        .enumerate()
-        .flat_map(|(i, p)| extract_page(i, p))
-        .collect()
+/// Extracts tag candidates from all pages, in parallel page chunks
+/// concatenated in page order.
+pub fn extract(pages: &[Page], rt: &Runtime) -> Vec<Candidate> {
+    rt.par_chunks_indexed(pages, |base, chunk| {
+        chunk
+            .iter()
+            .enumerate()
+            .flat_map(|(off, p)| extract_page(base + off, p))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -85,7 +92,7 @@ mod tests {
                 ..Default::default()
             },
         ];
-        let cands = extract(&pages);
+        let cands = extract(&pages, &Runtime::new(2));
         assert_eq!(cands.len(), 3);
         assert_eq!(cands[0].page, 0);
         assert_eq!(cands[2].page, 1);

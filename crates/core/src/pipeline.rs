@@ -4,9 +4,10 @@
 use crate::candidate::CandidateSet;
 use crate::context::PipelineContext;
 use crate::generation::{self, abstract_gen, infobox, tag};
-use crate::report::PipelineReport;
+use crate::report::{PipelineReport, Stage};
 use crate::verification::{self, VerificationConfig};
 use cnp_encyclopedia::Corpus;
+use cnp_runtime::Runtime;
 use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStats, TaxonomyStore};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -14,7 +15,8 @@ use std::time::Instant;
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
-    /// Worker threads for corpus statistics and extraction.
+    /// Worker threads for every pipeline stage (defaults to the machine's
+    /// available parallelism). Output never depends on this value.
     pub threads: usize,
     /// Enable the bracket source (separation algorithm).
     pub enable_bracket: bool,
@@ -37,7 +39,7 @@ pub struct PipelineConfig {
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
-            threads: 4,
+            threads: cnp_runtime::default_threads(),
             enable_bracket: true,
             enable_abstract: true,
             enable_infobox: true,
@@ -81,13 +83,18 @@ pub struct PipelineOutcome {
     /// Bracket rightmost-path chains `(sub, sup)` that assembly turned into
     /// subconcept→concept edges; incremental updates replay them too.
     pub chains: Vec<(String, String)>,
+    /// Worker threads the producing run used ([`PipelineConfig::threads`]);
+    /// [`PipelineOutcome::freeze`] reuses the same budget.
+    pub threads: usize,
 }
 
 impl PipelineOutcome {
     /// Freezes the constructed taxonomy into the read-optimized serving
-    /// snapshot ([`FrozenTaxonomy`]).
+    /// snapshot ([`FrozenTaxonomy`]), on the same thread budget the
+    /// pipeline ran with — a `threads = 1` run never spawns workers here
+    /// either.
     pub fn freeze(&self) -> FrozenTaxonomy {
-        FrozenTaxonomy::freeze(&self.taxonomy)
+        FrozenTaxonomy::freeze_with(&self.taxonomy, &Runtime::new(self.threads))
     }
 }
 
@@ -121,74 +128,32 @@ impl Pipeline {
     ) -> (PipelineReport, CandidateSet) {
         let outcome = self.run(corpus);
         let mut report = outcome.report;
-        // Concepts the store knew before this batch: chain replay below must
-        // mirror `assemble` (batch hypernyms qualify) plus the never-ending
-        // setting (already-known concepts qualify too), without being
-        // confused by concepts this very replay adds along the way. Concept
-        // ids are append-only, so `index < n_prior_concepts` identifies the
-        // pre-batch ones without materialising their names.
-        let n_prior_concepts = store.num_concepts();
-        // Merge: replay candidates against the existing store.
-        let concept_names: HashSet<&str> = outcome
-            .candidates
-            .items
-            .iter()
-            .map(|c| c.hypernym.as_str())
-            .collect();
-        for c in &outcome.candidates.items {
-            let page = &corpus.pages[c.page];
-            let sup = store.add_concept(&c.hypernym);
-            let meta = IsAMeta::new(c.source, c.confidence);
-            let is_concept_page = page.bracket.is_none()
-                && (concept_names.contains(page.name.as_str())
-                    || store.find_concept(&page.name).is_some());
-            if is_concept_page {
-                let sub = store.add_concept(&page.name);
-                store.add_concept_is_a(sub, sup, meta);
-            } else {
-                let e = store.add_entity(&page.name, page.bracket.as_deref());
-                store.add_entity_is_a(e, sup, meta);
-                for t in &page.infobox {
-                    store.add_attribute(e, &t.predicate);
-                }
-                for alias in &page.aliases {
-                    store.add_alias(e, alias);
-                }
-            }
-        }
-        // Replay the bracket rightmost-path chains exactly like `assemble`
-        // does for a fresh build — dropping them here used to leave the
-        // never-ending mode with a flatter hierarchy than a fresh build on
-        // the same pages.
-        for (sub, sup) in &outcome.chains {
-            let known = |name: &str| {
-                concept_names.contains(name)
-                    || store
-                        .find_concept(name)
-                        .is_some_and(|c| c.index() < n_prior_concepts)
-            };
-            if known(sub) || known(sup) {
-                let sub = store.add_concept(sub);
-                let sup = store.add_concept(sup);
-                store.add_concept_is_a(sub, sup, IsAMeta::new(Source::SubConcept, 0.9));
-            }
-        }
-        report.cycle_edges_removed += cnp_taxonomy::closure::break_cycles(store).len();
+        // Replay the batch through the exact same code path `assemble`
+        // uses for a fresh build (a fresh store merely has no prior
+        // concepts); the two modes drifting apart is how the dropped-chains
+        // bug happened.
+        report.cycle_edges_removed +=
+            replay_candidates(store, &outcome.candidates, &outcome.chains, corpus);
         report.stats = TaxonomyStats::of(store);
         (report, outcome.candidates)
     }
 
     /// Runs generation, verification and taxonomy assembly on `corpus`.
+    ///
+    /// Every stage executes on one shared [`Runtime`] sized by
+    /// [`PipelineConfig::threads`]; the output is identical at every
+    /// thread count (see the runtime crate's determinism contract).
     pub fn run(&self, corpus: &Corpus) -> PipelineOutcome {
         let cfg = &self.config;
+        let rt = Runtime::new(cfg.threads);
         let mut report = PipelineReport {
             pages: corpus.pages.len(),
             ..Default::default()
         };
-        let mut timings: Vec<(String, std::time::Duration)> = Vec::new();
+        let mut timings: Vec<(Stage, std::time::Duration)> = Vec::new();
         let clock = Instant::now();
-        let ctx = PipelineContext::build(corpus, cfg.threads);
-        timings.push(("context".into(), clock.elapsed()));
+        let ctx = PipelineContext::build_with(corpus, &rt);
+        timings.push((Stage::Context, clock.elapsed()));
 
         // ---- generation ----
         let mut all_candidates = Vec::new();
@@ -196,8 +161,7 @@ impl Pipeline {
 
         let t = Instant::now();
         let bracket_pairs = if cfg.enable_bracket {
-            let (cands, bracket_chains) =
-                generation::extract_bracket(&corpus.pages, &ctx, cfg.threads);
+            let (cands, bracket_chains) = generation::extract_bracket(&corpus.pages, &ctx, &rt);
             report.bracket_candidates = cands.len();
             let pairs = generation::bracket_pairs_by_entity(&cands);
             all_candidates.extend(cands);
@@ -206,7 +170,7 @@ impl Pipeline {
         } else {
             Default::default()
         };
-        timings.push(("bracket".into(), t.elapsed()));
+        timings.push((Stage::Bracket, t.elapsed()));
 
         let t = Instant::now();
         if cfg.enable_infobox {
@@ -215,14 +179,15 @@ impl Pipeline {
                 &bracket_pairs,
                 cfg.predicate_top_k,
                 cfg.predicate_min_support,
+                &rt,
             );
             report.predicate_candidates = discovery.candidates.len();
             report.predicates_selected = discovery.selected.clone();
-            let cands = infobox::extract(&corpus.pages, &discovery.selected);
+            let cands = infobox::extract(&corpus.pages, &discovery.selected, &rt);
             report.infobox_candidates = cands.len();
             all_candidates.extend(cands);
         }
-        timings.push(("infobox".into(), t.elapsed()));
+        timings.push((Stage::Infobox, t.elapsed()));
 
         let t = Instant::now();
         if cfg.enable_abstract {
@@ -236,40 +201,40 @@ impl Pipeline {
             if !samples.is_empty() {
                 let (model, losses) = abstract_gen::train(&samples, &cfg.neural);
                 report.neural_losses = losses;
-                let cands = abstract_gen::extract(&corpus.pages, &ctx.segmenter, &model);
+                let cands = abstract_gen::extract(&corpus.pages, &ctx.segmenter, &model, &rt);
                 report.abstract_candidates = cands.len();
                 all_candidates.extend(cands);
             }
         }
-        timings.push(("abstract".into(), t.elapsed()));
+        timings.push((Stage::Abstract, t.elapsed()));
 
         let t = Instant::now();
         if cfg.enable_tag {
-            let cands = tag::extract(&corpus.pages);
+            let cands = tag::extract(&corpus.pages, &rt);
             report.tag_candidates = cands.len();
             all_candidates.extend(cands);
         }
-        timings.push(("tag".into(), t.elapsed()));
+        timings.push((Stage::Tag, t.elapsed()));
 
         let t = Instant::now();
-        let merged = CandidateSet::merge(all_candidates);
+        let merged = CandidateSet::merge_with(all_candidates, &rt);
         report.merged_candidates = merged.len();
-        timings.push(("merge".into(), t.elapsed()));
+        timings.push((Stage::Merge, t.elapsed()));
 
         // ---- verification ----
         let t = Instant::now();
         let (verified, vreport) =
-            verification::verify(merged, &corpus.pages, &ctx, &cfg.verification);
+            verification::verify(merged, &corpus.pages, &ctx, &cfg.verification, &rt);
         report.verification = vreport;
         report.final_candidates = verified.len();
-        timings.push(("verification".into(), t.elapsed()));
+        timings.push((Stage::Verification, t.elapsed()));
 
         // ---- taxonomy assembly ----
         let t = Instant::now();
         let (taxonomy, cycle_removed) = assemble(&verified, &chains, corpus);
         report.cycle_edges_removed = cycle_removed;
         report.stats = TaxonomyStats::of(&taxonomy);
-        timings.push(("assembly".into(), t.elapsed()));
+        timings.push((Stage::Assembly, t.elapsed()));
 
         report.stage_timings = timings;
         PipelineOutcome {
@@ -277,6 +242,7 @@ impl Pipeline {
             report,
             candidates: verified,
             chains,
+            threads: cfg.threads,
         }
     }
 }
@@ -295,13 +261,47 @@ fn assemble(
     corpus: &Corpus,
 ) -> (TaxonomyStore, usize) {
     let mut store = TaxonomyStore::new();
-    let concept_names: HashSet<&str> = verified.items.iter().map(|c| c.hypernym.as_str()).collect();
+    let removed = replay_candidates(&mut store, verified, chains, corpus);
+    (store, removed)
+}
 
-    for c in &verified.items {
+/// Replays a verified batch (candidates + bracket chains) into `store` and
+/// repairs any cycles, returning the number of edges dropped.
+///
+/// This is the **single** code path behind both construction modes:
+/// [`assemble`] calls it with a fresh store and [`Pipeline::run_into`]
+/// with a populated one — the never-ending mode used to duplicate this
+/// logic and drifted (it silently dropped the bracket chains). A name
+/// counts as a concept when the batch proposes it as a hypernym or the
+/// store knew it *before* this replay; concept ids are append-only, so
+/// `index < n_prior_concepts` identifies the pre-batch ones without being
+/// confused by concepts the replay itself adds along the way. For a fresh
+/// store the prior set is empty and the rule reduces to the fresh-build
+/// one.
+fn replay_candidates(
+    store: &mut TaxonomyStore,
+    candidates: &CandidateSet,
+    chains: &[(String, String)],
+    corpus: &Corpus,
+) -> usize {
+    let n_prior_concepts = store.num_concepts();
+    let concept_names: HashSet<&str> = candidates
+        .items
+        .iter()
+        .map(|c| c.hypernym.as_str())
+        .collect();
+    let known = |store: &TaxonomyStore, name: &str| {
+        concept_names.contains(name)
+            || store
+                .find_concept(name)
+                .is_some_and(|c| c.index() < n_prior_concepts)
+    };
+
+    for c in &candidates.items {
         let page = &corpus.pages[c.page];
         let sup = store.add_concept(&c.hypernym);
         let meta = IsAMeta::new(c.source, c.confidence);
-        let is_concept_page = page.bracket.is_none() && concept_names.contains(page.name.as_str());
+        let is_concept_page = page.bracket.is_none() && known(store, &page.name);
         if is_concept_page {
             let sub = store.add_concept(&page.name);
             store.add_concept_is_a(sub, sup, meta);
@@ -318,15 +318,14 @@ fn assemble(
     }
 
     for (sub, sup) in chains {
-        if concept_names.contains(sub.as_str()) || concept_names.contains(sup.as_str()) {
+        if known(store, sub) || known(store, sup) {
             let sub = store.add_concept(sub);
             let sup = store.add_concept(sup);
             store.add_concept_is_a(sub, sup, IsAMeta::new(Source::SubConcept, 0.9));
         }
     }
 
-    let removed = cnp_taxonomy::closure::break_cycles(&mut store);
-    (store, removed.len())
+    cnp_taxonomy::closure::break_cycles(store).len()
 }
 
 #[cfg(test)]
@@ -496,23 +495,22 @@ mod tests {
     #[test]
     fn report_timings_cover_all_stages() {
         let (_, outcome) = run_tiny(77);
-        let stages: Vec<&str> = outcome
+        let stages: Vec<crate::report::Stage> = outcome
             .report
             .stage_timings
             .iter()
-            .map(|(s, _)| s.as_str())
+            .map(|&(s, _)| s)
             .collect();
-        for expected in [
-            "context",
-            "bracket",
-            "infobox",
-            "abstract",
-            "tag",
-            "merge",
-            "verification",
-            "assembly",
-        ] {
-            assert!(stages.contains(&expected), "missing stage {expected}");
-        }
+        // Every stage appears exactly once, in execution order.
+        assert_eq!(stages, crate::report::Stage::ALL);
+    }
+
+    #[test]
+    fn default_threads_follow_available_parallelism() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.threads, cnp_runtime::default_threads());
+        assert!(cfg.threads >= 1);
+        // The test preset stays pinned at two workers.
+        assert_eq!(PipelineConfig::fast().threads, 2);
     }
 }

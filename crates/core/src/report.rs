@@ -6,6 +6,62 @@ use cnp_taxonomy::TaxonomyStats;
 use std::fmt;
 use std::time::Duration;
 
+/// The pipeline's stages, in execution order — the typed key for
+/// [`PipelineReport::stage_timings`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Corpus-wide statistics ([`crate::context::PipelineContext`]).
+    Context,
+    /// Bracket source: the separation algorithm.
+    Bracket,
+    /// Infobox source: predicate discovery + extraction.
+    Infobox,
+    /// Abstract source: CopyNet training + generation.
+    Abstract,
+    /// Tag source: direct extraction.
+    Tag,
+    /// Candidate merging/deduplication.
+    Merge,
+    /// The three verification strategies.
+    Verification,
+    /// Taxonomy assembly (store build + cycle repair).
+    Assembly,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Context,
+        Stage::Bracket,
+        Stage::Infobox,
+        Stage::Abstract,
+        Stage::Tag,
+        Stage::Merge,
+        Stage::Verification,
+        Stage::Assembly,
+    ];
+
+    /// Stable display name (the strings the stringly-typed report used).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Context => "context",
+            Stage::Bracket => "bracket",
+            Stage::Infobox => "infobox",
+            Stage::Abstract => "abstract",
+            Stage::Tag => "tag",
+            Stage::Merge => "merge",
+            Stage::Verification => "verification",
+            Stage::Assembly => "assembly",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// End-to-end construction statistics.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
@@ -38,7 +94,7 @@ pub struct PipelineReport {
     /// Final taxonomy size.
     pub stats: TaxonomyStats,
     /// Wall-clock time per stage.
-    pub stage_timings: Vec<(String, Duration)>,
+    pub stage_timings: Vec<(Stage, Duration)>,
 }
 
 impl fmt::Display for PipelineReport {
@@ -80,7 +136,12 @@ impl fmt::Display for PipelineReport {
         writeln!(f, "  cycle edges removed:     {}", self.cycle_edges_removed)?;
         writeln!(f, "  stage timings:")?;
         for (stage, d) in &self.stage_timings {
-            writeln!(f, "    {stage:<22} {:>8.1} ms", d.as_secs_f64() * 1e3)?;
+            writeln!(
+                f,
+                "    {:<22} {:>8.1} ms",
+                stage.as_str(),
+                d.as_secs_f64() * 1e3
+            )?;
         }
         Ok(())
     }
@@ -99,11 +160,22 @@ mod tests {
             ..Default::default()
         };
         r.stage_timings
-            .push(("context".into(), Duration::from_millis(12)));
+            .push((Stage::Context, Duration::from_millis(12)));
         let text = r.to_string();
         assert!(text.contains("generation module"));
         assert!(text.contains("verification module"));
         assert!(text.contains("separation"));
         assert!(text.contains("context"));
+    }
+
+    #[test]
+    fn stage_names_are_unique_and_ordered() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped);
+        assert_eq!(names.first(), Some(&"context"));
+        assert_eq!(names.last(), Some(&"assembly"));
+        assert_eq!(Stage::Merge.to_string(), "merge");
     }
 }

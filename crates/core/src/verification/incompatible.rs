@@ -10,6 +10,7 @@
 
 use crate::candidate::CandidateSet;
 use cnp_encyclopedia::Page;
+use cnp_runtime::Runtime;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Thresholds for strategy A.
@@ -44,8 +45,10 @@ impl Default for IncompatibleConfig {
 /// Distributions use `BTreeMap` so floating-point accumulation happens in a
 /// fixed key order — keeping KL/cosine comparisons bit-for-bit
 /// reproducible across runs (near-ties decide which edge gets dropped).
-struct ConceptInfo {
-    entities: HashSet<usize>,
+/// The hyponym-page set is borrowed from the concept→pages index rather
+/// than duplicated per concept.
+struct ConceptInfo<'a> {
+    entities: &'a HashSet<usize>,
     attr_dist: BTreeMap<String, f64>,
 }
 
@@ -84,68 +87,118 @@ pub fn cosine(p: &BTreeMap<String, f64>, q: &BTreeMap<String, f64>) -> f64 {
 
 /// Runs strategy A, returning the filtered candidate set and the number of
 /// removed candidates.
+///
+/// All three expensive phases run in parallel partitions on the shared
+/// runtime: per-page attribute gathering, per-concept statistics, and the
+/// per-entity pair tests. The removal cascade is confined to one entity's
+/// candidate list, so entity groups partition cleanly across workers and
+/// the merged removal set is thread-count-independent.
 pub fn filter(
     set: CandidateSet,
     pages: &[Page],
     cfg: &IncompatibleConfig,
+    rt: &Runtime,
 ) -> (CandidateSet, usize) {
     // Entity attribute sets from infobox predicates (sorted + deduped for
     // deterministic accumulation order).
-    let entity_attrs: Vec<Vec<&str>> = pages
-        .iter()
-        .map(|p| {
-            let mut attrs: Vec<&str> = p.infobox.iter().map(|t| t.predicate.as_str()).collect();
-            attrs.sort_unstable();
-            attrs.dedup();
-            attrs
+    let entity_attrs: Vec<Vec<&str>> = rt
+        .par_chunks_indexed(pages, |_, chunk| {
+            chunk
+                .iter()
+                .map(|p| {
+                    let mut attrs: Vec<&str> =
+                        p.infobox.iter().map(|t| t.predicate.as_str()).collect();
+                    attrs.sort_unstable();
+                    attrs.dedup();
+                    attrs
+                })
+                .collect::<Vec<_>>()
         })
+        .into_iter()
+        .flatten()
         .collect();
 
-    // Concept → (hyponym entity pages, attribute distribution).
-    let mut concepts: HashMap<&str, ConceptInfo> = HashMap::new();
-    for c in &set.items {
-        let info = concepts.entry(c.hypernym.as_str()).or_insert(ConceptInfo {
-            entities: HashSet::new(),
-            attr_dist: BTreeMap::new(),
-        });
-        if info.entities.insert(c.page) {
-            for &a in &entity_attrs[c.page] {
-                *info.attr_dist.entry(a.to_string()).or_insert(0.0) += 1.0;
+    // Concept → distinct hyponym pages (set union is merge-order
+    // invariant), then per-concept attribute distributions computed
+    // independently — attribute counts accumulate in ascending page order,
+    // and integer-valued f64 additions are exact, so the normalized
+    // distribution is identical to the serial single-pass build.
+    let concept_pages: HashMap<&str, HashSet<usize>> = rt
+        .par_map_reduce(
+            &set.items,
+            |_, chunk| {
+                let mut m: HashMap<&str, HashSet<usize>> = HashMap::new();
+                for c in chunk {
+                    m.entry(c.hypernym.as_str()).or_default().insert(c.page);
+                }
+                m
+            },
+            |mut acc, part| {
+                for (k, v) in part {
+                    acc.entry(k).or_default().extend(v);
+                }
+                acc
+            },
+        )
+        .unwrap_or_default();
+    let mut concept_names: Vec<&str> = concept_pages.keys().copied().collect();
+    concept_names.sort_unstable();
+    let infos: Vec<ConceptInfo> = rt.par_index_map(concept_names.len(), |i| {
+        let entities = &concept_pages[concept_names[i]];
+        let mut sorted: Vec<usize> = entities.iter().copied().collect();
+        sorted.sort_unstable();
+        let mut attr_dist: BTreeMap<String, f64> = BTreeMap::new();
+        for p in sorted {
+            for &a in &entity_attrs[p] {
+                *attr_dist.entry(a.to_string()).or_insert(0.0) += 1.0;
             }
         }
-    }
-    for info in concepts.values_mut() {
-        let total: f64 = info.attr_dist.values().sum();
+        let total: f64 = attr_dist.values().sum();
         if total > 0.0 {
-            for v in info.attr_dist.values_mut() {
+            for v in attr_dist.values_mut() {
                 *v /= total;
             }
         }
-    }
+        ConceptInfo {
+            entities,
+            attr_dist,
+        }
+    });
+    let concepts: HashMap<&str, ConceptInfo> = concept_names.into_iter().zip(infos).collect();
 
     // Entity attribute distributions (uniform over the page's predicates).
-    let entity_dist: Vec<BTreeMap<String, f64>> = entity_attrs
-        .iter()
-        .map(|attrs| {
-            let n = attrs.len().max(1) as f64;
-            attrs.iter().map(|a| ((*a).to_string(), 1.0 / n)).collect()
+    let entity_dist: Vec<BTreeMap<String, f64>> = rt
+        .par_chunks_indexed(&entity_attrs, |_, chunk| {
+            chunk
+                .iter()
+                .map(|attrs| {
+                    let n = attrs.len().max(1) as f64;
+                    attrs
+                        .iter()
+                        .map(|a| ((*a).to_string(), 1.0 / n))
+                        .collect::<BTreeMap<String, f64>>()
+                })
+                .collect::<Vec<_>>()
         })
+        .into_iter()
+        .flatten()
         .collect();
 
-    // Group candidates per entity and test concept pairs. BTreeMap keeps
-    // the iteration order deterministic — removal decisions cascade (a
-    // removed edge is skipped in later pair tests), so order matters.
-    let mut by_entity: std::collections::BTreeMap<&str, Vec<usize>> =
-        std::collections::BTreeMap::new();
+    // Group candidates per entity. BTreeMap keeps the group order
+    // deterministic; removal decisions cascade (a removed edge is skipped
+    // in later pair tests), but only *within* a group, so groups fan out
+    // to workers independently.
+    let mut by_entity: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (i, c) in set.items.iter().enumerate() {
         by_entity.entry(c.entity_key.as_str()).or_default().push(i);
     }
+    let groups: Vec<&Vec<usize>> = by_entity.values().collect();
 
     let is_incompatible = |a: &ConceptInfo, b: &ConceptInfo| -> bool {
         if a.entities.len() < cfg.min_extent || b.entities.len() < cfg.min_extent {
             return false;
         }
-        let inter = a.entities.intersection(&b.entities).count() as f64;
+        let inter = a.entities.intersection(b.entities).count() as f64;
         let union = (a.entities.len() + b.entities.len()) as f64 - inter;
         let jaccard = if union == 0.0 { 0.0 } else { inter / union };
         if jaccard > cfg.max_jaccard {
@@ -154,31 +207,43 @@ pub fn filter(
         cosine(&a.attr_dist, &b.attr_dist) < cfg.max_cosine
     };
 
-    let mut removed: HashSet<usize> = HashSet::new();
-    for indices in by_entity.values() {
-        for (ai, &i) in indices.iter().enumerate() {
-            for &j in indices.iter().skip(ai + 1) {
-                if removed.contains(&i) || removed.contains(&j) {
-                    continue;
+    let removed: HashSet<usize> = rt
+        .par_map_reduce(
+            &groups,
+            |_, group_chunk| {
+                let mut removed: HashSet<usize> = HashSet::new();
+                for indices in group_chunk {
+                    for (ai, &i) in indices.iter().enumerate() {
+                        for &j in indices.iter().skip(ai + 1) {
+                            if removed.contains(&i) || removed.contains(&j) {
+                                continue;
+                            }
+                            let (ci, cj) = (&set.items[i], &set.items[j]);
+                            let (Some(info_i), Some(info_j)) = (
+                                concepts.get(ci.hypernym.as_str()),
+                                concepts.get(cj.hypernym.as_str()),
+                            ) else {
+                                continue;
+                            };
+                            if !is_incompatible(info_i, info_j) {
+                                continue;
+                            }
+                            // Drop the concept with larger KL(v_att(e) ‖ v_att(c)).
+                            let e_dist = &entity_dist[ci.page];
+                            let kl_i = kl_divergence(e_dist, &info_i.attr_dist);
+                            let kl_j = kl_divergence(e_dist, &info_j.attr_dist);
+                            removed.insert(if kl_i > kl_j { i } else { j });
+                        }
+                    }
                 }
-                let (ci, cj) = (&set.items[i], &set.items[j]);
-                let (Some(info_i), Some(info_j)) = (
-                    concepts.get(ci.hypernym.as_str()),
-                    concepts.get(cj.hypernym.as_str()),
-                ) else {
-                    continue;
-                };
-                if !is_incompatible(info_i, info_j) {
-                    continue;
-                }
-                // Drop the concept with larger KL(v_att(e) ‖ v_att(c)).
-                let e_dist = &entity_dist[ci.page];
-                let kl_i = kl_divergence(e_dist, &info_i.attr_dist);
-                let kl_j = kl_divergence(e_dist, &info_j.attr_dist);
-                removed.insert(if kl_i > kl_j { i } else { j });
-            }
-        }
-    }
+                removed
+            },
+            |mut acc, part| {
+                acc.extend(part);
+                acc
+            },
+        )
+        .unwrap_or_default();
 
     let n_removed = removed.len();
     let items = set
@@ -279,7 +344,12 @@ mod tests {
         ));
         let set = CandidateSet::merge(cands);
         let before = set.len();
-        let (filtered, removed) = filter(set, &pages, &IncompatibleConfig::default());
+        let (filtered, removed) = filter(
+            set,
+            &pages,
+            &IncompatibleConfig::default(),
+            &Runtime::new(2),
+        );
         assert_eq!(removed, 1);
         assert_eq!(filtered.len(), before - 1);
         assert!(
@@ -324,7 +394,12 @@ mod tests {
         }
         let set = CandidateSet::merge(cands);
         let before = set.len();
-        let (filtered, removed) = filter(set, &pages, &IncompatibleConfig::default());
+        let (filtered, removed) = filter(
+            set,
+            &pages,
+            &IncompatibleConfig::default(),
+            &Runtime::new(2),
+        );
         assert_eq!(removed, 0);
         assert_eq!(filtered.len(), before);
     }
@@ -341,7 +416,12 @@ mod tests {
             Candidate::new(0, "甲", "甲", "", "稀有概念一", Source::Tag, 0.9),
             Candidate::new(0, "甲", "甲", "", "稀有概念二", Source::Tag, 0.9),
         ]);
-        let (_, removed) = filter(set, &pages, &IncompatibleConfig::default());
+        let (_, removed) = filter(
+            set,
+            &pages,
+            &IncompatibleConfig::default(),
+            &Runtime::new(2),
+        );
         assert_eq!(removed, 0);
     }
 }

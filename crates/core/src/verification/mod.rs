@@ -9,6 +9,7 @@ pub mod syntax;
 use crate::candidate::CandidateSet;
 use crate::context::PipelineContext;
 use cnp_encyclopedia::Page;
+use cnp_runtime::Runtime;
 
 /// Toggles and thresholds for the whole module.
 #[derive(Debug, Clone, Default)]
@@ -61,25 +62,31 @@ impl VerificationReport {
 }
 
 /// Runs the enabled strategies in the paper's order (A, B, C).
+///
+/// The strategies themselves stay strictly sequential — each consumes the
+/// previous one's survivors, exactly as in the paper — but every strategy
+/// filters its candidates in parallel partitions on the shared runtime,
+/// with removal counts merged deterministically.
 pub fn verify(
     mut set: CandidateSet,
     pages: &[Page],
     ctx: &PipelineContext,
     cfg: &VerificationConfig,
+    rt: &Runtime,
 ) -> (CandidateSet, VerificationReport) {
     let mut report = VerificationReport::default();
     if let Some(inc_cfg) = &cfg.incompatible {
-        let (next, removed) = incompatible::filter(set, pages, inc_cfg);
+        let (next, removed) = incompatible::filter(set, pages, inc_cfg, rt);
         set = next;
         report.incompatible_removed = removed;
     }
     if let Some(ner_cfg) = &cfg.ner {
-        let (next, removed) = ner_filter::filter(set, pages, ctx, ner_cfg);
+        let (next, removed) = ner_filter::filter(set, pages, ctx, ner_cfg, rt);
         set = next;
         report.ner_removed = removed;
     }
     if let Some(syn_cfg) = &cfg.syntax {
-        let (next, thematic, head) = syntax::filter(set, ctx, syn_cfg);
+        let (next, thematic, head) = syntax::filter(set, ctx, syn_cfg, rt);
         set = next;
         report.thematic_removed = thematic;
         report.head_stem_removed = head;
@@ -99,7 +106,10 @@ mod tests {
         let corpus = CorpusGenerator::new(CorpusConfig::tiny(61)).generate();
         let ctx = PipelineContext::build(&corpus, 2);
         // Raw tag candidates contain the generator's noise.
-        let raw = CandidateSet::merge(crate::generation::tag::extract(&corpus.pages));
+        let raw = CandidateSet::merge(crate::generation::tag::extract(
+            &corpus.pages,
+            &Runtime::new(2),
+        ));
         let precision = |set: &CandidateSet| {
             let correct = set
                 .items
@@ -117,7 +127,13 @@ mod tests {
         };
         let before = precision(&raw);
         let before_len = raw.len();
-        let (verified, report) = verify(raw, &corpus.pages, &ctx, &VerificationConfig::all());
+        let (verified, report) = verify(
+            raw,
+            &corpus.pages,
+            &ctx,
+            &VerificationConfig::all(),
+            &Runtime::new(2),
+        );
         let after = precision(&verified);
         assert!(report.total() > 0, "verification removed nothing");
         assert!(
@@ -142,7 +158,13 @@ mod tests {
             0.9,
         )]);
         let before = raw.len();
-        let (after, report) = verify(raw, &corpus.pages, &ctx, &VerificationConfig::none());
+        let (after, report) = verify(
+            raw,
+            &corpus.pages,
+            &ctx,
+            &VerificationConfig::none(),
+            &Runtime::serial(),
+        );
         assert_eq!(after.len(), before);
         assert_eq!(report.total(), 0);
     }

@@ -13,6 +13,7 @@
 use crate::candidate::CandidateSet;
 use crate::context::PipelineContext;
 use cnp_encyclopedia::Page;
+use cnp_runtime::Runtime;
 use cnp_text::ner::noisy_or;
 use std::collections::{HashMap, HashSet};
 
@@ -30,16 +31,35 @@ impl Default for NerFilterConfig {
 }
 
 /// Computes `s2(H)` for every hypernym in the set: entity-usage count over
-/// total usage count within the (candidate) taxonomy.
-pub fn taxonomy_support(set: &CandidateSet, pages: &[Page]) -> HashMap<String, f64> {
-    let mut page_names: HashMap<&str, usize> = HashMap::new();
-    for p in pages {
-        *page_names.entry(p.name.as_str()).or_insert(0) += 1;
+/// total usage count within the (candidate) taxonomy. Both usage counters
+/// build in parallel chunks; counts are additive, so the support map is
+/// thread-count-independent.
+pub fn taxonomy_support(set: &CandidateSet, pages: &[Page], rt: &Runtime) -> HashMap<String, f64> {
+    fn count_by<'a, T: Sync>(
+        rt: &Runtime,
+        items: &'a [T],
+        key: impl Fn(&'a T) -> &'a str + Sync,
+    ) -> HashMap<&'a str, usize> {
+        rt.par_map_reduce(
+            items,
+            |_, chunk| {
+                let mut m: HashMap<&str, usize> = HashMap::new();
+                for t in chunk {
+                    *m.entry(key(t)).or_insert(0) += 1;
+                }
+                m
+            },
+            |mut acc, part| {
+                for (k, n) in part {
+                    *acc.entry(k).or_insert(0) += n;
+                }
+                acc
+            },
+        )
+        .unwrap_or_default()
     }
-    let mut hyper_usage: HashMap<&str, usize> = HashMap::new();
-    for c in &set.items {
-        *hyper_usage.entry(c.hypernym.as_str()).or_insert(0) += 1;
-    }
+    let page_names = count_by(rt, pages, |p| p.name.as_str());
+    let hyper_usage = count_by(rt, &set.items, |c| c.hypernym.as_str());
     let hypernyms: HashSet<&str> = set.items.iter().map(|c| c.hypernym.as_str()).collect();
     hypernyms
         .into_iter()
@@ -58,24 +78,28 @@ pub fn taxonomy_support(set: &CandidateSet, pages: &[Page]) -> HashMap<String, f
         .collect()
 }
 
-/// Runs strategy B; returns the filtered set and the removal count.
+/// Runs strategy B; returns the filtered set and the removal count. The
+/// per-candidate noisy-or test evaluates in parallel partitions
+/// ([`Runtime::par_classify_retain`]), preserving the serial surviving
+/// order.
 pub fn filter(
     set: CandidateSet,
     pages: &[Page],
     ctx: &PipelineContext,
     cfg: &NerFilterConfig,
+    rt: &Runtime,
 ) -> (CandidateSet, usize) {
-    let s2 = taxonomy_support(&set, pages);
+    let s2 = taxonomy_support(&set, pages, rt);
     let before = set.len();
-    let items: Vec<_> = set
-        .items
-        .into_iter()
-        .filter(|c| {
+    let (items, _) = rt.par_classify_retain(
+        set.items,
+        |c| {
             let s1 = ctx.ne_stats.support(&c.hypernym);
             let s2 = s2.get(&c.hypernym).copied().unwrap_or(0.0);
             noisy_or(s1, s2) <= cfg.threshold
-        })
-        .collect();
+        },
+        |&keep| keep,
+    );
     let removed = before - items.len();
     (CandidateSet { items }, removed)
 }
@@ -104,7 +128,7 @@ mod tests {
             Candidate::new(1, "甲", "甲", "", "演员", Source::Tag, 0.9),
             Candidate::new(0, "临江市", "临江市", "", "演员", Source::Tag, 0.9),
         ]);
-        let s2 = taxonomy_support(&set, &pages);
+        let s2 = taxonomy_support(&set, &pages, &Runtime::new(2));
         // 临江市: 1 page, 1 hypernym usage → 0.5; 演员: 0 pages, 2 usages → 0.
         assert!((s2["临江市"] - 0.5).abs() < 1e-9);
         assert_eq!(s2["演员"], 0.0);
@@ -126,7 +150,13 @@ mod tests {
             Candidate::new(0, "某人", "某人", "", "演员", Source::Tag, 0.9),
             Candidate::new(0, "某人", "某人", "", "临江市", Source::Tag, 0.9),
         ]);
-        let (filtered, removed) = filter(set, &corpus.pages, &ctx, &NerFilterConfig::default());
+        let (filtered, removed) = filter(
+            set,
+            &corpus.pages,
+            &ctx,
+            &NerFilterConfig::default(),
+            &Runtime::new(2),
+        );
         assert!(
             removed >= 2,
             "NE hypernyms should be removed, got {removed}"
@@ -153,6 +183,7 @@ mod tests {
             &corpus.pages,
             &ctx,
             &NerFilterConfig { threshold: 1.0 },
+            &Runtime::serial(),
         );
         assert_eq!(removed, 0);
         assert_eq!(filtered.len(), 1);

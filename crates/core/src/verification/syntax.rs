@@ -10,6 +10,7 @@
 
 use crate::candidate::CandidateSet;
 use crate::context::PipelineContext;
+use cnp_runtime::Runtime;
 use cnp_text::lexicons::is_thematic;
 
 /// Which syntax rules are enabled.
@@ -30,22 +31,30 @@ impl Default for SyntaxConfig {
     }
 }
 
+/// Which rule (if any) rejects a candidate.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Keep,
+    Thematic,
+    HeadStem,
+}
+
 /// Runs strategy C; returns the filtered set and per-rule removal counts
-/// `(thematic_removed, head_stem_removed)`.
+/// `(thematic_removed, head_stem_removed)`. Rule evaluation is a pure
+/// per-candidate classification, so candidates partition across workers
+/// ([`Runtime::par_classify_retain`]); per-rule counts come from the
+/// verdict list and the surviving order matches the serial filter.
 pub fn filter(
     set: CandidateSet,
     ctx: &PipelineContext,
     cfg: &SyntaxConfig,
+    rt: &Runtime,
 ) -> (CandidateSet, usize, usize) {
-    let mut thematic_removed = 0usize;
-    let mut head_removed = 0usize;
-    let items: Vec<_> = set
-        .items
-        .into_iter()
-        .filter(|c| {
+    let (items, verdicts) = rt.par_classify_retain(
+        set.items,
+        |c| {
             if cfg.thematic_rule && is_thematic(&c.hypernym) {
-                thematic_removed += 1;
-                return false;
+                return Verdict::Thematic;
             }
             if cfg.head_stem_rule {
                 // The hyponym is the entity name (word-level containment is
@@ -54,13 +63,15 @@ pub fn filter(
                     .head
                     .violates_head_stem_rule(&c.entity_name, &c.hypernym)
                 {
-                    head_removed += 1;
-                    return false;
+                    return Verdict::HeadStem;
                 }
             }
-            true
-        })
-        .collect();
+            Verdict::Keep
+        },
+        |&v| v == Verdict::Keep,
+    );
+    let thematic_removed = verdicts.iter().filter(|&&v| v == Verdict::Thematic).count();
+    let head_removed = verdicts.iter().filter(|&&v| v == Verdict::HeadStem).count();
     (CandidateSet { items }, thematic_removed, head_removed)
 }
 
@@ -84,7 +95,7 @@ mod tests {
             Candidate::new(0, "刘德华", "刘德华", "", "歌手", Source::Tag, 0.9),
             Candidate::new(0, "刘德华", "刘德华", "", "政治", Source::Tag, 0.9),
         ]);
-        let (filtered, thematic, _) = filter(set, &ctx, &SyntaxConfig::default());
+        let (filtered, thematic, _) = filter(set, &ctx, &SyntaxConfig::default(), &Runtime::new(2));
         assert_eq!(thematic, 2);
         assert_eq!(filtered.len(), 1);
         assert_eq!(filtered.items[0].hypernym, "歌手");
@@ -103,7 +114,8 @@ mod tests {
             Source::Tag,
             0.9,
         )]);
-        let (filtered, thematic, head) = filter(set, &ctx, &SyntaxConfig::default());
+        let (filtered, thematic, head) =
+            filter(set, &ctx, &SyntaxConfig::default(), &Runtime::new(2));
         // 教育 is caught by whichever rule fires first; with the default
         // config the thematic rule sees 教育 first (教育 is in the lexicon).
         assert_eq!(filtered.len(), 0);
@@ -121,7 +133,7 @@ mod tests {
             Candidate::new(0, "教育机构", "教育机构", "", "教育", Source::Tag, 0.9),
             Candidate::new(0, "星辰大学", "星辰大学", "", "大学", Source::Tag, 0.9),
         ]);
-        let (filtered, _, head) = filter(set, &ctx, &cfg);
+        let (filtered, _, head) = filter(set, &ctx, &cfg, &Runtime::new(2));
         assert_eq!(head, 1);
         assert_eq!(filtered.len(), 1);
         assert_eq!(filtered.items[0].hypernym, "大学");
@@ -143,7 +155,7 @@ mod tests {
             Source::Tag,
             0.9,
         )]);
-        let (filtered, t, h) = filter(set, &ctx, &cfg);
+        let (filtered, t, h) = filter(set, &ctx, &cfg, &Runtime::new(2));
         assert_eq!((t, h), (0, 0));
         assert_eq!(filtered.len(), 1);
     }

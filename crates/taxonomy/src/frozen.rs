@@ -22,6 +22,7 @@ use crate::hash::FxHashMap;
 use crate::interner::{Interner, Symbol};
 use crate::store::{ConceptId, EntityId, EntityRecord, IsAMeta, TaxonomyStore};
 use crate::topo::Condensation;
+use cnp_runtime::Runtime;
 
 /// Compressed sparse row storage: `row(i)` is a contiguous slice.
 #[derive(Debug, Clone, Default)]
@@ -94,8 +95,15 @@ pub struct FrozenTaxonomy {
 }
 
 impl FrozenTaxonomy {
-    /// Freezes a finished store into the serving snapshot.
+    /// Freezes a finished store into the serving snapshot, parallelising
+    /// the ancestor-closure materialisation over a default [`Runtime`].
     pub fn freeze(store: &TaxonomyStore) -> Self {
+        Self::freeze_with(store, &Runtime::default())
+    }
+
+    /// Freezes a finished store on an existing [`Runtime`]. The snapshot
+    /// is identical at every thread count.
+    pub fn freeze_with(store: &TaxonomyStore, rt: &Runtime) -> Self {
         let interner = store.interner().clone();
         let n_entities = store.num_entities();
         let n_concepts = store.num_concepts();
@@ -138,6 +146,14 @@ impl FrozenTaxonomy {
         // the materialised ancestor closure (per component, then fanned out
         // to members so cycle members see each other as ancestors, exactly
         // like the BFS reachability of `closure::ancestors`).
+        //
+        // The component-reachability DP stays serial — component `i` reads
+        // the finished rows of its parents, so it is inherently ordered —
+        // but it is tiny (one row per component). The expensive part, one
+        // sorted ancestor row per *concept*, has no cross-row dependency
+        // and fans out over the runtime; each row is computed from the same
+        // inputs regardless of scheduling, so the snapshot is byte-identical
+        // at every thread count.
         let cond = Condensation::of(store);
         let depth = cond.depths(store);
         let topo = cond.topo_order();
@@ -158,15 +174,15 @@ impl FrozenTaxonomy {
             set.dedup();
             comp_reach.push(set);
         }
-        let mut ancestor_rows: Vec<Vec<ConceptId>> = vec![Vec::new(); n_concepts];
-        for (i, members) in comps.iter().enumerate() {
-            for &c in members {
-                let mut row: Vec<ConceptId> = members.iter().copied().filter(|&m| m != c).collect();
-                row.extend_from_slice(&comp_reach[i]);
-                row.sort_unstable();
-                ancestor_rows[c.index()] = row;
-            }
-        }
+        let ancestor_rows: Vec<Vec<ConceptId>> = rt.par_index_map(n_concepts, |ci| {
+            let c = ConceptId(ci as u32);
+            let comp = cond.component_of(c);
+            let members = &comps[comp];
+            let mut row: Vec<ConceptId> = members.iter().copied().filter(|&m| m != c).collect();
+            row.extend_from_slice(&comp_reach[comp]);
+            row.sort_unstable();
+            row
+        });
         let ancestors = Csr::from_rows(ancestor_rows.iter().map(|r| r.as_slice()));
 
         // Mention table: one row per interned symbol (symbols are dense),
@@ -662,6 +678,24 @@ mod tests {
             bfs.sort_unstable();
             assert_eq!(f.ancestors_of(c), bfs.as_slice());
             assert_eq!(f.depth(c), query::depth(&s, c));
+        }
+    }
+
+    #[test]
+    fn freeze_is_thread_count_independent() {
+        let mut s = demo_store();
+        // Include a cycle so the component fan-out path is exercised too.
+        let person = s.find_concept("人物").unwrap();
+        let male_actor = s.find_concept("男演员").unwrap();
+        s.add_concept_is_a(person, male_actor, meta(0.1));
+        let base = FrozenTaxonomy::freeze_with(&s, &Runtime::serial());
+        for threads in [2, 8] {
+            let f = FrozenTaxonomy::freeze_with(&s, &Runtime::new(threads));
+            assert_eq!(f.topo_order(), base.topo_order(), "threads={threads}");
+            for c in s.concept_ids() {
+                assert_eq!(f.ancestors_of(c), base.ancestors_of(c));
+                assert_eq!(f.depth(c), base.depth(c));
+            }
         }
     }
 

@@ -8,6 +8,8 @@
 //!
 //! * [`text`] — Chinese segmentation, PMI, POS, NER ([`cnp_text`]).
 //! * [`nn`] — minimal neural network library with CopyNet ([`cnp_nn`]).
+//! * [`runtime`] — the shared parallel execution layer every pipeline
+//!   stage runs on ([`cnp_runtime`]).
 //! * [`encyclopedia`] — synthetic Chinese-encyclopedia substrate
 //!   ([`cnp_encyclopedia`]).
 //! * [`taxonomy`] — the taxonomy storage engine and the paper's three public
@@ -33,6 +35,7 @@ pub use cnp_core as pipeline;
 pub use cnp_encyclopedia as encyclopedia;
 pub use cnp_eval as eval;
 pub use cnp_nn as nn;
+pub use cnp_runtime as runtime;
 pub use cnp_taxonomy as taxonomy;
 pub use cnp_text as text;
 

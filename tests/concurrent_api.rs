@@ -4,7 +4,8 @@
 //! The frozen snapshot has no interior mutability (the old serving path
 //! memoized ancestors behind a mutex), so the only thing threads share is
 //! immutable data — this test locks that claim in, via both
-//! `std::thread::scope` and the vendored `crossbeam::scope`.
+//! `std::thread::scope` and the shared [`cn_probase::runtime::Runtime`]
+//! worker pool every pipeline stage runs on.
 
 use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 use cn_probase::pipeline::{Pipeline, PipelineConfig};
@@ -96,13 +97,9 @@ fn eight_std_threads_match_single_threaded_answers() {
 }
 
 #[test]
-fn crossbeam_scope_workers_match_single_threaded_answers() {
+fn runtime_workers_match_single_threaded_answers() {
     let g = build_golden();
-    crossbeam::scope(|scope| {
-        for t in 0..THREADS {
-            let g = &g;
-            scope.spawn(move |_| hammer(g, t * 53));
-        }
-    })
-    .expect("no worker panicked");
+    let rt = cn_probase::runtime::Runtime::new(THREADS);
+    // Enough tasks that every worker runs several hammer passes.
+    rt.par_tasks(4 * THREADS, |t| hammer(&g, t * 53));
 }
