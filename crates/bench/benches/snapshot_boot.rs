@@ -1,0 +1,95 @@
+//! Boot-path comparison: snapshot format v2 vs v1 (ISSUE 4 tentpole).
+//!
+//! A production service boots from a snapshot at every deploy and every
+//! incremental-rebuild round. The two formats pay very different boot
+//! costs:
+//!
+//! * **v1** persists the mutable `TaxonomyStore`: boot = decode the store,
+//!   then a full `FrozenTaxonomy::freeze` (Tarjan SCC condensation, depth
+//!   DP, ancestor-closure materialisation + per-row sorts).
+//! * **v2** persists the `FrozenTaxonomy` itself: boot = decode + validate
+//!   (bounds, CSR invariants, closure consistency, FNV-1a checksum).
+//!
+//! The one-shot comparison printed before the Criterion groups makes the
+//! winner visible without reading Criterion output.
+
+use cnp_taxonomy::{persist, FrozenTaxonomy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Fixture {
+    v1: Vec<u8>,
+    v2: Vec<u8>,
+}
+
+fn build_fixture() -> Fixture {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7)).generate();
+    let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
+    let v1 = persist::encode(&outcome.taxonomy).to_vec();
+    let v2 = outcome.freeze().encode().to_vec();
+    Fixture { v1, v2 }
+}
+
+fn boot_v1(bytes: &[u8]) -> FrozenTaxonomy {
+    FrozenTaxonomy::freeze(&persist::decode(bytes).expect("v1 decode"))
+}
+
+fn boot_v2(bytes: &[u8]) -> FrozenTaxonomy {
+    FrozenTaxonomy::decode(bytes).expect("v2 decode")
+}
+
+fn print_comparison(f: &Fixture) {
+    let reps = 20;
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(boot_v1(&f.v1));
+    }
+    let v1_t = t.elapsed() / reps;
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(boot_v2(&f.v2));
+    }
+    let v2_t = t.elapsed() / reps;
+    let frozen = boot_v2(&f.v2);
+    println!("\n============== snapshot boot: v2 vs v1 ==============");
+    println!(
+        "taxonomy: {} entities, {} concepts, {} isA edges",
+        frozen.num_entities(),
+        frozen.num_concepts(),
+        frozen.num_is_a()
+    );
+    println!(
+        "v1 snapshot {:>9} bytes   boot (decode + freeze) {:>10.1?}",
+        f.v1.len(),
+        v1_t
+    );
+    println!(
+        "v2 snapshot {:>9} bytes   boot (validate-and-go) {:>10.1?}",
+        f.v2.len(),
+        v2_t
+    );
+    println!(
+        "v2 speedup {:.2}x",
+        v1_t.as_secs_f64() / v2_t.as_secs_f64().max(1e-12)
+    );
+    println!("=====================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let f = build_fixture();
+    print_comparison(&f);
+
+    let mut group = c.benchmark_group("snapshot_boot");
+    group.bench_function("load_v1_then_freeze", |b| {
+        b.iter(|| black_box(boot_v1(black_box(&f.v1))))
+    });
+    group.bench_function("load_v2", |b| {
+        b.iter(|| black_box(boot_v2(black_box(&f.v2))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

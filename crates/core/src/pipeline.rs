@@ -8,7 +8,7 @@ use crate::report::{PipelineReport, Stage};
 use crate::verification::{self, VerificationConfig};
 use cnp_encyclopedia::Corpus;
 use cnp_runtime::Runtime;
-use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStats, TaxonomyStore};
+use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, PersistError, Source, TaxonomyStats, TaxonomyStore};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -95,6 +95,16 @@ impl PipelineOutcome {
     /// either.
     pub fn freeze(&self) -> FrozenTaxonomy {
         FrozenTaxonomy::freeze_with(&self.taxonomy, &Runtime::new(self.threads))
+    }
+
+    /// Freezes the taxonomy and persists the serving snapshot (format v2)
+    /// in one step; later boots go straight through
+    /// [`cnp_taxonomy::ProbaseApi::from_snapshot_file`] without re-running
+    /// the freeze. Returns the frozen snapshot for immediate serving.
+    pub fn save_frozen(&self, path: &std::path::Path) -> Result<FrozenTaxonomy, PersistError> {
+        let frozen = self.freeze();
+        frozen.save_to_file(path)?;
+        Ok(frozen)
     }
 }
 

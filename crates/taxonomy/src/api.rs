@@ -13,7 +13,9 @@
 //! hypernyms come from the snapshot's precomputed closure.
 
 use crate::frozen::FrozenTaxonomy;
+use crate::persist::{PersistError, Snapshot};
 use crate::store::{ConceptId, EntityId, TaxonomyStore};
+use std::path::Path;
 
 /// A resolved entity sense returned by `men2ent`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +45,15 @@ impl ProbaseApi {
     /// Wraps an already-frozen snapshot.
     pub fn from_frozen(frozen: FrozenTaxonomy) -> Self {
         ProbaseApi { frozen }
+    }
+
+    /// Boots the service from a snapshot file of either format: a v2
+    /// snapshot is a validate-and-go load of the frozen taxonomy, a v1
+    /// snapshot loads the build store and pays one freeze here.
+    pub fn from_snapshot_file(path: &Path) -> Result<Self, PersistError> {
+        Ok(Self::from_frozen(
+            Snapshot::load_from_file(path)?.into_frozen(),
+        ))
     }
 
     /// Read-only access to the underlying snapshot.

@@ -48,6 +48,25 @@ impl<T: Copy> Csr<T> {
         Csr { offsets, data }
     }
 
+    /// Rebuilds a CSR from its wire representation. The caller
+    /// ([`crate::persist`]) has already validated the invariants: first
+    /// offset 0, monotone offsets, final offset equal to `data.len()`.
+    pub(crate) fn from_parts(offsets: Vec<u32>, data: Vec<T>) -> Self {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last().copied().unwrap_or(0) as usize, data.len());
+        Csr { offsets, data }
+    }
+
+    /// Raw `(offsets, data)` view for the snapshot codec.
+    pub(crate) fn parts(&self) -> (&[u32], &[T]) {
+        (&self.offsets, &self.data)
+    }
+
+    /// Flat entry array (all rows concatenated), for the snapshot codec.
+    pub(crate) fn data(&self) -> &[T] {
+        &self.data
+    }
+
     /// The `i`-th row as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[T] {
@@ -71,27 +90,29 @@ impl<T: Copy> Csr<T> {
 /// and never take a lock — the struct is `Send + Sync` by construction.
 #[derive(Debug, Clone)]
 pub struct FrozenTaxonomy {
-    interner: Interner,
-    entities: Vec<EntityRecord>,
-    entity_by_key: FxHashMap<(Symbol, Symbol), EntityId>,
-    concepts: Vec<Symbol>,
-    concept_by_sym: FxHashMap<Symbol, ConceptId>,
-    entity_concepts: Csr<(ConceptId, IsAMeta)>,
-    concept_entities: Csr<EntityId>,
-    concept_parents: Csr<(ConceptId, IsAMeta)>,
-    concept_children: Csr<ConceptId>,
-    entity_attrs: Csr<Symbol>,
-    entity_aliases: Csr<Symbol>,
+    // Fields are `pub(crate)` so the snapshot codec in [`crate::persist`]
+    // can serialize and (after validation) reconstruct the struct.
+    pub(crate) interner: Interner,
+    pub(crate) entities: Vec<EntityRecord>,
+    pub(crate) entity_by_key: FxHashMap<(Symbol, Symbol), EntityId>,
+    pub(crate) concepts: Vec<Symbol>,
+    pub(crate) concept_by_sym: FxHashMap<Symbol, ConceptId>,
+    pub(crate) entity_concepts: Csr<(ConceptId, IsAMeta)>,
+    pub(crate) concept_entities: Csr<EntityId>,
+    pub(crate) concept_parents: Csr<(ConceptId, IsAMeta)>,
+    pub(crate) concept_children: Csr<ConceptId>,
+    pub(crate) entity_attrs: Csr<Symbol>,
+    pub(crate) entity_aliases: Csr<Symbol>,
     /// Transitive-ancestor closure, one sorted row per concept.
-    ancestors: Csr<ConceptId>,
+    pub(crate) ancestors: Csr<ConceptId>,
     /// Topological order: parents before children, cycles adjacent.
-    topo: Vec<ConceptId>,
+    pub(crate) topo: Vec<ConceptId>,
     /// Exact depth per concept (longest chain to a root, cycles collapsed).
-    depth: Vec<u32>,
+    pub(crate) depth: Vec<u32>,
     /// Mention table indexed by symbol: names and aliases → sorted senses.
-    by_mention: Csr<EntityId>,
+    pub(crate) by_mention: Csr<EntityId>,
     /// Disambiguated display keys (`name（disambig）`) → the single sense.
-    full_keys: FxHashMap<String, EntityId>,
+    pub(crate) full_keys: FxHashMap<String, EntityId>,
 }
 
 impl FrozenTaxonomy {
@@ -224,6 +245,33 @@ impl FrozenTaxonomy {
             by_mention,
             full_keys,
         }
+    }
+
+    // ----- persistence (snapshot format v2) -------------------------------
+
+    /// Serializes the snapshot to bytes — snapshot format v2, the
+    /// sectioned, checksummed layout of [`crate::persist`]. Loading it back
+    /// ([`Self::decode`]) is a validate-and-go boot: no Tarjan pass, no
+    /// depth DP, no closure materialisation.
+    pub fn encode(&self) -> bytes::Bytes {
+        crate::persist::encode_frozen(self)
+    }
+
+    /// Deserializes a v2 snapshot, validating every bound, the CSR and
+    /// closure invariants and the content checksum. For version dispatch
+    /// (v1 store snapshots included) use [`crate::persist::Snapshot::load`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::persist::PersistError> {
+        crate::persist::decode_frozen(bytes)
+    }
+
+    /// Writes a v2 snapshot to `path`.
+    pub fn save_to_file(&self, path: &std::path::Path) -> Result<(), crate::persist::PersistError> {
+        crate::persist::save_frozen_to_file(self, path)
+    }
+
+    /// Loads a v2 snapshot from `path`.
+    pub fn load_from_file(path: &std::path::Path) -> Result<Self, crate::persist::PersistError> {
+        crate::persist::load_frozen_from_file(path)
     }
 
     // ----- strings & handles ----------------------------------------------

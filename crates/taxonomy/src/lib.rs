@@ -23,7 +23,10 @@
 //!   served from a frozen snapshot.
 //! * [`query`] — higher-level queries: concept depth, lowest common
 //!   ancestors, siblings, Wu–Palmer similarity, conceptualisation.
-//! * [`persist`] — compact binary snapshots (save/load round-trip).
+//! * [`persist`] — compact binary snapshots: v1 persists the mutable
+//!   store (load, then freeze), v2 persists the [`FrozenTaxonomy`] itself
+//!   behind a sectioned, checksummed layout so serving boots straight from
+//!   disk; [`persist::Snapshot`] dispatches on the version header.
 //! * [`stats`] — the size metrics reported in Table I.
 
 pub mod api;
@@ -41,5 +44,6 @@ pub mod topo;
 pub use api::ProbaseApi;
 pub use frozen::FrozenTaxonomy;
 pub use interner::{Interner, Symbol};
+pub use persist::{PersistError, Snapshot};
 pub use stats::TaxonomyStats;
 pub use store::{ConceptId, EntityId, IsAMeta, Source, TaxonomyStore};

@@ -1,26 +1,71 @@
-//! Compact binary snapshots of a [`TaxonomyStore`].
+//! Compact binary snapshots of the taxonomy, in two formats.
 //!
-//! A production taxonomy service loads its store from a snapshot at boot.
-//! The format is a hand-written little-endian codec over [`bytes`]:
+//! A production taxonomy service loads its state from a snapshot at boot.
+//! Both formats share the `CNPB` magic and a little-endian codec over
+//! [`bytes`]; they differ in *what* they persist:
+//!
+//! * **v1** persists the mutable build-time [`TaxonomyStore`]. Booting the
+//!   serving path from a v1 snapshot costs a full
+//!   [`FrozenTaxonomy::freeze`] (Tarjan SCC condensation, depth DP,
+//!   ancestor-closure materialisation) before the first query.
+//! * **v2** persists the [`FrozenTaxonomy`] itself — interner, entity and
+//!   concept tables, all six CSR relations, the mention table, topological
+//!   order, exact depths and the materialised ancestor closure — so boot is
+//!   a validate-and-go load.
+//!
+//! v2 layout:
 //!
 //! ```text
-//! magic "CNPB" | version u32 | interner strings | entities | concepts
-//!   | per-entity edges/attrs/aliases | per-concept parent edges
+//! magic "CNPB" | version u32 = 2
+//!   | section*          section = tag [u8;4] | byte-length u64 | payload
+//!   | "CKSM" section    FNV-1a of every byte before the CKSM tag
 //! ```
 //!
-//! Strings are length-prefixed UTF-8; all counts are u32 (the paper-scale
-//! taxonomy has 15 M entities, well under u32::MAX). Decoding validates the
-//! magic, the version, string UTF-8 and every symbol/id bound, so a
-//! truncated or corrupted snapshot fails loudly instead of producing a
-//! broken store.
+//! Readers skip sections with unknown tags, so future writers can add
+//! sections (before `CKSM`) without breaking old readers. Decoding
+//! validates the magic and version, every string, symbol and id bound, the
+//! CSR invariants (first offset zero, monotone row offsets, entry count
+//! matching the final offset, in-bounds column ids), the closure and depth
+//! consistency with the parent edges, and finally the content checksum —
+//! a truncated or bit-flipped snapshot fails loudly instead of producing a
+//! broken service. Pre-allocations are capped by the remaining buffer
+//! length, so a hostile length field cannot trigger an OOM.
+//!
+//! [`Snapshot::load`] is the single entry point that dispatches on the
+//! version byte: v1 loads a store (freeze before serving), v2 loads the
+//! frozen snapshot directly.
 
-use crate::store::{IsAMeta, Source, TaxonomyStore};
+use crate::frozen::{Csr, FrozenTaxonomy};
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::interner::{Interner, Symbol};
+use crate::store::{ConceptId, EntityId, EntityRecord, IsAMeta, Source, TaxonomyStore};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cnp_runtime::stable_hash;
 use std::fmt;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CNPB";
-const VERSION: u32 = 1;
+/// v1: the mutable [`TaxonomyStore`] (load, then freeze).
+pub const VERSION_STORE: u32 = 1;
+/// v2: the [`FrozenTaxonomy`] serving snapshot (validate-and-go).
+pub const VERSION_FROZEN: u32 = 2;
+
+// ----- v2 section tags ----------------------------------------------------
+
+const SEC_INTERNER: [u8; 4] = *b"INTR";
+const SEC_ENTITIES: [u8; 4] = *b"ENTS";
+const SEC_CONCEPTS: [u8; 4] = *b"CNPT";
+const SEC_ENTITY_CONCEPTS: [u8; 4] = *b"ECON";
+const SEC_CONCEPT_ENTITIES: [u8; 4] = *b"CENT";
+const SEC_CONCEPT_PARENTS: [u8; 4] = *b"CPAR";
+const SEC_CONCEPT_CHILDREN: [u8; 4] = *b"CCHD";
+const SEC_ENTITY_ATTRS: [u8; 4] = *b"EATT";
+const SEC_ENTITY_ALIASES: [u8; 4] = *b"EALS";
+const SEC_ANCESTORS: [u8; 4] = *b"ANCS";
+const SEC_TOPO: [u8; 4] = *b"TOPO";
+const SEC_DEPTH: [u8; 4] = *b"DPTH";
+const SEC_MENTIONS: [u8; 4] = *b"MENT";
+const SEC_CHECKSUM: [u8; 4] = *b"CKSM";
 
 /// Errors produced while decoding a snapshot.
 #[derive(Debug)]
@@ -33,8 +78,13 @@ pub enum PersistError {
     Truncated(&'static str),
     /// A string was not valid UTF-8.
     BadUtf8,
-    /// An id/symbol referenced an out-of-range table index.
+    /// An id/symbol referenced an out-of-range table index, or a structural
+    /// invariant (CSR offsets, closure/depth consistency, …) failed.
     BadIndex(&'static str),
+    /// The v2 content checksum did not match the payload.
+    BadChecksum,
+    /// A required v2 section was absent.
+    MissingSection(&'static str),
     /// Underlying I/O error.
     Io(std::io::Error),
 }
@@ -47,6 +97,8 @@ impl fmt::Display for PersistError {
             PersistError::Truncated(what) => write!(f, "snapshot truncated while reading {what}"),
             PersistError::BadUtf8 => write!(f, "snapshot contains invalid UTF-8"),
             PersistError::BadIndex(what) => write!(f, "snapshot contains out-of-range {what}"),
+            PersistError::BadChecksum => write!(f, "snapshot checksum mismatch"),
+            PersistError::MissingSection(tag) => write!(f, "snapshot is missing section {tag}"),
             PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
         }
     }
@@ -60,11 +112,70 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Serializes the store to bytes.
+// ----- version dispatch ---------------------------------------------------
+
+/// Reads the magic + version header without decoding the body.
+pub fn peek_version(buf: &[u8]) -> Result<u32, PersistError> {
+    if buf.len() < 8 {
+        return Err(PersistError::Truncated("header"));
+    }
+    if &buf[..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    Ok(u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]))
+}
+
+/// A decoded snapshot of either format, from the one [`Snapshot::load`]
+/// entry point that dispatches on the version header.
+#[derive(Debug)]
+pub enum Snapshot {
+    /// A v1 snapshot: the mutable build store. Freeze before serving.
+    Store(Box<TaxonomyStore>),
+    /// A v2 snapshot: the frozen serving snapshot, ready to serve.
+    Frozen(Box<FrozenTaxonomy>),
+}
+
+impl Snapshot {
+    /// Decodes a snapshot of either version.
+    pub fn load(bytes: &[u8]) -> Result<Self, PersistError> {
+        match peek_version(bytes)? {
+            VERSION_STORE => Ok(Snapshot::Store(Box::new(decode(bytes)?))),
+            VERSION_FROZEN => Ok(Snapshot::Frozen(Box::new(decode_frozen(bytes)?))),
+            v => Err(PersistError::BadVersion(v)),
+        }
+    }
+
+    /// Loads a snapshot of either version from `path`.
+    pub fn load_from_file(path: &Path) -> Result<Self, PersistError> {
+        let bytes = std::fs::read(path)?;
+        Self::load(&bytes)
+    }
+
+    /// Format version of the decoded snapshot.
+    pub fn version(&self) -> u32 {
+        match self {
+            Snapshot::Store(_) => VERSION_STORE,
+            Snapshot::Frozen(_) => VERSION_FROZEN,
+        }
+    }
+
+    /// The serving snapshot: a v2 payload is returned as-is, a v1 store
+    /// pays the freeze (Tarjan + depth DP + closure) here.
+    pub fn into_frozen(self) -> FrozenTaxonomy {
+        match self {
+            Snapshot::Store(store) => FrozenTaxonomy::freeze(&store),
+            Snapshot::Frozen(frozen) => *frozen,
+        }
+    }
+}
+
+// ----- v1: the mutable store ----------------------------------------------
+
+/// Serializes the store to bytes (format v1).
 pub fn encode(store: &TaxonomyStore) -> Bytes {
     let mut buf = BytesMut::with_capacity(1 << 16);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(VERSION_STORE);
 
     // Interner strings, in symbol order (Symbol(0) == "").
     let strings: Vec<&str> = store.interner().iter().map(|(_, s)| s).collect();
@@ -124,7 +235,11 @@ pub fn encode(store: &TaxonomyStore) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a store from bytes.
+/// Deserializes a store from bytes (format v1).
+///
+/// Every count-prefixed pre-allocation is clamped by the bytes actually
+/// remaining in the buffer, so a corrupt count field costs at most one
+/// small allocation before the truncation is detected — never an OOM.
 pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
     if buf.remaining() < 8 {
         return Err(PersistError::Truncated("header"));
@@ -135,12 +250,13 @@ pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION_STORE {
         return Err(PersistError::BadVersion(version));
     }
 
     let n_strings = get_u32(&mut buf, "string count")? as usize;
-    let mut strings = Vec::with_capacity(n_strings);
+    // Each string costs at least its 4-byte length prefix.
+    let mut strings = Vec::with_capacity(n_strings.min(buf.remaining() / 4));
     for _ in 0..n_strings {
         strings.push(get_str(&mut buf)?);
     }
@@ -154,7 +270,8 @@ pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
     let mut store = TaxonomyStore::new();
 
     let n_entities = get_u32(&mut buf, "entity count")? as usize;
-    let mut entity_ids = Vec::with_capacity(n_entities);
+    // Each entity record is 8 bytes on the wire.
+    let mut entity_ids = Vec::with_capacity(n_entities.min(buf.remaining() / 8));
     for _ in 0..n_entities {
         let name = get_u32(&mut buf, "entity name")?;
         let disambig = get_u32(&mut buf, "entity disambig")?;
@@ -165,7 +282,8 @@ pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
     }
 
     let n_concepts = get_u32(&mut buf, "concept count")? as usize;
-    let mut concept_ids = Vec::with_capacity(n_concepts);
+    // Each concept is a 4-byte symbol on the wire.
+    let mut concept_ids = Vec::with_capacity(n_concepts.min(buf.remaining() / 4));
     for _ in 0..n_concepts {
         let sym = get_u32(&mut buf, "concept name")?;
         let name = resolve(sym, "concept name symbol")?;
@@ -215,17 +333,615 @@ pub fn decode(mut buf: &[u8]) -> Result<TaxonomyStore, PersistError> {
     Ok(store)
 }
 
-/// Writes a snapshot to `path`.
+/// Writes a v1 store snapshot to `path`.
 pub fn save_to_file(store: &TaxonomyStore, path: &Path) -> Result<(), PersistError> {
     std::fs::write(path, encode(store))?;
     Ok(())
 }
 
-/// Loads a snapshot from `path`.
+/// Loads a v1 store snapshot from `path`.
 pub fn load_from_file(path: &Path) -> Result<TaxonomyStore, PersistError> {
     let bytes = std::fs::read(path)?;
     decode(&bytes)
 }
+
+// ----- v2: the frozen serving snapshot ------------------------------------
+
+/// Serializes a frozen snapshot to bytes (format v2).
+pub fn encode_frozen(f: &FrozenTaxonomy) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_FROZEN);
+
+    section(&mut buf, SEC_INTERNER, |b| {
+        b.put_u32_le(f.interner.len() as u32);
+        for (_, s) in f.interner.iter() {
+            put_str(b, s);
+        }
+    });
+    section(&mut buf, SEC_ENTITIES, |b| {
+        b.put_u32_le(f.entities.len() as u32);
+        for rec in &f.entities {
+            b.put_u32_le(rec.name.0);
+            b.put_u32_le(rec.disambig.0);
+        }
+    });
+    section(&mut buf, SEC_CONCEPTS, |b| {
+        b.put_u32_le(f.concepts.len() as u32);
+        for sym in &f.concepts {
+            b.put_u32_le(sym.0);
+        }
+    });
+    section(&mut buf, SEC_ENTITY_CONCEPTS, |b| {
+        put_meta_csr(b, &f.entity_concepts);
+    });
+    section(&mut buf, SEC_CONCEPT_ENTITIES, |b| {
+        put_id_csr(b, &f.concept_entities, |e: &EntityId| e.0);
+    });
+    section(&mut buf, SEC_CONCEPT_PARENTS, |b| {
+        put_meta_csr(b, &f.concept_parents);
+    });
+    section(&mut buf, SEC_CONCEPT_CHILDREN, |b| {
+        put_id_csr(b, &f.concept_children, |c: &ConceptId| c.0);
+    });
+    section(&mut buf, SEC_ENTITY_ATTRS, |b| {
+        put_id_csr(b, &f.entity_attrs, |s: &Symbol| s.0);
+    });
+    section(&mut buf, SEC_ENTITY_ALIASES, |b| {
+        put_id_csr(b, &f.entity_aliases, |s: &Symbol| s.0);
+    });
+    section(&mut buf, SEC_ANCESTORS, |b| {
+        put_id_csr(b, &f.ancestors, |c: &ConceptId| c.0);
+    });
+    section(&mut buf, SEC_TOPO, |b| {
+        b.put_u32_le(f.topo.len() as u32);
+        for c in &f.topo {
+            b.put_u32_le(c.0);
+        }
+    });
+    section(&mut buf, SEC_DEPTH, |b| {
+        b.put_u32_le(f.depth.len() as u32);
+        for &d in &f.depth {
+            b.put_u32_le(d);
+        }
+    });
+    section(&mut buf, SEC_MENTIONS, |b| {
+        put_id_csr(b, &f.by_mention, |e: &EntityId| e.0);
+    });
+
+    // Content checksum over everything written so far (header + sections).
+    let digest = stable_hash(&buf);
+    buf.put_slice(&SEC_CHECKSUM);
+    buf.put_u64_le(8);
+    buf.put_u64_le(digest);
+    buf.freeze()
+}
+
+/// Raw section payloads collected by the first decode pass, before any
+/// cross-section validation.
+#[derive(Default)]
+struct RawSections {
+    interner: Option<Interner>,
+    entities: Option<Vec<EntityRecord>>,
+    concepts: Option<Vec<Symbol>>,
+    entity_concepts: Option<Csr<(ConceptId, IsAMeta)>>,
+    concept_entities: Option<Csr<EntityId>>,
+    concept_parents: Option<Csr<(ConceptId, IsAMeta)>>,
+    concept_children: Option<Csr<ConceptId>>,
+    entity_attrs: Option<Csr<Symbol>>,
+    entity_aliases: Option<Csr<Symbol>>,
+    ancestors: Option<Csr<ConceptId>>,
+    topo: Option<Vec<ConceptId>>,
+    depth: Option<Vec<u32>>,
+    by_mention: Option<Csr<EntityId>>,
+}
+
+/// Deserializes a frozen snapshot from bytes (format v2), validating every
+/// bound, the CSR/closure/depth invariants and the content checksum.
+pub fn decode_frozen(bytes: &[u8]) -> Result<FrozenTaxonomy, PersistError> {
+    if peek_version(bytes)? != VERSION_FROZEN {
+        return Err(PersistError::BadVersion(peek_version(bytes)?));
+    }
+    let mut buf = &bytes[8..];
+    let mut raw = RawSections::default();
+    let mut checksum_seen = false;
+
+    while !buf.is_empty() {
+        if buf.remaining() < 12 {
+            return Err(PersistError::Truncated("section header"));
+        }
+        // Byte offset of this section's tag, for the checksum prefix.
+        let tag_pos = bytes.len() - buf.len();
+        let mut tag = [0u8; 4];
+        buf.copy_to_slice(&mut tag);
+        let len = buf.get_u64_le();
+        if (buf.remaining() as u64) < len {
+            return Err(PersistError::Truncated("section body"));
+        }
+        let (body, rest) = buf.split_at(len as usize);
+        buf = rest;
+        match tag {
+            SEC_INTERNER => raw.interner = Some(decode_interner(body)?),
+            SEC_ENTITIES => raw.entities = Some(decode_entities(body)?),
+            SEC_CONCEPTS => raw.concepts = Some(decode_u32_list(body, "concept table", Symbol)?),
+            SEC_ENTITY_CONCEPTS => {
+                raw.entity_concepts = Some(get_meta_csr(body, "entity-concept CSR")?)
+            }
+            SEC_CONCEPT_ENTITIES => {
+                raw.concept_entities = Some(get_id_csr(body, "concept-entity CSR", EntityId)?)
+            }
+            SEC_CONCEPT_PARENTS => {
+                raw.concept_parents = Some(get_meta_csr(body, "concept-parent CSR")?)
+            }
+            SEC_CONCEPT_CHILDREN => {
+                raw.concept_children = Some(get_id_csr(body, "concept-child CSR", ConceptId)?)
+            }
+            SEC_ENTITY_ATTRS => {
+                raw.entity_attrs = Some(get_id_csr(body, "entity-attribute CSR", Symbol)?)
+            }
+            SEC_ENTITY_ALIASES => {
+                raw.entity_aliases = Some(get_id_csr(body, "entity-alias CSR", Symbol)?)
+            }
+            SEC_ANCESTORS => raw.ancestors = Some(get_id_csr(body, "ancestor CSR", ConceptId)?),
+            SEC_TOPO => raw.topo = Some(decode_u32_list(body, "topo order", ConceptId)?),
+            SEC_DEPTH => raw.depth = Some(decode_u32_list(body, "depth table", |d| d)?),
+            SEC_MENTIONS => raw.by_mention = Some(get_id_csr(body, "mention CSR", EntityId)?),
+            SEC_CHECKSUM => {
+                let mut body = body;
+                if len != 8 {
+                    return Err(PersistError::BadIndex("checksum section length"));
+                }
+                if body.get_u64_le() != stable_hash(&bytes[..tag_pos]) {
+                    return Err(PersistError::BadChecksum);
+                }
+                if !buf.is_empty() {
+                    return Err(PersistError::BadIndex("data after checksum section"));
+                }
+                checksum_seen = true;
+            }
+            // Unknown tag: a future format extension. Skip it; the bytes
+            // are still covered by the checksum.
+            _ => {}
+        }
+    }
+    if !checksum_seen {
+        return Err(PersistError::MissingSection("CKSM"));
+    }
+    validate_frozen(raw)
+}
+
+/// Writes a v2 frozen snapshot to `path`.
+pub fn save_frozen_to_file(f: &FrozenTaxonomy, path: &Path) -> Result<(), PersistError> {
+    std::fs::write(path, encode_frozen(f))?;
+    Ok(())
+}
+
+/// Loads a v2 frozen snapshot from `path`.
+pub fn load_frozen_from_file(path: &Path) -> Result<FrozenTaxonomy, PersistError> {
+    let bytes = std::fs::read(path)?;
+    decode_frozen(&bytes)
+}
+
+/// Cross-section validation + derived-map rebuild. Everything the freeze
+/// computes that is *not* on the wire (the three hash maps) is rebuilt
+/// here; everything that is on the wire is checked for mutual consistency
+/// so a decoded snapshot upholds the same invariants a freshly frozen one
+/// does.
+fn validate_frozen(raw: RawSections) -> Result<FrozenTaxonomy, PersistError> {
+    let missing = PersistError::MissingSection;
+    let interner = raw.interner.ok_or(missing("INTR"))?;
+    let entities = raw.entities.ok_or(missing("ENTS"))?;
+    let concepts = raw.concepts.ok_or(missing("CNPT"))?;
+    let entity_concepts = raw.entity_concepts.ok_or(missing("ECON"))?;
+    let concept_entities = raw.concept_entities.ok_or(missing("CENT"))?;
+    let concept_parents = raw.concept_parents.ok_or(missing("CPAR"))?;
+    let concept_children = raw.concept_children.ok_or(missing("CCHD"))?;
+    let entity_attrs = raw.entity_attrs.ok_or(missing("EATT"))?;
+    let entity_aliases = raw.entity_aliases.ok_or(missing("EALS"))?;
+    let ancestors = raw.ancestors.ok_or(missing("ANCS"))?;
+    let topo = raw.topo.ok_or(missing("TOPO"))?;
+    let depth = raw.depth.ok_or(missing("DPTH"))?;
+    let by_mention = raw.by_mention.ok_or(missing("MENT"))?;
+
+    let n_strings = interner.len();
+    let n_entities = entities.len();
+    let n_concepts = concepts.len();
+    let sym_ok = |s: Symbol| s.index() < n_strings;
+
+    // Entity and concept tables: symbol bounds + unique keys.
+    let mut entity_by_key = FxHashMap::default();
+    for (i, rec) in entities.iter().enumerate() {
+        if !sym_ok(rec.name) || !sym_ok(rec.disambig) {
+            return Err(PersistError::BadIndex("entity symbol"));
+        }
+        if entity_by_key
+            .insert((rec.name, rec.disambig), EntityId(i as u32))
+            .is_some()
+        {
+            return Err(PersistError::BadIndex("duplicate entity key"));
+        }
+    }
+    let mut concept_by_sym = FxHashMap::default();
+    for (i, &sym) in concepts.iter().enumerate() {
+        if !sym_ok(sym) {
+            return Err(PersistError::BadIndex("concept symbol"));
+        }
+        if concept_by_sym.insert(sym, ConceptId(i as u32)).is_some() {
+            return Err(PersistError::BadIndex("duplicate concept symbol"));
+        }
+    }
+
+    // CSR shape: row counts must match their owning tables.
+    let rows = [
+        (
+            entity_concepts.num_rows(),
+            n_entities,
+            "entity-concept rows",
+        ),
+        (entity_attrs.num_rows(), n_entities, "entity-attribute rows"),
+        (entity_aliases.num_rows(), n_entities, "entity-alias rows"),
+        (
+            concept_entities.num_rows(),
+            n_concepts,
+            "concept-entity rows",
+        ),
+        (
+            concept_parents.num_rows(),
+            n_concepts,
+            "concept-parent rows",
+        ),
+        (
+            concept_children.num_rows(),
+            n_concepts,
+            "concept-child rows",
+        ),
+        (ancestors.num_rows(), n_concepts, "ancestor rows"),
+        (by_mention.num_rows(), n_strings, "mention rows"),
+    ];
+    for (got, want, what) in rows {
+        if got != want {
+            return Err(PersistError::BadIndex(what));
+        }
+    }
+    if topo.len() != n_concepts || depth.len() != n_concepts {
+        return Err(PersistError::BadIndex("topo/depth length"));
+    }
+
+    // Column-id bounds per relation.
+    let concept_ok = |c: ConceptId| c.index() < n_concepts;
+    let entity_ok = |e: EntityId| e.index() < n_entities;
+    if !entity_concepts.data().iter().all(|&(c, _)| concept_ok(c)) {
+        return Err(PersistError::BadIndex("entity-concept column"));
+    }
+    if !concept_entities.data().iter().all(|&e| entity_ok(e)) {
+        return Err(PersistError::BadIndex("concept-entity column"));
+    }
+    if !concept_parents.data().iter().all(|&(c, _)| concept_ok(c)) {
+        return Err(PersistError::BadIndex("concept-parent column"));
+    }
+    if !concept_children.data().iter().all(|&c| concept_ok(c)) {
+        return Err(PersistError::BadIndex("concept-child column"));
+    }
+    if !entity_attrs.data().iter().all(|&s| sym_ok(s)) {
+        return Err(PersistError::BadIndex("entity-attribute column"));
+    }
+    if !entity_aliases.data().iter().all(|&s| sym_ok(s)) {
+        return Err(PersistError::BadIndex("entity-alias column"));
+    }
+    if !ancestors.data().iter().all(|&c| concept_ok(c)) {
+        return Err(PersistError::BadIndex("ancestor column"));
+    }
+    if !by_mention.data().iter().all(|&e| entity_ok(e)) {
+        return Err(PersistError::BadIndex("mention column"));
+    }
+
+    // Topological order must be a permutation of the concepts.
+    let mut seen = vec![false; n_concepts];
+    for &c in &topo {
+        if !concept_ok(c) || std::mem::replace(&mut seen[c.index()], true) {
+            return Err(PersistError::BadIndex("topo permutation"));
+        }
+    }
+
+    // Relation symmetry: parents ↔ children and entity-edges ↔ entity
+    // rows must describe the same edge sets (no edge lost or invented).
+    let mut child_edges = FxHashSet::default();
+    for p in 0..n_concepts {
+        for &c in concept_children.row(p) {
+            if !child_edges.insert((c, ConceptId(p as u32))) {
+                return Err(PersistError::BadIndex("duplicate child edge"));
+            }
+        }
+    }
+    let mut n_parent_edges = 0usize;
+    for c in 0..n_concepts {
+        for &(p, _) in concept_parents.row(c) {
+            n_parent_edges += 1;
+            if p.index() == c {
+                return Err(PersistError::BadIndex("self parent edge"));
+            }
+            if !child_edges.contains(&(ConceptId(c as u32), p)) {
+                return Err(PersistError::BadIndex("parent edge without child edge"));
+            }
+        }
+    }
+    if n_parent_edges != child_edges.len() {
+        return Err(PersistError::BadIndex("parent/child edge count"));
+    }
+    let mut entity_edges = FxHashSet::default();
+    for c in 0..n_concepts {
+        for &e in concept_entities.row(c) {
+            if !entity_edges.insert((e, ConceptId(c as u32))) {
+                return Err(PersistError::BadIndex("duplicate concept-entity edge"));
+            }
+        }
+    }
+    let mut n_entity_edges = 0usize;
+    for e in 0..n_entities {
+        for &(c, _) in entity_concepts.row(e) {
+            n_entity_edges += 1;
+            if !entity_edges.contains(&(EntityId(e as u32), c)) {
+                return Err(PersistError::BadIndex("entity edge without concept edge"));
+            }
+        }
+    }
+    if n_entity_edges != entity_edges.len() {
+        return Err(PersistError::BadIndex("entity/concept edge count"));
+    }
+
+    // Closure & depth consistency with the parent edges: ancestor rows are
+    // strictly sorted, never contain the concept itself, and contain every
+    // direct parent; a parent's depth never exceeds its child's, and a
+    // parentless concept sits at depth 0.
+    for c in 0..n_concepts {
+        let row = ancestors.row(c);
+        if !row.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PersistError::BadIndex("unsorted ancestor row"));
+        }
+        if row.binary_search(&ConceptId(c as u32)).is_ok() {
+            return Err(PersistError::BadIndex("self ancestor"));
+        }
+        let parents = concept_parents.row(c);
+        for &(p, _) in parents {
+            if row.binary_search(&p).is_err() {
+                return Err(PersistError::BadIndex("parent missing from closure"));
+            }
+            if depth[p.index()] > depth[c] {
+                return Err(PersistError::BadIndex("depth inversion"));
+            }
+        }
+        if parents.is_empty() && depth[c] != 0 {
+            return Err(PersistError::BadIndex("parentless depth"));
+        }
+    }
+
+    // Mention rows: strictly sorted, and every listed sense actually
+    // carries the mention symbol as its name or one of its aliases.
+    for sym in 0..n_strings {
+        let row = by_mention.row(sym);
+        if !row.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PersistError::BadIndex("unsorted mention row"));
+        }
+        let sym = Symbol(sym as u32);
+        for &e in row {
+            let rec = entities[e.index()];
+            if rec.name != sym && !entity_aliases.row(e.index()).contains(&sym) {
+                return Err(PersistError::BadIndex("mention without name or alias"));
+            }
+        }
+    }
+
+    // Rebuild the disambiguated full-key table (`name（disambig）` → sense).
+    let mut full_keys = FxHashMap::default();
+    for (i, rec) in entities.iter().enumerate() {
+        if rec.disambig != Symbol(0) {
+            let key = format!(
+                "{}（{}）",
+                interner.resolve(rec.name),
+                interner.resolve(rec.disambig)
+            );
+            full_keys.insert(key, EntityId(i as u32));
+        }
+    }
+
+    Ok(FrozenTaxonomy {
+        interner,
+        entities,
+        entity_by_key,
+        concepts,
+        concept_by_sym,
+        entity_concepts,
+        concept_entities,
+        concept_parents,
+        concept_children,
+        entity_attrs,
+        entity_aliases,
+        ancestors,
+        topo,
+        depth,
+        by_mention,
+        full_keys,
+    })
+}
+
+// ----- v2 section codecs --------------------------------------------------
+
+fn section(buf: &mut BytesMut, tag: [u8; 4], write: impl FnOnce(&mut BytesMut)) {
+    // Write the payload in place and patch the length slot afterwards —
+    // staging it in a scratch buffer would copy every payload byte twice
+    // and transiently double the memory of the largest section.
+    buf.put_slice(&tag);
+    let len_at = buf.len();
+    buf.put_u64_le(0);
+    let start = buf.len();
+    write(buf);
+    let len = (buf.len() - start) as u64;
+    buf[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+}
+
+fn decode_interner(mut body: &[u8]) -> Result<Interner, PersistError> {
+    let n = get_u32(&mut body, "string count")? as usize;
+    let mut interner = Interner::new();
+    for i in 0..n {
+        let s = get_str(&mut body)?;
+        // `Interner::new` pre-interns "" at 0, so a valid snapshot (whose
+        // first string is "") re-interns every string at its own index;
+        // duplicates or a missing leading "" surface as an index mismatch.
+        if interner.intern(&s).index() != i {
+            return Err(PersistError::BadIndex("duplicate interned string"));
+        }
+    }
+    expect_consumed(body, "interner section")?;
+    Ok(interner)
+}
+
+fn decode_entities(mut body: &[u8]) -> Result<Vec<EntityRecord>, PersistError> {
+    let n = get_u32(&mut body, "entity count")? as usize;
+    let mut out = Vec::with_capacity(n.min(body.remaining() / 8));
+    for _ in 0..n {
+        let name = Symbol(get_u32(&mut body, "entity name")?);
+        let disambig = Symbol(get_u32(&mut body, "entity disambig")?);
+        out.push(EntityRecord { name, disambig });
+    }
+    expect_consumed(body, "entity section")?;
+    Ok(out)
+}
+
+fn decode_u32_list<T>(
+    mut body: &[u8],
+    what: &'static str,
+    wrap: impl Fn(u32) -> T,
+) -> Result<Vec<T>, PersistError> {
+    let n = get_u32(&mut body, what)? as usize;
+    let mut out = Vec::with_capacity(n.min(body.remaining() / 4));
+    for _ in 0..n {
+        out.push(wrap(get_u32(&mut body, what)?));
+    }
+    expect_consumed(body, what)?;
+    Ok(out)
+}
+
+/// CSR wire layout: `rows u32 | offsets (rows+1)×u32 | entries u32 | data`.
+fn put_csr_header<T: Copy>(buf: &mut BytesMut, csr: &Csr<T>) {
+    let (offsets, data) = csr.parts();
+    buf.put_u32_le((offsets.len() - 1) as u32);
+    for &o in offsets {
+        buf.put_u32_le(o);
+    }
+    buf.put_u32_le(data.len() as u32);
+}
+
+fn put_id_csr<T: Copy>(buf: &mut BytesMut, csr: &Csr<T>, id: impl Fn(&T) -> u32) {
+    put_csr_header(buf, csr);
+    for t in csr.data() {
+        buf.put_u32_le(id(t));
+    }
+}
+
+fn put_meta_csr(buf: &mut BytesMut, csr: &Csr<(ConceptId, IsAMeta)>) {
+    put_csr_header(buf, csr);
+    for &(c, meta) in csr.data() {
+        buf.put_u32_le(c.0);
+        buf.put_u8(meta.source.to_u8());
+        // `IsAMeta`'s fields are public, so an unclamped or NaN confidence
+        // can reach a store without passing `IsAMeta::new`. Clamp on the
+        // way out (NaN → 0.0, the `IsAMeta::new` convention): the decoder
+        // rejects out-of-range confidences as corruption, and a snapshot
+        // that saved successfully must always load.
+        let conf = if meta.confidence.is_nan() {
+            0.0
+        } else {
+            meta.confidence.clamp(0.0, 1.0)
+        };
+        buf.put_f32_le(conf);
+    }
+}
+
+/// Reads the CSR preamble, returning `(offsets, n_entries)` with the
+/// structural invariants (first offset 0, monotone, final offset == entry
+/// count) already checked and allocations capped by the remaining bytes.
+fn get_csr_preamble(
+    body: &mut &[u8],
+    what: &'static str,
+    elem_size: usize,
+) -> Result<(Vec<u32>, usize), PersistError> {
+    let rows = get_u32(body, what)? as usize;
+    let n_offsets = rows + 1;
+    if (body.remaining() as u64) < n_offsets as u64 * 4 {
+        return Err(PersistError::Truncated(what));
+    }
+    let mut offsets = Vec::with_capacity(n_offsets);
+    let mut prev = 0u32;
+    for i in 0..n_offsets {
+        let o = body.get_u32_le();
+        if (i == 0 && o != 0) || o < prev {
+            return Err(PersistError::BadIndex(what));
+        }
+        prev = o;
+        offsets.push(o);
+    }
+    let n_entries = get_u32(body, what)? as usize;
+    if n_entries != prev as usize {
+        return Err(PersistError::BadIndex(what));
+    }
+    if (body.remaining() as u64) < n_entries as u64 * elem_size as u64 {
+        return Err(PersistError::Truncated(what));
+    }
+    Ok((offsets, n_entries))
+}
+
+fn get_id_csr<T: Copy>(
+    mut body: &[u8],
+    what: &'static str,
+    wrap: impl Fn(u32) -> T,
+) -> Result<Csr<T>, PersistError> {
+    let (offsets, n_entries) = get_csr_preamble(&mut body, what, 4)?;
+    let mut data = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        data.push(wrap(body.get_u32_le()));
+    }
+    expect_consumed(body, what)?;
+    Ok(Csr::from_parts(offsets, data))
+}
+
+fn get_meta_csr(
+    mut body: &[u8],
+    what: &'static str,
+) -> Result<Csr<(ConceptId, IsAMeta)>, PersistError> {
+    let (offsets, n_entries) = get_csr_preamble(&mut body, what, 9)?;
+    let mut data = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let c = ConceptId(body.get_u32_le());
+        let src = body.get_u8();
+        let conf = body.get_f32_le();
+        let source = Source::from_u8(src).ok_or(PersistError::BadIndex("edge source tag"))?;
+        // Reject rather than clamp: the encoder only writes clamped values,
+        // so an out-of-range confidence is corruption, and clamping would
+        // break the byte-identical re-encode guarantee.
+        if !(0.0..=1.0).contains(&conf) {
+            return Err(PersistError::BadIndex("edge confidence"));
+        }
+        data.push((
+            c,
+            IsAMeta {
+                source,
+                confidence: conf,
+            },
+        ));
+    }
+    expect_consumed(body, what)?;
+    Ok(Csr::from_parts(offsets, data))
+}
+
+fn expect_consumed(body: &[u8], what: &'static str) -> Result<(), PersistError> {
+    if body.is_empty() {
+        Ok(())
+    } else {
+        Err(PersistError::BadIndex(what))
+    }
+}
+
+// ----- shared primitives --------------------------------------------------
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -313,6 +1029,29 @@ mod tests {
         }
     }
 
+    fn assert_frozen_equal(a: &FrozenTaxonomy, b: &FrozenTaxonomy) {
+        assert_eq!(a.num_entities(), b.num_entities());
+        assert_eq!(a.num_concepts(), b.num_concepts());
+        assert_eq!(a.num_is_a(), b.num_is_a());
+        assert_eq!(a.topo_order(), b.topo_order());
+        for e in a.entity_ids() {
+            assert_eq!(a.concepts_of(e), b.concepts_of(e));
+            assert_eq!(a.attributes_of(e), b.attributes_of(e));
+            assert_eq!(a.aliases_of(e), b.aliases_of(e));
+            assert_eq!(a.entity_key(e), b.entity_key(e));
+        }
+        for c in a.concept_ids() {
+            assert_eq!(a.entities_of(c), b.entities_of(c));
+            assert_eq!(a.parents_of(c), b.parents_of(c));
+            assert_eq!(a.children_of(c), b.children_of(c));
+            assert_eq!(a.ancestors_of(c), b.ancestors_of(c));
+            assert_eq!(a.depth(c), b.depth(c));
+            assert_eq!(a.concept_name(c), b.concept_name(c));
+        }
+    }
+
+    // ----- v1 -------------------------------------------------------------
+
     #[test]
     fn roundtrip_demo_store() {
         let store = demo_store();
@@ -367,8 +1106,271 @@ mod tests {
         assert_eq!(loaded.num_is_a(), 0);
     }
 
+    /// Regression (pre-fix this could over-allocate): a v1 header whose
+    /// count field claims u32::MAX records over a near-empty body must fail
+    /// with a truncation error after at most a tiny bounded allocation.
+    #[test]
+    fn v1_hostile_count_is_clamped_by_remaining_bytes() {
+        for section in 0..3 {
+            let mut buf = BytesMut::new();
+            buf.put_slice(MAGIC);
+            buf.put_u32_le(VERSION_STORE);
+            if section >= 1 {
+                buf.put_u32_le(1); // one string: ""
+                put_str(&mut buf, "");
+            }
+            if section >= 2 {
+                buf.put_u32_le(0); // zero entities
+            }
+            // The hostile count (strings / entities / concepts by turn).
+            buf.put_u32_le(u32::MAX);
+            let err = decode(&buf).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Truncated(_)),
+                "section {section}: {err}"
+            );
+        }
+    }
+
+    // ----- v2 -------------------------------------------------------------
+
+    #[test]
+    fn frozen_roundtrip_demo_store() {
+        let frozen = FrozenTaxonomy::freeze(&demo_store());
+        let bytes = encode_frozen(&frozen);
+        let loaded = decode_frozen(&bytes).expect("decode_frozen");
+        assert_frozen_equal(&frozen, &loaded);
+        // Re-encode is byte-identical: the codec is a pure function of the
+        // snapshot contents and the derived maps never reach the wire.
+        assert_eq!(encode_frozen(&loaded).as_ref(), bytes.as_ref());
+    }
+
+    #[test]
+    fn frozen_roundtrip_preserves_queries() {
+        let store = demo_store();
+        let frozen = FrozenTaxonomy::freeze(&store);
+        let loaded = decode_frozen(&encode_frozen(&frozen)).unwrap();
+        for m in ["刘德华", "张学友", "Andy Lau", "刘德华（中国香港男演员）"] {
+            assert_eq!(frozen.men2ent(m), loaded.men2ent(m), "mention {m}");
+        }
+        let actor = loaded.find_concept("演员").unwrap();
+        let person = loaded.find_concept("人物").unwrap();
+        assert_eq!(loaded.ancestors_of(actor), &[person]);
+        assert_eq!(loaded.depth(actor), 1);
+    }
+
+    #[test]
+    fn frozen_roundtrip_tolerates_cycles() {
+        let mut store = demo_store();
+        let actor = store.find_concept("演员").unwrap();
+        let person = store.find_concept("人物").unwrap();
+        store.add_concept_is_a(person, actor, IsAMeta::new(Source::SubConcept, 0.1));
+        let frozen = FrozenTaxonomy::freeze(&store);
+        let loaded = decode_frozen(&encode_frozen(&frozen)).unwrap();
+        assert_frozen_equal(&frozen, &loaded);
+    }
+
+    /// Regression: `IsAMeta`'s fields are public, so a NaN or out-of-range
+    /// confidence can enter a store without passing `IsAMeta::new`. The
+    /// encoder must clamp on the way out — pre-fix it wrote the raw value,
+    /// producing a snapshot that saved successfully but failed to load
+    /// (`BadIndex("edge confidence")`).
+    #[test]
+    fn frozen_encode_clamps_unclamped_confidence() {
+        let mut store = demo_store();
+        let e = store.find_entity("张学友", None).unwrap();
+        let c = store.find_concept("演员").unwrap();
+        store.add_entity_is_a(
+            e,
+            c,
+            IsAMeta {
+                source: Source::Tag,
+                confidence: f32::NAN,
+            },
+        );
+        let c2 = store.find_concept("歌手").unwrap();
+        store.add_concept_is_a(
+            c2,
+            c,
+            IsAMeta {
+                source: Source::SubConcept,
+                confidence: 7.5,
+            },
+        );
+        let frozen = FrozenTaxonomy::freeze(&store);
+        let loaded = decode_frozen(&encode_frozen(&frozen)).expect("clamped snapshot loads");
+        let nan_edge = loaded
+            .concepts_of(e)
+            .iter()
+            .find(|&&(cc, _)| cc == c)
+            .unwrap();
+        assert_eq!(nan_edge.1.confidence, 0.0);
+        let hot_edge = loaded
+            .parents_of(c2)
+            .iter()
+            .find(|&&(cc, _)| cc == c)
+            .unwrap();
+        assert_eq!(hot_edge.1.confidence, 1.0);
+    }
+
+    #[test]
+    fn frozen_empty_roundtrip() {
+        let frozen = FrozenTaxonomy::freeze(&TaxonomyStore::new());
+        let loaded = decode_frozen(&encode_frozen(&frozen)).unwrap();
+        assert_eq!(loaded.num_entities(), 0);
+        assert_eq!(loaded.num_concepts(), 0);
+    }
+
+    #[test]
+    fn frozen_file_roundtrip() {
+        let frozen = FrozenTaxonomy::freeze(&demo_store());
+        let dir = std::env::temp_dir().join("cnp_persist_test_v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.cnpb");
+        save_frozen_to_file(&frozen, &path).expect("save");
+        let loaded = load_frozen_from_file(&path).expect("load");
+        assert_frozen_equal(&frozen, &loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_dispatches_on_version() {
+        let store = demo_store();
+        let v1 = encode(&store);
+        let v2 = encode_frozen(&FrozenTaxonomy::freeze(&store));
+        let s1 = Snapshot::load(&v1).unwrap();
+        assert_eq!(s1.version(), VERSION_STORE);
+        let s2 = Snapshot::load(&v2).unwrap();
+        assert_eq!(s2.version(), VERSION_FROZEN);
+        // Both land on an equivalent serving snapshot. The v1 path
+        // re-interns strings in rebuild order, so symbols are compared
+        // through `resolve`, not numerically.
+        let (a, b) = (s1.into_frozen(), s2.into_frozen());
+        assert_eq!(a.num_entities(), b.num_entities());
+        assert_eq!(a.num_is_a(), b.num_is_a());
+        for e in a.entity_ids() {
+            assert_eq!(a.entity_key(e), b.entity_key(e));
+            assert_eq!(a.concepts_of(e), b.concepts_of(e));
+            let resolve_all = |f: &FrozenTaxonomy, syms: &[Symbol]| -> Vec<String> {
+                syms.iter().map(|&s| f.resolve(s).to_string()).collect()
+            };
+            assert_eq!(
+                resolve_all(&a, a.attributes_of(e)),
+                resolve_all(&b, b.attributes_of(e))
+            );
+            assert_eq!(
+                resolve_all(&a, a.aliases_of(e)),
+                resolve_all(&b, b.aliases_of(e))
+            );
+        }
+        for c in a.concept_ids() {
+            assert_eq!(a.concept_name(c), b.concept_name(c));
+            assert_eq!(a.entities_of(c), b.entities_of(c));
+            assert_eq!(a.ancestors_of(c), b.ancestors_of(c));
+            assert_eq!(a.depth(c), b.depth(c));
+        }
+        let mut bad = BytesMut::new();
+        bad.put_slice(MAGIC);
+        bad.put_u32_le(77);
+        assert!(matches!(
+            Snapshot::load(&bad),
+            Err(PersistError::BadVersion(77))
+        ));
+    }
+
+    /// Rebuilds the trailing CKSM section after the test mutated the body.
+    fn reseal(mut bytes: Vec<u8>) -> Vec<u8> {
+        bytes.truncate(bytes.len() - 20); // tag + u64 len + u64 digest
+        let digest = stable_hash(&bytes);
+        bytes.put_slice(&SEC_CHECKSUM);
+        bytes.put_u64_le(8);
+        bytes.put_u64_le(digest);
+        bytes
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let frozen = FrozenTaxonomy::freeze(&demo_store());
+        let encoded = encode_frozen(&frozen);
+        // Splice an unknown section right after the header, re-seal.
+        let mut bytes = encoded[..8].to_vec();
+        bytes.put_slice(b"XTRA");
+        bytes.put_u64_le(3);
+        bytes.put_slice(b"\xAA\xBB\xCC");
+        bytes.extend_from_slice(&encoded[8..]);
+        let loaded = decode_frozen(&reseal(bytes)).expect("skip unknown section");
+        assert_frozen_equal(&frozen, &loaded);
+    }
+
+    #[test]
+    fn missing_section_is_reported() {
+        let frozen = FrozenTaxonomy::freeze(&demo_store());
+        let encoded = encode_frozen(&frozen);
+        // Drop the DPTH section wholesale, re-seal: structurally valid
+        // framing, but a required section is gone.
+        let mut bytes = encoded[..8].to_vec();
+        let mut cursor = &encoded[8..];
+        while cursor.remaining() >= 12 {
+            let start = encoded.len() - cursor.remaining();
+            let mut tag = [0u8; 4];
+            cursor.copy_to_slice(&mut tag);
+            let len = cursor.get_u64_le() as usize;
+            let end = start + 12 + len;
+            cursor = &encoded[end..];
+            if tag != SEC_DEPTH {
+                bytes.extend_from_slice(&encoded[start..end]);
+            }
+        }
+        let err = decode_frozen(&reseal(bytes)).unwrap_err();
+        assert!(matches!(err, PersistError::MissingSection("DPTH")), "{err}");
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let frozen = FrozenTaxonomy::freeze(&demo_store());
+        let mut bytes = encode_frozen(&frozen).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // corrupt the stored digest itself
+        assert!(matches!(
+            decode_frozen(&bytes),
+            Err(PersistError::BadChecksum)
+        ));
+    }
+
+    #[test]
+    fn v2_hostile_section_length_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_FROZEN);
+        buf.put_slice(&SEC_INTERNER);
+        buf.put_u64_le(u64::MAX);
+        assert!(matches!(
+            decode_frozen(&buf),
+            Err(PersistError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn v2_hostile_csr_counts_are_rejected() {
+        // An ANCS section claiming u32::MAX rows over an 8-byte body: the
+        // offset-table size check fires before any allocation happens.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_FROZEN);
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(u32::MAX);
+        payload.put_u32_le(0);
+        buf.put_slice(&SEC_ANCESTORS);
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(&payload);
+        assert!(matches!(
+            decode_frozen(&buf),
+            Err(PersistError::Truncated(_))
+        ));
+    }
+
     proptest! {
-        /// Arbitrary small stores round-trip exactly.
+        /// Arbitrary small stores round-trip exactly (v1).
         #[test]
         fn roundtrip_arbitrary(
             entities in proptest::collection::vec("[一-龥]{1,4}", 1..10),
@@ -387,6 +1389,57 @@ mod tests {
             prop_assert_eq!(store.num_entities(), loaded.num_entities());
             prop_assert_eq!(store.num_concepts(), loaded.num_concepts());
             prop_assert_eq!(store.num_is_a(), loaded.num_is_a());
+        }
+
+        /// Arbitrary stores (cycles included): freeze → encode → decode
+        /// re-encodes byte-identically and answers identical
+        /// `concepts_of` / `entities_of` / `ancestors_of` queries.
+        #[test]
+        fn frozen_roundtrip_arbitrary(
+            concept_edges in proptest::collection::vec((0u32..12, 0u32..12, 0u32..100), 0..40),
+            entity_links in proptest::collection::vec((0u32..6, 0u32..12), 0..18),
+            aliased in proptest::collection::vec(0u32..6, 0..4),
+            disambiguated in proptest::collection::vec(0u32..6, 0..4),
+        ) {
+            let mut store = TaxonomyStore::new();
+            for i in 0..12 {
+                store.add_concept(&format!("概念{i}"));
+            }
+            for i in 0..6u32 {
+                let dis = disambiguated.contains(&i).then(|| format!("义项{i}"));
+                store.add_entity(&format!("实体{i}"), dis.as_deref());
+            }
+            for &(a, b, conf) in &concept_edges {
+                if a != b {
+                    store.add_concept_is_a(
+                        ConceptId(a),
+                        ConceptId(b),
+                        IsAMeta::new(Source::SubConcept, conf as f32 / 100.0),
+                    );
+                }
+            }
+            for &(e, c) in &entity_links {
+                store.add_entity_is_a(EntityId(e), ConceptId(c), IsAMeta::new(Source::Tag, 0.8));
+            }
+            for &e in &aliased {
+                store.add_alias(EntityId(e), &format!("别名{e}"));
+                store.add_attribute(EntityId(e), "职业");
+            }
+            let frozen = FrozenTaxonomy::freeze(&store);
+            let bytes = encode_frozen(&frozen);
+            let loaded = decode_frozen(&bytes).unwrap();
+            prop_assert_eq!(encode_frozen(&loaded).as_ref(), bytes.as_ref());
+            for e in frozen.entity_ids() {
+                prop_assert_eq!(frozen.concepts_of(e), loaded.concepts_of(e));
+            }
+            for c in frozen.concept_ids() {
+                prop_assert_eq!(frozen.entities_of(c), loaded.entities_of(c));
+                prop_assert_eq!(frozen.ancestors_of(c), loaded.ancestors_of(c));
+            }
+            for e in 0..6 {
+                let m = format!("实体{e}");
+                prop_assert_eq!(frozen.men2ent(&m), loaded.men2ent(&m));
+            }
         }
     }
 }

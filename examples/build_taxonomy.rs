@@ -5,6 +5,9 @@
 //! ```sh
 //! cargo run --release --example build_taxonomy           # default scale
 //! CNP_PAGES=2000 cargo run --release --example build_taxonomy
+//! # Also persist the frozen serving snapshot (format v2); boot it later
+//! # with the serve_from_snapshot example.
+//! CNP_SNAPSHOT=/tmp/cnp.snapshot cargo run --release --example build_taxonomy
 //! ```
 
 use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
@@ -24,6 +27,27 @@ fn main() {
     println!("running the generation + verification pipeline …\n");
     let outcome = Pipeline::new(PipelineConfig::fast()).run(&corpus);
     print!("{}", outcome.report);
+
+    if let Ok(path) = std::env::var("CNP_SNAPSHOT") {
+        let path = std::path::PathBuf::from(path);
+        let t = std::time::Instant::now();
+        match outcome.save_frozen(&path) {
+            Ok(frozen) => println!(
+                "\nwrote frozen snapshot (v2) to {} in {:.1?}: {} bytes, \
+                 {} entities, {} concepts, {} isA edges",
+                path.display(),
+                t.elapsed(),
+                std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                frozen.num_entities(),
+                frozen.num_concepts(),
+                frozen.num_is_a(),
+            ),
+            Err(e) => {
+                eprintln!("failed to write snapshot to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     let est = eval::estimate(&outcome.candidates, &corpus.gold, 2_000, 42);
     println!(

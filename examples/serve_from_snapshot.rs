@@ -1,0 +1,72 @@
+//! Boot the Table II serving path straight from a snapshot file.
+//!
+//! This is the production boot sequence: no pipeline, no freeze — load a
+//! v2 snapshot (validate-and-go) or a v1 store snapshot (load, then one
+//! freeze) through `ProbaseApi::from_snapshot_file` and start answering
+//! `men2ent` / `getConcept` / `getEntity` immediately.
+//!
+//! ```sh
+//! CNP_SNAPSHOT=/tmp/cnp.snapshot cargo run --release --example build_taxonomy
+//! CNP_SNAPSHOT=/tmp/cnp.snapshot cargo run --release --example serve_from_snapshot
+//! ```
+//!
+//! Exits non-zero when the snapshot fails to load or serves an empty
+//! taxonomy, so CI can use it as a round-trip smoke check.
+
+use cn_probase::ProbaseApi;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let path = std::env::var("CNP_SNAPSHOT").unwrap_or_else(|_| "/tmp/cnp.snapshot".to_string());
+    let t = Instant::now();
+    let api = match ProbaseApi::from_snapshot_file(Path::new(&path)) {
+        Ok(api) => api,
+        Err(e) => {
+            eprintln!("failed to boot from snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let boot = t.elapsed();
+    let f = api.frozen();
+    println!(
+        "booted from {path} in {boot:.1?}: {} entities, {} concepts, {} isA edges, {} mentions",
+        f.num_entities(),
+        f.num_concepts(),
+        f.num_is_a(),
+        f.num_mentions(),
+    );
+    if f.num_is_a() == 0 {
+        eprintln!("snapshot serves an empty taxonomy");
+        std::process::exit(1);
+    }
+
+    // Answer a few queries straight off the loaded snapshot, using its own
+    // entity table as the query stream.
+    let mut shown = 0;
+    for e in f.entity_ids() {
+        if f.concepts_of(e).is_empty() {
+            continue;
+        }
+        let mention = f.resolve(f.entity(e).name).to_string();
+        let senses = api.men2ent(&mention);
+        let concepts = api.get_concept(e, true);
+        println!(
+            "men2ent({mention}) -> {} sense(s); getConcept(transitive) -> {}",
+            senses.len(),
+            concepts.join("、"),
+        );
+        if let Some(first) = concepts.first() {
+            let hyponyms = api.get_entity(first, true, 5);
+            println!("  getEntity({first}, ≤5) -> {}", hyponyms.join("、"));
+        }
+        shown += 1;
+        if shown == 3 {
+            break;
+        }
+    }
+    if shown == 0 {
+        eprintln!("no linked entity found in the snapshot");
+        std::process::exit(1);
+    }
+}

@@ -40,6 +40,8 @@ pub use cnp_taxonomy as taxonomy;
 pub use cnp_text as text;
 
 // The headline serving types, re-exported at the crate root: build a
-// taxonomy with [`pipeline`], freeze it into a [`FrozenTaxonomy`] and serve
-// the Table II APIs through [`ProbaseApi`] from any number of threads.
-pub use cnp_taxonomy::{FrozenTaxonomy, ProbaseApi};
+// taxonomy with [`pipeline`], freeze it into a [`FrozenTaxonomy`], persist
+// it with `save_to_file` (snapshot format v2) and boot the Table II APIs
+// straight from disk with `ProbaseApi::from_snapshot_file`; [`Snapshot`]
+// dispatches on the format version, [`PersistError`] is the decode error.
+pub use cnp_taxonomy::{FrozenTaxonomy, PersistError, ProbaseApi, Snapshot};

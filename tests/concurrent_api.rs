@@ -103,3 +103,26 @@ fn runtime_workers_match_single_threaded_answers() {
     // Enough tasks that every worker runs several hammer passes.
     rt.par_tasks(4 * THREADS, |t| hammer(&g, t * 53));
 }
+
+/// Snapshot-boot concurrency: persist the frozen taxonomy (format v2),
+/// boot a fresh `ProbaseApi` from the file, and hammer it from 8 threads
+/// against the answers of the directly-frozen single-threaded API. The
+/// disk round-trip must be invisible to concurrent Table II traffic.
+#[test]
+fn snapshot_booted_api_matches_across_threads() {
+    let g = build_golden();
+    let dir = std::env::temp_dir().join("cnp_concurrent_api_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("boot.cnpb");
+    g.api.frozen().save_to_file(&path).expect("save snapshot");
+    let booted = ProbaseApi::from_snapshot_file(&path).expect("boot from snapshot");
+    std::fs::remove_file(&path).ok();
+    // Same golden answers, snapshot-booted service.
+    let g = Golden { api: booted, ..g };
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let g = &g;
+            s.spawn(move || hammer(g, t * 41));
+        }
+    });
+}

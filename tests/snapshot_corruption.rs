@@ -1,0 +1,160 @@
+//! Hostile-input suite for the snapshot codecs (ISSUE 4 satellite).
+//!
+//! A serving fleet reloads snapshots constantly; a truncated upload, a
+//! bit-flipped block or a hand-crafted hostile file must produce an
+//! `Err(PersistError::…)` — never a panic, and never an OOM from trusting
+//! a length field. The v2 suite is exhaustive: *every* truncation prefix
+//! and *every* single-byte flip of a valid snapshot must fail decode (the
+//! FNV-1a content checksum guarantees flips are caught even where the
+//! structure would still parse).
+
+use cn_probase::taxonomy::persist::{self, PersistError};
+use cn_probase::taxonomy::{FrozenTaxonomy, IsAMeta, Snapshot, Source, TaxonomyStore};
+
+/// Small but section-complete store: a disambiguated sense, an alias, an
+/// attribute, entity edges from three sources and a concept chain.
+fn demo_store() -> TaxonomyStore {
+    let mut s = TaxonomyStore::new();
+    let liu = s.add_entity("刘德华", Some("中国香港男演员"));
+    let liu_bare = s.add_entity("刘德华", None);
+    let zhang = s.add_entity("张学友", None);
+    s.add_alias(liu, "Andy Lau");
+    s.add_attribute(liu, "职业");
+    let male_actor = s.add_concept("男演员");
+    let actor = s.add_concept("演员");
+    let singer = s.add_concept("歌手");
+    let person = s.add_concept("人物");
+    s.add_concept_is_a(male_actor, actor, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(actor, person, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(singer, person, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_entity_is_a(liu, male_actor, IsAMeta::new(Source::Bracket, 0.95));
+    s.add_entity_is_a(liu, singer, IsAMeta::new(Source::Tag, 0.9));
+    s.add_entity_is_a(liu_bare, singer, IsAMeta::new(Source::Tag, 0.5));
+    s.add_entity_is_a(zhang, singer, IsAMeta::new(Source::Infobox, 0.9));
+    s
+}
+
+fn v2_bytes() -> Vec<u8> {
+    FrozenTaxonomy::freeze(&demo_store()).encode().to_vec()
+}
+
+#[test]
+fn v2_every_truncation_prefix_errors() {
+    let bytes = v2_bytes();
+    assert!(FrozenTaxonomy::decode(&bytes).is_ok(), "baseline decodes");
+    for cut in 0..bytes.len() {
+        let res = FrozenTaxonomy::decode(&bytes[..cut]);
+        assert!(res.is_err(), "truncation at {cut}/{} decoded", bytes.len());
+    }
+}
+
+#[test]
+fn v2_every_single_byte_flip_errors() {
+    let bytes = v2_bytes();
+    let mut mutated = bytes.clone();
+    for i in 0..bytes.len() {
+        mutated[i] ^= 0xFF;
+        let res = FrozenTaxonomy::decode(&mutated);
+        assert!(res.is_err(), "byte flip at {i}/{} decoded", bytes.len());
+        mutated[i] = bytes[i];
+    }
+}
+
+/// Single-byte flips restricted to section *headers* (tag + length words),
+/// the locations a framing bug would mis-handle most catastrophically.
+#[test]
+fn v2_section_header_flips_error() {
+    let bytes = v2_bytes();
+    // Walk the section framing to find every header's byte range.
+    let mut headers: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut pos = 8; // skip magic + version
+    while pos + 12 <= bytes.len() {
+        headers.push(pos..pos + 12);
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        pos += 12 + len as usize;
+    }
+    assert_eq!(pos, bytes.len(), "section framing walk must consume all");
+    assert!(headers.len() >= 14, "all sections present");
+    let mut mutated = bytes.clone();
+    for header in headers {
+        for i in header {
+            for flip in [0x01, 0x80, 0xFF] {
+                mutated[i] ^= flip;
+                assert!(
+                    FrozenTaxonomy::decode(&mutated).is_err(),
+                    "header byte {i} ^ {flip:#04x} decoded"
+                );
+                mutated[i] = bytes[i];
+            }
+        }
+    }
+}
+
+/// Hostile length fields must be rejected by bounds checks before any
+/// allocation proportional to the claimed size (no OOM on a 16-byte file
+/// claiming u64::MAX bytes of payload).
+#[test]
+fn v2_hostile_lengths_do_not_overallocate() {
+    let mut base = b"CNPB".to_vec();
+    base.extend_from_slice(&2u32.to_le_bytes());
+    for (tag, claimed) in [
+        (*b"INTR", u64::MAX),
+        (*b"ANCS", u64::MAX / 2),
+        (*b"ENTS", u64::from(u32::MAX)),
+    ] {
+        let mut bytes = base.clone();
+        bytes.extend_from_slice(&tag);
+        bytes.extend_from_slice(&claimed.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]); // far less body than claimed
+        assert!(
+            matches!(
+                FrozenTaxonomy::decode(&bytes),
+                Err(PersistError::Truncated(_))
+            ),
+            "claimed length {claimed} accepted"
+        );
+    }
+}
+
+#[test]
+fn v1_every_truncation_prefix_errors() {
+    let bytes = persist::encode(&demo_store()).to_vec();
+    assert!(persist::decode(&bytes).is_ok(), "baseline decodes");
+    for cut in 0..bytes.len() {
+        let res = persist::decode(&bytes[..cut]);
+        assert!(res.is_err(), "truncation at {cut}/{} decoded", bytes.len());
+    }
+}
+
+/// Regression for the v1 pre-allocation bug: count fields used to be
+/// trusted before bounds-checking the remaining buffer, so a hostile
+/// count triggered a giant `Vec::with_capacity`. Allocations are now
+/// clamped by the bytes actually remaining.
+#[test]
+fn v1_hostile_counts_error_without_overallocating() {
+    let mut bytes = b"CNPB".to_vec();
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // string count
+    assert!(matches!(
+        persist::decode(&bytes),
+        Err(PersistError::Truncated(_))
+    ));
+}
+
+#[test]
+fn snapshot_load_rejects_garbage() {
+    assert!(matches!(
+        Snapshot::load(b"not a snapshot at all"),
+        Err(PersistError::BadMagic)
+    ));
+    assert!(matches!(
+        Snapshot::load(b"CNPB"),
+        Err(PersistError::Truncated(_))
+    ));
+    let mut v99 = b"CNPB".to_vec();
+    v99.extend_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        Snapshot::load(&v99),
+        Err(PersistError::BadVersion(99))
+    ));
+}
