@@ -13,9 +13,10 @@
 //! A multi-threaded group hammers `men2ent` + `getConcept(transitive)`
 //! from 8 threads to expose the mutex contention the frozen path removes.
 
+use cnp_serve::ProbaseApi;
 use cnp_taxonomy::closure::AncestorCache;
 use cnp_taxonomy::mention::MentionIndex;
-use cnp_taxonomy::{ConceptId, EntityId, ProbaseApi, TaxonomyStore};
+use cnp_taxonomy::{ConceptId, EntityId, TaxonomyStore};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

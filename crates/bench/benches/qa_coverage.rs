@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let corpus =
         cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(5)).generate();
     let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
-    let api = cnp_taxonomy::ProbaseApi::new(outcome.taxonomy);
+    let api = cnp_serve::ProbaseApi::new(outcome.taxonomy);
 
     // The paper's exact question count.
     let questions = cnp_eval::generate_questions(&corpus, 23_472, 5);

@@ -1,0 +1,114 @@
+//! Serving API v1 throughput: per-call loop vs batched execution.
+//!
+//! Bulk clients (offline enrichment jobs, QA pipelines conceptualising
+//! whole documents) hand the service a `Vec<Query>` instead of looping
+//! over `execute`. This bench builds one taxonomy, prepares a
+//! production-mix workload (the paper's Table II call volumes: men2ent
+//! 43.9 M : getConcept 13.8 M : getEntity 25.8 M ≈ 8:3:5), and compares
+//!
+//! * **per_call** — a serial loop over `TaxonomyService::execute`;
+//! * **batch/N** — one `execute_batch` on a `Runtime` with N = 1/2/4/8
+//!   worker threads (identical responses, one pinned generation).
+//!
+//! On a single-core CI container the batch numbers show overhead, not
+//! speedup; on real cores batching scales near-linearly because every
+//! query executes lock-free on the shared pinned snapshot.
+
+use cnp_runtime::Runtime;
+use cnp_serve::{ListOptions, PageRequest, Query, TaxonomyService};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+const BATCH: usize = 4096;
+
+fn build_workload() -> (cnp_taxonomy::FrozenTaxonomy, Vec<Query>) {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7)).generate();
+    let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
+    let frozen = outcome.freeze();
+    let mentions: Vec<String> = corpus
+        .pages
+        .iter()
+        .take(4000)
+        .map(|p| p.name.clone())
+        .collect();
+    let concepts: Vec<String> = frozen
+        .concept_ids()
+        .take(2000)
+        .map(|c| frozen.concept_name(c).to_string())
+        .collect();
+    // Table II production mix, deterministic across runs.
+    let mut rng = StdRng::seed_from_u64(11);
+    let queries: Vec<Query> = (0..BATCH)
+        .map(|_| match rng.gen_range(0..16) {
+            0..=7 => Query::men2ent(mentions[rng.gen_range(0..mentions.len())].clone()),
+            8..=10 => Query::GetConceptByMention {
+                mention: mentions[rng.gen_range(0..mentions.len())].clone(),
+                options: ListOptions::transitive(),
+            },
+            _ => Query::GetEntity {
+                concept: concepts[rng.gen_range(0..concepts.len())].clone(),
+                options: ListOptions::transitive().with_page(PageRequest::first(50)),
+            },
+        })
+        .collect();
+    (frozen, queries)
+}
+
+/// One-shot wall-clock comparison so the scaling story is visible without
+/// reading Criterion output.
+fn print_comparison(frozen: &cnp_taxonomy::FrozenTaxonomy, queries: &[Query]) {
+    let reps = 5;
+    let serial = TaxonomyService::with_runtime(frozen.clone(), Runtime::serial());
+    let t = Instant::now();
+    for _ in 0..reps {
+        for q in queries {
+            black_box(serial.execute(q));
+        }
+    }
+    let per_call = t.elapsed();
+    println!("\n========= service_throughput: {BATCH}-query Table II mix =========");
+    println!("per-call loop     : {per_call:>10.1?}");
+    for threads in [1usize, 2, 4, 8] {
+        let service = TaxonomyService::with_runtime(frozen.clone(), Runtime::new(threads));
+        let t = Instant::now();
+        for _ in 0..reps {
+            black_box(service.execute_batch(queries));
+        }
+        let batched = t.elapsed();
+        println!(
+            "batch, {threads} thread(s): {batched:>10.1?}   vs per-call {:.2}x",
+            per_call.as_secs_f64() / batched.as_secs_f64().max(1e-12)
+        );
+    }
+    println!("==================================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let (frozen, queries) = build_workload();
+    print_comparison(&frozen, &queries);
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    let per_call = TaxonomyService::with_runtime(frozen.clone(), Runtime::serial());
+    group.bench_function("per_call", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(per_call.execute(q));
+            }
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let service = TaxonomyService::with_runtime(frozen.clone(), Runtime::new(threads));
+        group.bench_function(&format!("batch/{threads}"), |b| {
+            b.iter(|| black_box(service.execute_batch(&queries)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

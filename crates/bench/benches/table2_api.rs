@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 struct Fixture {
-    api: cnp_taxonomy::ProbaseApi,
+    api: cnp_serve::ProbaseApi,
     mentions: Vec<String>,
     concepts: Vec<String>,
 }
@@ -26,7 +26,7 @@ fn build_fixture() -> Fixture {
         .take(4000)
         .map(|p| p.name.clone())
         .collect();
-    let api = cnp_taxonomy::ProbaseApi::new(outcome.taxonomy);
+    let api = cnp_serve::ProbaseApi::new(outcome.taxonomy);
     let concepts: Vec<String> = api
         .frozen()
         .concept_ids()

@@ -98,9 +98,10 @@ impl PipelineOutcome {
     }
 
     /// Freezes the taxonomy and persists the serving snapshot (format v2)
-    /// in one step; later boots go straight through
-    /// [`cnp_taxonomy::ProbaseApi::from_snapshot_file`] without re-running
-    /// the freeze. Returns the frozen snapshot for immediate serving.
+    /// in one step; later boots go straight through the serve crate's
+    /// `TaxonomyService::from_snapshot_file` (or the compatibility
+    /// `ProbaseApi`) without re-running the freeze. Returns the frozen
+    /// snapshot for immediate serving.
     pub fn save_frozen(&self, path: &std::path::Path) -> Result<FrozenTaxonomy, PersistError> {
         let frozen = self.freeze();
         frozen.save_to_file(path)?;

@@ -9,7 +9,7 @@
 //! n-grams against the taxonomy.
 
 use cnp_encyclopedia::Corpus;
-use cnp_taxonomy::ProbaseApi;
+use cnp_serve::ProbaseApi;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -1,0 +1,363 @@
+//! The query executor: pure functions from an immutable
+//! [`FrozenTaxonomy`] (plus its generation number) to typed responses.
+//!
+//! Everything here is `&`-only and allocation-bounded by the result size —
+//! no locks, no interior mutability — which is what lets
+//! [`crate::TaxonomyService`] run batches on worker threads and the
+//! hot-swap path proceed while queries are in flight. The compatibility
+//! [`crate::ProbaseApi`] calls the same building blocks, so the wrapper
+//! and the typed protocol cannot drift apart.
+
+use crate::query::{Cursor, ListOptions, PageRequest, Query};
+use crate::response::{
+    ConceptHit, CursorError, EntityHit, Paged, QueryError, QueryResponse, Response, Sense,
+    SenseConcepts,
+};
+use cnp_taxonomy::hash::FxHashSet;
+use cnp_taxonomy::mention::has_disambig;
+use cnp_taxonomy::{ConceptId, EntityId, FrozenTaxonomy};
+
+/// Executes one query against one pinned snapshot generation.
+pub(crate) fn execute(f: &FrozenTaxonomy, generation: u64, query: &Query) -> QueryResponse {
+    QueryResponse {
+        generation,
+        result: run(f, generation, query),
+    }
+}
+
+fn run(f: &FrozenTaxonomy, generation: u64, query: &Query) -> Result<Response, QueryError> {
+    match query {
+        Query::Men2Ent { mention } => {
+            let ids = known_senses(f, mention)?;
+            Ok(Response::Senses(
+                ids.iter().map(|&id| sense(f, id)).collect(),
+            ))
+        }
+        Query::MentionSenses { mention } => {
+            let ids = known_senses(f, mention)?;
+            let senses = ids
+                .iter()
+                .map(|&id| SenseConcepts {
+                    sense: sense(f, id),
+                    concepts: direct_concepts(f, id),
+                })
+                .collect();
+            Ok(Response::SenseConcepts(senses))
+        }
+        Query::GetConcept { entity, options } => {
+            let id = resolve_entity_key(f, entity)
+                .ok_or_else(|| QueryError::UnknownEntity(entity.clone()))?;
+            let hits = concept_hits(f, id, options);
+            Ok(Response::Concepts(paginate(
+                hits,
+                &options.page,
+                query.fingerprint(),
+                generation,
+            )?))
+        }
+        Query::GetConceptByMention { mention, options } => {
+            let ids = known_senses(f, mention)?;
+            let hits = merged_concept_hits(f, &ids, options);
+            Ok(Response::Concepts(paginate(
+                hits,
+                &options.page,
+                query.fingerprint(),
+                generation,
+            )?))
+        }
+        Query::GetEntity { concept, options } => {
+            let c = f
+                .find_concept(concept)
+                .ok_or_else(|| QueryError::UnknownConcept(concept.clone()))?;
+            // Enumerate light (id, via, confidence) records first and
+            // build the display-key `String`s only for the page actually
+            // returned — a tiny page over a broad transitive concept must
+            // not allocate a key per reachable entity.
+            let raw = entity_hits(f, c, options);
+            let page = paginate(raw, &options.page, query.fingerprint(), generation)?;
+            Ok(Response::Entities(Paged {
+                items: page
+                    .items
+                    .into_iter()
+                    .map(|(id, via, confidence)| EntityHit {
+                        id,
+                        key: f.entity_key(id),
+                        via,
+                        confidence,
+                    })
+                    .collect(),
+                total: page.total,
+                next: page.next,
+            }))
+        }
+        Query::AncestorsOf { concept } => {
+            let c = f
+                .find_concept(concept)
+                .ok_or_else(|| QueryError::UnknownConcept(concept.clone()))?;
+            Ok(Response::Ancestors(ancestor_hits(f, c)))
+        }
+        Query::IsA {
+            sub,
+            sup,
+            transitive,
+        } => is_a(f, sub, sup, *transitive),
+    }
+}
+
+// ----- resolution ----------------------------------------------------------
+
+/// Resolves a mention, distinguishing "unknown" from "empty": a mention
+/// exists iff it has at least one sense.
+fn known_senses(f: &FrozenTaxonomy, mention: &str) -> Result<Vec<EntityId>, QueryError> {
+    let ids = f.men2ent(mention);
+    if ids.is_empty() {
+        Err(QueryError::UnknownMention(mention.to_string()))
+    } else {
+        Ok(ids.to_vec())
+    }
+}
+
+/// Resolves an entity display key to exactly one entity: the bare name of
+/// an undisambiguated entity, or a full `name（disambig）` key. No string
+/// surgery — the snapshot's own key tables decide, so a name that itself
+/// contains a full-width bracket cannot be mis-split.
+pub(crate) fn resolve_entity_key(f: &FrozenTaxonomy, key: &str) -> Option<EntityId> {
+    if let Some(id) = f.find_entity(key, None) {
+        return Some(id);
+    }
+    if !has_disambig(key) {
+        return None;
+    }
+    f.men2ent(key)
+        .iter()
+        .copied()
+        .find(|&e| f.entity_key(e) == key)
+}
+
+fn sense(f: &FrozenTaxonomy, id: EntityId) -> Sense {
+    let rec = f.entity(id);
+    let disambig = f.resolve(rec.disambig);
+    Sense {
+        id,
+        name: f.resolve(rec.name).to_string(),
+        disambig: if disambig.is_empty() {
+            None
+        } else {
+            Some(disambig.to_string())
+        },
+        key: f.entity_key(id),
+    }
+}
+
+fn concept_hit(
+    f: &FrozenTaxonomy,
+    c: ConceptId,
+    direct: bool,
+    confidence: Option<f32>,
+) -> ConceptHit {
+    ConceptHit {
+        id: c,
+        name: f.concept_name(c).to_string(),
+        depth: f.depth(c) as u32,
+        direct,
+        confidence,
+    }
+}
+
+// ----- list builders (shared with the compatibility wrapper) ---------------
+
+/// Direct concepts of an entity, in snapshot edge order, no floor.
+fn direct_concepts(f: &FrozenTaxonomy, e: EntityId) -> Vec<ConceptHit> {
+    f.concepts_of(e)
+        .iter()
+        .map(|&(c, m)| concept_hit(f, c, true, Some(m.confidence)))
+        .collect()
+}
+
+/// `getConcept` enumeration for one entity: direct edges in snapshot
+/// order (gated by the confidence floor), then — when transitive — the
+/// deduplicated ancestors of the surviving direct concepts, nearest-first
+/// (deeper concepts before shallower, id as tie-break), so consumers that
+/// truncate keep the most specific hypernyms.
+pub(crate) fn concept_hits(
+    f: &FrozenTaxonomy,
+    e: EntityId,
+    options: &ListOptions,
+) -> Vec<ConceptHit> {
+    let mut ids: Vec<ConceptId> = Vec::new();
+    let mut hits: Vec<ConceptHit> = Vec::new();
+    for &(c, m) in f.concepts_of(e) {
+        if m.confidence >= options.min_confidence {
+            ids.push(c);
+            hits.push(concept_hit(f, c, true, Some(m.confidence)));
+        }
+    }
+    if options.transitive {
+        // Linear-scan dedup: ancestor sets in a taxonomy are a handful of
+        // elements, where the scan beats sort-based dedup (measured in the
+        // frozen_api bench); only the appended tail is sorted.
+        let n_direct = ids.len();
+        for i in 0..n_direct {
+            for a in f.ancestors(ids[i]) {
+                if !ids.contains(&a) {
+                    ids.push(a);
+                }
+            }
+        }
+        let mut tail = ids.split_off(n_direct);
+        tail.sort_unstable_by(|&x, &y| f.depth(y).cmp(&f.depth(x)).then(x.cmp(&y)));
+        hits.extend(tail.into_iter().map(|c| concept_hit(f, c, false, None)));
+    }
+    hits
+}
+
+/// `getConcept` by mention: the per-sense enumerations concatenated in
+/// sense order, deduplicated by concept id with the *first* occurrence
+/// kept — multiple senses sharing a hypernym report it once, at its
+/// best rank.
+pub(crate) fn merged_concept_hits(
+    f: &FrozenTaxonomy,
+    senses: &[EntityId],
+    options: &ListOptions,
+) -> Vec<ConceptHit> {
+    let mut out: Vec<ConceptHit> = Vec::new();
+    for &e in senses {
+        for hit in concept_hits(f, e, options) {
+            if !out.iter().any(|h| h.id == hit.id) {
+                out.push(hit);
+            }
+        }
+    }
+    out
+}
+
+/// `getEntity` enumeration for one concept, as light
+/// `(entity, via, confidence)` records (the caller builds display keys
+/// for the page it returns): the concept's own hyponym row first, then —
+/// when transitive — each subconcept's row in BFS
+/// (nearest-subconcept-first) order. Rows are confidence-ranked in the
+/// snapshot; an entity reachable through several rows is reported at its
+/// first position; the floor gates each entity's edge to the row's
+/// concept, so an entity skipped on a weak edge can still surface later
+/// through a stronger one.
+type RawEntityHit = (EntityId, ConceptId, f32);
+
+pub(crate) fn entity_hits(
+    f: &FrozenTaxonomy,
+    c: ConceptId,
+    options: &ListOptions,
+) -> Vec<RawEntityHit> {
+    let mut seen: FxHashSet<EntityId> = FxHashSet::default();
+    let mut out: Vec<RawEntityHit> = Vec::new();
+    let push_row = |via: ConceptId, seen: &mut FxHashSet<EntityId>, out: &mut Vec<RawEntityHit>| {
+        for &e in f.entities_of(via) {
+            let confidence = f.entity_edge(e, via).map_or(0.0, |m| m.confidence);
+            if confidence < options.min_confidence {
+                continue;
+            }
+            if seen.insert(e) {
+                out.push((e, via, confidence));
+            }
+        }
+    };
+    push_row(c, &mut seen, &mut out);
+    if options.transitive {
+        for sub in f.descendants(c) {
+            push_row(sub, &mut seen, &mut out);
+        }
+    }
+    out
+}
+
+/// `AncestorsOf` enumeration: the precomputed closure row reordered
+/// nearest-first (depth descending, id tie-break); direct parents carry
+/// their edge confidence.
+pub(crate) fn ancestor_hits(f: &FrozenTaxonomy, c: ConceptId) -> Vec<ConceptHit> {
+    let mut ids: Vec<ConceptId> = f.ancestors_of(c).to_vec();
+    ids.sort_unstable_by(|&x, &y| f.depth(y).cmp(&f.depth(x)).then(x.cmp(&y)));
+    ids.into_iter()
+        .map(|a| {
+            let direct_edge = f.parents_of(c).iter().find(|&&(p, _)| p == a);
+            concept_hit(
+                f,
+                a,
+                direct_edge.is_some(),
+                direct_edge.map(|&(_, m)| m.confidence),
+            )
+        })
+        .collect()
+}
+
+fn is_a(
+    f: &FrozenTaxonomy,
+    sub: &str,
+    sup: &str,
+    transitive: bool,
+) -> Result<Response, QueryError> {
+    let sup_c = f
+        .find_concept(sup)
+        .ok_or_else(|| QueryError::UnknownConcept(sup.to_string()))?;
+    let concept_holds = |c: ConceptId| {
+        if transitive {
+            f.ancestors_of(c).binary_search(&sup_c).is_ok()
+        } else {
+            f.parents_of(c).iter().any(|&(p, _)| p == sup_c)
+        }
+    };
+    let holds = if let Some(c) = f.find_concept(sub) {
+        concept_holds(c)
+    } else {
+        let senses = f.men2ent(sub);
+        if senses.is_empty() {
+            return Err(QueryError::UnknownMention(sub.to_string()));
+        }
+        senses.iter().any(|&e| {
+            f.concepts_of(e).iter().any(|&(c, _)| {
+                c == sup_c || (transitive && f.ancestors_of(c).binary_search(&sup_c).is_ok())
+            })
+        })
+    };
+    Ok(Response::IsA { holds })
+}
+
+// ----- pagination ----------------------------------------------------------
+
+/// Slices a full enumeration into the requested page, validating any
+/// cursor against the query fingerprint and the serving generation.
+fn paginate<T>(
+    items: Vec<T>,
+    page: &PageRequest,
+    fingerprint: u64,
+    generation: u64,
+) -> Result<Paged<T>, QueryError> {
+    let total = items.len();
+    let offset = match &page.cursor {
+        None => 0,
+        Some(c) => {
+            if c.fingerprint != fingerprint {
+                return Err(QueryError::InvalidCursor(CursorError::WrongQuery));
+            }
+            if c.generation != generation {
+                return Err(QueryError::InvalidCursor(CursorError::WrongGeneration {
+                    cursor: c.generation,
+                    serving: generation,
+                }));
+            }
+            if c.offset > total {
+                return Err(QueryError::InvalidCursor(CursorError::OutOfRange {
+                    offset: c.offset,
+                    total,
+                }));
+            }
+            c.offset
+        }
+    };
+    let end = offset.saturating_add(page.limit).min(total);
+    let next = (end < total).then_some(Cursor {
+        generation,
+        offset: end,
+        fingerprint,
+    });
+    let items: Vec<T> = items.into_iter().skip(offset).take(end - offset).collect();
+    Ok(Paged { items, total, next })
+}

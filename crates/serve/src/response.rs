@@ -1,0 +1,171 @@
+//! The response side of Serving API v1: typed results, typed errors, and
+//! the generation-stamped [`QueryResponse`] envelope.
+
+use crate::query::Cursor;
+use cnp_taxonomy::{ConceptId, EntityId};
+use std::fmt;
+
+/// Why a pagination cursor was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CursorError {
+    /// The wire token did not parse.
+    Malformed,
+    /// The cursor was minted on a different snapshot generation; its
+    /// offsets are meaningless after a hot-swap. Restart from page one.
+    WrongGeneration {
+        /// Generation the cursor was minted on.
+        cursor: u64,
+        /// Generation currently serving.
+        serving: u64,
+    },
+    /// The cursor belongs to a different query (or the same query with
+    /// different options).
+    WrongQuery,
+    /// The offset lies beyond the result.
+    OutOfRange {
+        /// Offset the cursor carried.
+        offset: usize,
+        /// Total items in the result.
+        total: usize,
+    },
+}
+
+impl fmt::Display for CursorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CursorError::Malformed => write!(f, "cursor token is malformed"),
+            CursorError::WrongGeneration { cursor, serving } => write!(
+                f,
+                "cursor from generation {cursor} replayed against generation {serving}"
+            ),
+            CursorError::WrongQuery => write!(f, "cursor belongs to a different query"),
+            CursorError::OutOfRange { offset, total } => {
+                write!(f, "cursor offset {offset} beyond result of {total}")
+            }
+        }
+    }
+}
+
+/// Why a query could not be answered. Distinct from an *empty* result: a
+/// known entity with no hypernyms answers `Ok` with an empty list, while a
+/// name the taxonomy has never seen answers one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The mention resolves to no entity sense.
+    UnknownMention(String),
+    /// The entity key matches no entity.
+    UnknownEntity(String),
+    /// The concept name matches no concept.
+    UnknownConcept(String),
+    /// The pagination cursor was rejected; see [`CursorError`].
+    InvalidCursor(CursorError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownMention(m) => write!(f, "unknown mention {m:?}"),
+            QueryError::UnknownEntity(e) => write!(f, "unknown entity {e:?}"),
+            QueryError::UnknownConcept(c) => write!(f, "unknown concept {c:?}"),
+            QueryError::InvalidCursor(e) => write!(f, "invalid cursor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One page of a list result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Paged<T> {
+    /// The page's items, in the query's stable enumeration order.
+    pub items: Vec<T>,
+    /// Total items across all pages (after filtering, before paging).
+    pub total: usize,
+    /// Cursor for the next page; `None` on the last page.
+    pub next: Option<Cursor>,
+}
+
+/// A resolved entity sense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sense {
+    /// Snapshot handle (valid within the response's generation).
+    pub id: EntityId,
+    /// Surface name.
+    pub name: String,
+    /// Bracket disambiguation, if the sense has one.
+    pub disambig: Option<String>,
+    /// Full display key (`name（disambig）`, or the bare name).
+    pub key: String,
+}
+
+/// A hypernym/ancestor concept hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptHit {
+    /// Snapshot handle (valid within the response's generation).
+    pub id: ConceptId,
+    /// Concept name.
+    pub name: String,
+    /// Depth in the concept DAG (longest chain to a root).
+    pub depth: u32,
+    /// Whether the hit is a *direct* edge of the query subject (as opposed
+    /// to one reached through the transitive closure).
+    pub direct: bool,
+    /// Confidence of the direct edge; `None` for transitive hits.
+    pub confidence: Option<f32>,
+}
+
+/// A hyponym entity hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityHit {
+    /// Snapshot handle (valid within the response's generation).
+    pub id: EntityId,
+    /// Full display key.
+    pub key: String,
+    /// The concept whose hyponym row produced the hit — the queried
+    /// concept itself, or the transitive subconcept it was reached through.
+    pub via: ConceptId,
+    /// Confidence of the entity's isA edge to `via`.
+    pub confidence: f32,
+}
+
+/// One sense of a mention together with its direct concepts — the
+/// disambiguation view behind [`crate::Query::MentionSenses`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseConcepts {
+    /// The sense.
+    pub sense: Sense,
+    /// Its direct concepts, in snapshot edge order.
+    pub concepts: Vec<ConceptHit>,
+}
+
+/// The typed result of a [`crate::Query`], one variant per query family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `men2ent` senses.
+    Senses(Vec<Sense>),
+    /// `MentionSenses`: each sense with its direct concepts.
+    SenseConcepts(Vec<SenseConcepts>),
+    /// `getConcept` (either addressing mode): one page of hypernyms.
+    Concepts(Paged<ConceptHit>),
+    /// `getEntity`: one page of hyponym entities.
+    Entities(Paged<EntityHit>),
+    /// `AncestorsOf`: all transitive ancestors, nearest-first.
+    Ancestors(Vec<ConceptHit>),
+    /// `IsA` verdict.
+    IsA {
+        /// Whether the isA relation holds.
+        holds: bool,
+    },
+}
+
+/// The response envelope: every answer is stamped with the snapshot
+/// generation it was computed on, so a client interleaving queries with
+/// hot-swaps can tell which state of the world each answer reflects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Generation of the snapshot that answered (monotonically increasing
+    /// across [`crate::TaxonomyService::swap`] calls, starting at 1).
+    pub generation: u64,
+    /// The typed result or the typed refusal.
+    pub result: Result<Response, QueryError>,
+}

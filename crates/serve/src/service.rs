@@ -1,0 +1,278 @@
+//! [`TaxonomyService`]: generation-managed query execution with
+//! zero-downtime snapshot hot-swap.
+
+use crate::exec;
+use crate::query::Query;
+use crate::response::QueryResponse;
+use cnp_runtime::Runtime;
+use cnp_taxonomy::persist::{PersistError, Snapshot};
+use cnp_taxonomy::{FrozenTaxonomy, TaxonomyStore};
+use parking_lot::RwLock;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One immutable serving state: a frozen snapshot plus its generation
+/// number.
+#[derive(Debug)]
+struct Generation {
+    number: u64,
+    frozen: FrozenTaxonomy,
+}
+
+/// A pinned snapshot generation: queries executed through it all see the
+/// same immutable state, no matter how many hot-swaps happen meanwhile.
+///
+/// Cloning is an `Arc` bump; the underlying snapshot stays alive until the
+/// last pin drops, which is exactly the hot-swap draining rule — in-flight
+/// work finishes on the generation it pinned.
+#[derive(Debug, Clone)]
+pub struct PinnedSnapshot {
+    inner: Arc<Generation>,
+}
+
+impl PinnedSnapshot {
+    /// The pinned generation number.
+    pub fn generation(&self) -> u64 {
+        self.inner.number
+    }
+
+    /// The pinned frozen snapshot.
+    pub fn frozen(&self) -> &FrozenTaxonomy {
+        &self.inner.frozen
+    }
+
+    /// Executes one query on the pinned generation — lock-free: the
+    /// snapshot is immutable and the executor takes `&self` only.
+    pub fn execute(&self, query: &Query) -> QueryResponse {
+        exec::execute(&self.inner.frozen, self.inner.number, query)
+    }
+}
+
+/// The serving engine of API v1.
+///
+/// The service holds its [`FrozenTaxonomy`] behind an atomically swappable
+/// `Arc` with a generation counter. Query execution never takes a lock on
+/// the data: [`TaxonomyService::execute`] pins the current generation (one
+/// brief, uncontended reader-side acquisition to clone the `Arc`) and then
+/// runs entirely on the pinned immutable snapshot.
+/// [`TaxonomyService::swap`] installs a new generation as a single pointer
+/// store — readers never wait on snapshot decode or freeze, in-flight
+/// queries drain on the generation they pinned, and every
+/// [`QueryResponse`] carries the generation it answered from.
+///
+/// ```
+/// use cnp_serve::{Query, Response, TaxonomyService};
+/// use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStore};
+///
+/// let mut store = TaxonomyStore::new();
+/// let zhang = store.add_entity("张学友", None);
+/// let singer = store.add_concept("歌手");
+/// store.add_entity_is_a(zhang, singer, IsAMeta::new(Source::Tag, 0.9));
+///
+/// let service = TaxonomyService::from_store(store.clone());
+/// assert_eq!(service.generation(), 1);
+///
+/// // Batches execute on the shared runtime, one pinned generation each.
+/// let queries = vec![Query::men2ent("张学友"), Query::men2ent("无此人")];
+/// let responses = service.execute_batch(&queries);
+/// assert!(matches!(responses[0].result, Ok(Response::Senses(_))));
+/// assert!(responses[1].result.is_err()); // unknown ≠ empty
+///
+/// // Hot-swap: a new snapshot slides in under live traffic.
+/// store.add_entity("刘德华", None);
+/// assert_eq!(service.swap(FrozenTaxonomy::freeze(&store)), 2);
+/// assert_eq!(service.execute(&Query::men2ent("刘德华")).generation, 2);
+/// ```
+#[derive(Debug)]
+pub struct TaxonomyService {
+    current: RwLock<Arc<Generation>>,
+    runtime: Runtime,
+}
+
+impl TaxonomyService {
+    /// Boots generation 1 from a frozen snapshot, batching on a default
+    /// [`Runtime`].
+    pub fn new(frozen: FrozenTaxonomy) -> Self {
+        Self::with_runtime(frozen, Runtime::default())
+    }
+
+    /// Boots generation 1 with an explicit batch runtime.
+    pub fn with_runtime(frozen: FrozenTaxonomy, runtime: Runtime) -> Self {
+        TaxonomyService {
+            current: RwLock::new(Arc::new(Generation { number: 1, frozen })),
+            runtime,
+        }
+    }
+
+    /// Boots by freezing a finished build store.
+    pub fn from_store(store: TaxonomyStore) -> Self {
+        Self::new(FrozenTaxonomy::freeze(&store))
+    }
+
+    /// Boots from a snapshot file of either format (v2 is validate-and-go;
+    /// v1 loads the build store and pays one freeze here).
+    pub fn from_snapshot_file(path: &Path) -> Result<Self, PersistError> {
+        Ok(Self::new(Snapshot::load_from_file(path)?.into_frozen()))
+    }
+
+    /// The batch runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Pins the current generation for any number of follow-up queries
+    /// that must see one consistent state.
+    pub fn pin(&self) -> PinnedSnapshot {
+        PinnedSnapshot {
+            inner: self.current.read().clone(),
+        }
+    }
+
+    /// The currently serving generation number.
+    pub fn generation(&self) -> u64 {
+        self.current.read().number
+    }
+
+    /// Executes one query on the current generation.
+    pub fn execute(&self, query: &Query) -> QueryResponse {
+        self.pin().execute(query)
+    }
+
+    /// Executes a batch on the runtime's worker threads. The whole batch
+    /// pins **one** generation (all responses carry the same number), and
+    /// results come back in input order.
+    pub fn execute_batch(&self, queries: &[Query]) -> Vec<QueryResponse> {
+        let pinned = self.pin();
+        self.runtime
+            .par_index_map(queries.len(), |i| pinned.execute(&queries[i]))
+    }
+
+    /// Atomically installs `frozen` as the next generation and returns its
+    /// number. Queries already in flight finish on the generation they
+    /// pinned; queries pinned after this call see the new one. The old
+    /// snapshot is freed when its last pin drops.
+    pub fn swap(&self, frozen: FrozenTaxonomy) -> u64 {
+        let mut current = self.current.write();
+        let number = current.number + 1;
+        let old = std::mem::replace(&mut *current, Arc::new(Generation { number, frozen }));
+        drop(current);
+        // If this was the last reference, the old snapshot (a structure
+        // sized for the whole taxonomy) deallocates *after* the write
+        // guard is released — readers never wait on the teardown.
+        drop(old);
+        number
+    }
+
+    /// Zero-downtime reload: reads and validates the snapshot file
+    /// *without holding any lock* — traffic keeps flowing on the old
+    /// generation for the whole load — then swaps it in. Returns the new
+    /// generation number; on error the service keeps serving unchanged.
+    pub fn reload(&self, path: &Path) -> Result<u64, PersistError> {
+        let frozen = Snapshot::load_from_file(path)?.into_frozen();
+        Ok(self.swap(frozen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ListOptions;
+    use crate::response::{QueryError, Response};
+    use cnp_taxonomy::{IsAMeta, Source};
+
+    fn store_a() -> TaxonomyStore {
+        let mut s = TaxonomyStore::new();
+        let liu = s.add_entity("刘德华", None);
+        let singer = s.add_concept("歌手");
+        let person = s.add_concept("人物");
+        s.add_concept_is_a(singer, person, IsAMeta::new(Source::SubConcept, 0.9));
+        s.add_entity_is_a(liu, singer, IsAMeta::new(Source::Tag, 0.9));
+        s
+    }
+
+    fn store_b() -> TaxonomyStore {
+        let mut s = store_a();
+        let zhang = s.add_entity("张学友", None);
+        let singer = s.find_concept("歌手").unwrap();
+        s.add_entity_is_a(zhang, singer, IsAMeta::new(Source::Tag, 0.95));
+        s
+    }
+
+    #[test]
+    fn generations_count_up_from_one() {
+        let service = TaxonomyService::from_store(store_a());
+        assert_eq!(service.generation(), 1);
+        assert_eq!(service.swap(FrozenTaxonomy::freeze(&store_b())), 2);
+        assert_eq!(service.swap(FrozenTaxonomy::freeze(&store_a())), 3);
+        assert_eq!(service.generation(), 3);
+    }
+
+    #[test]
+    fn pinned_generation_survives_swaps() {
+        let service = TaxonomyService::from_store(store_a());
+        let pinned = service.pin();
+        service.swap(FrozenTaxonomy::freeze(&store_b()));
+        // The pin still answers from generation 1, where 张学友 is unknown.
+        let r = pinned.execute(&Query::men2ent("张学友"));
+        assert_eq!(r.generation, 1);
+        assert!(matches!(r.result, Err(QueryError::UnknownMention(_))));
+        // A fresh pin sees generation 2, where the mention resolves.
+        let r = service.execute(&Query::men2ent("张学友"));
+        assert_eq!(r.generation, 2);
+        assert!(matches!(r.result, Ok(Response::Senses(ref s)) if s.len() == 1));
+    }
+
+    #[test]
+    fn batch_pins_exactly_one_generation() {
+        let service =
+            TaxonomyService::with_runtime(FrozenTaxonomy::freeze(&store_b()), Runtime::new(4));
+        let queries: Vec<Query> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Query::men2ent("刘德华")
+                } else {
+                    Query::GetEntity {
+                        concept: "人物".to_string(),
+                        options: ListOptions::transitive(),
+                    }
+                }
+            })
+            .collect();
+        let responses = service.execute_batch(&queries);
+        assert_eq!(responses.len(), queries.len());
+        assert!(responses.iter().all(|r| r.generation == 1));
+        assert!(responses.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn reload_errors_keep_serving_unchanged() {
+        let service = TaxonomyService::from_store(store_a());
+        let err = service.reload(Path::new("/nonexistent/snapshot.cnpb"));
+        assert!(err.is_err());
+        assert_eq!(service.generation(), 1);
+        assert!(service.execute(&Query::men2ent("刘德华")).result.is_ok());
+    }
+
+    #[test]
+    fn reload_swaps_from_disk() {
+        let dir = std::env::temp_dir().join("cnp_serve_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.cnpb");
+        FrozenTaxonomy::freeze(&store_b())
+            .save_to_file(&path)
+            .unwrap();
+        let service = TaxonomyService::from_store(store_a());
+        assert_eq!(service.reload(&path).unwrap(), 2);
+        std::fs::remove_file(&path).ok();
+        let r = service.execute(&Query::men2ent("张学友"));
+        assert_eq!(r.generation, 2);
+        assert!(r.result.is_ok());
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TaxonomyService>();
+        assert_send_sync::<PinnedSnapshot>();
+    }
+}

@@ -152,8 +152,16 @@ impl FrozenTaxonomy {
         let concept_id = |i: usize| ConceptId(i as u32);
         let entity_concepts =
             Csr::from_rows((0..n_entities).map(|i| store.concepts_of(entity_id(i))));
-        let concept_entities =
-            Csr::from_rows((0..n_concepts).map(|i| store.entities_of(concept_id(i))));
+        // Hyponym rows are *ranked* (`TaxonomyStore::ranked_entities_of`:
+        // descending edge confidence, entity id as tie-break). This is the
+        // serving-side enumeration order of `getEntity`, and pinning it at
+        // freeze time is what makes limits and pagination cursors
+        // deterministic across runs and thread counts (the build store
+        // keeps insertion order, which depends on extraction scheduling
+        // history).
+        let ranked_rows: Vec<Vec<EntityId>> =
+            rt.par_index_map(n_concepts, |ci| store.ranked_entities_of(concept_id(ci)));
+        let concept_entities = Csr::from_rows(ranked_rows.iter().map(|r| r.as_slice()));
         let concept_parents =
             Csr::from_rows((0..n_concepts).map(|i| store.parents_of(concept_id(i))));
         let concept_children =
@@ -374,9 +382,20 @@ impl FrozenTaxonomy {
         self.entity_concepts.row(e.index())
     }
 
-    /// Direct entities of a concept.
+    /// Direct entities of a concept, ranked by descending edge confidence
+    /// with entity id as tie-break — the stable hyponym enumeration order
+    /// behind `getEntity` limits and pagination cursors.
     pub fn entities_of(&self, c: ConceptId) -> &[EntityId] {
         self.concept_entities.row(c.index())
+    }
+
+    /// Metadata of the entity→concept isA edge, if present. Entity rows
+    /// hold a handful of concepts, where the linear scan beats any index.
+    pub fn entity_edge(&self, e: EntityId, c: ConceptId) -> Option<IsAMeta> {
+        self.concepts_of(e)
+            .iter()
+            .find(|&&(cc, _)| cc == c)
+            .map(|&(_, m)| m)
     }
 
     /// Direct parent concepts, with edge metadata.
@@ -611,11 +630,42 @@ mod tests {
             assert_eq!(f.entity_key(e), s.entity_key(e));
         }
         for c in s.concept_ids() {
-            assert_eq!(f.entities_of(c), s.entities_of(c));
+            assert_eq!(f.entities_of(c), s.ranked_entities_of(c).as_slice());
             assert_eq!(f.parents_of(c), s.parents_of(c));
             assert_eq!(f.children_of(c), s.children_of(c));
             assert_eq!(f.concept_name(c), s.concept_name(c));
         }
+    }
+
+    /// Regression (ISSUE 5 satellite): hyponym rows must come out ranked by
+    /// descending edge confidence with id as tie-break, identically at
+    /// every thread count — insertion order depended on extraction history.
+    #[test]
+    fn entities_of_is_confidence_ranked_at_any_thread_count() {
+        let mut s = TaxonomyStore::new();
+        let c = s.add_concept("歌手");
+        let unlinked = s.add_concept("演员");
+        // Insert in an order that is neither confidence- nor id-sorted,
+        // with a confidence tie to exercise the id tie-break.
+        let e0 = s.add_entity("甲", None);
+        let e1 = s.add_entity("乙", None);
+        let e2 = s.add_entity("丙", None);
+        let e3 = s.add_entity("丁", None);
+        s.add_entity_is_a(e1, c, IsAMeta::new(Source::Tag, 0.5));
+        s.add_entity_is_a(e3, c, IsAMeta::new(Source::Tag, 0.9));
+        s.add_entity_is_a(e0, c, IsAMeta::new(Source::Tag, 0.5));
+        s.add_entity_is_a(e2, c, IsAMeta::new(Source::Bracket, 0.7));
+        let want = vec![e3, e2, e0, e1];
+        for threads in [1, 8] {
+            let f = FrozenTaxonomy::freeze_with(&s, &Runtime::new(threads));
+            assert_eq!(f.entities_of(c), want.as_slice(), "threads={threads}");
+            assert_eq!(f.entity_edge(e3, c).unwrap().confidence, 0.9);
+            assert!(f.entity_edge(e3, unlinked).is_none());
+        }
+        assert_eq!(
+            FrozenTaxonomy::freeze(&s).entity_edge(e0, c),
+            Some(IsAMeta::new(Source::Tag, 0.5))
+        );
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! * [`frozen`] — [`FrozenTaxonomy`], the immutable CSR-packed serving
 //!   snapshot: freeze a finished store once, then answer every Table II
 //!   query lock-free from flat arrays and a precomputed ancestor closure.
-//! * [`api`] — [`ProbaseApi`], the three-call public interface of Table II,
-//!   served from a frozen snapshot.
+//!   (The public serving protocol — `TaxonomyService`, the typed `Query`
+//!   enum and the `ProbaseApi` compatibility wrapper — lives in the
+//!   `cnp_serve` crate, layered on this snapshot.)
 //! * [`query`] — higher-level queries: concept depth, lowest common
 //!   ancestors, siblings, Wu–Palmer similarity, conceptualisation.
 //! * [`persist`] — compact binary snapshots: v1 persists the mutable
@@ -29,7 +30,6 @@
 //!   disk; [`persist::Snapshot`] dispatches on the version header.
 //! * [`stats`] — the size metrics reported in Table I.
 
-pub mod api;
 pub mod closure;
 pub mod frozen;
 pub mod hash;
@@ -41,7 +41,6 @@ pub mod stats;
 pub mod store;
 pub mod topo;
 
-pub use api::ProbaseApi;
 pub use frozen::FrozenTaxonomy;
 pub use interner::{Interner, Symbol};
 pub use persist::{PersistError, Snapshot};

@@ -12,10 +12,10 @@ use crate::interner::Symbol;
 use crate::store::{EntityId, TaxonomyStore};
 
 /// True when a mention carries a `（…）` disambiguation — the only form a
-/// full key can take. Shared by the build-time [`MentionIndex`] and the
-/// frozen snapshot so the two `men2ent` paths can never disagree on when
-/// the full-key table applies.
-pub(crate) fn has_disambig(mention: &str) -> bool {
+/// full key can take. Shared by the build-time [`MentionIndex`], the
+/// frozen snapshot and the serve-layer key resolution so the `men2ent`
+/// paths can never disagree on when the full-key table applies.
+pub fn has_disambig(mention: &str) -> bool {
     mention.contains('（')
 }
 

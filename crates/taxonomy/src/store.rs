@@ -329,9 +329,31 @@ impl TaxonomyStore {
         &self.entity_concepts[e.index()]
     }
 
-    /// Direct entities of a concept.
+    /// Direct entities of a concept, in insertion order.
     pub fn entities_of(&self, c: ConceptId) -> &[EntityId] {
         &self.concept_entities[c.index()]
+    }
+
+    /// Direct entities of a concept in *serving rank order*: descending
+    /// edge confidence, entity id as tie-break. This is the one definition
+    /// of the order [`crate::frozen::FrozenTaxonomy`] freezes into its
+    /// hyponym rows (and that `getEntity` limits/pagination rely on);
+    /// freeze and its equivalence tests all call it so they cannot drift.
+    pub fn ranked_entities_of(&self, c: ConceptId) -> Vec<EntityId> {
+        let mut keyed: Vec<(f32, EntityId)> = self
+            .entities_of(c)
+            .iter()
+            .map(|&e| {
+                let conf = self
+                    .concepts_of(e)
+                    .iter()
+                    .find(|&&(cc, _)| cc == c)
+                    .map_or(0.0, |&(_, m)| m.confidence);
+                (conf, e)
+            })
+            .collect();
+        keyed.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        keyed.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Direct parent concepts of a concept, with edge metadata.

@@ -11,7 +11,7 @@
 use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 use cn_probase::eval::{coverage, generate_questions};
 use cn_probase::pipeline::{Pipeline, PipelineConfig};
-use cn_probase::taxonomy::ProbaseApi;
+use cn_probase::ProbaseApi;
 
 fn main() {
     let corpus = CorpusGenerator::new(CorpusConfig::tiny(7)).generate();

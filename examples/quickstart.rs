@@ -7,7 +7,8 @@
 
 use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 use cn_probase::pipeline::{Pipeline, PipelineConfig};
-use cn_probase::taxonomy::{persist, ProbaseApi, TaxonomyStats};
+use cn_probase::taxonomy::{persist, TaxonomyStats};
+use cn_probase::ProbaseApi;
 
 fn main() {
     // 1) A small synthetic Chinese encyclopedia (CN-DBpedia stand-in).

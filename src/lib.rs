@@ -12,8 +12,11 @@
 //!   stage runs on ([`cnp_runtime`]).
 //! * [`encyclopedia`] — synthetic Chinese-encyclopedia substrate
 //!   ([`cnp_encyclopedia`]).
-//! * [`taxonomy`] — the taxonomy storage engine and the paper's three public
-//!   APIs ([`cnp_taxonomy`]).
+//! * [`taxonomy`] — the taxonomy storage engine and the frozen serving
+//!   snapshot ([`cnp_taxonomy`]).
+//! * [`serve`] — Serving API v1: the typed [`Query`]/[`Response`] protocol,
+//!   batching, pagination and zero-downtime snapshot hot-swap, plus the
+//!   [`ProbaseApi`] Table II compatibility wrapper ([`cnp_serve`]).
 //! * [`pipeline`] — the generation + verification framework itself
 //!   ([`cnp_core`]).
 //! * [`eval`] — precision / coverage evaluation and the Table I baselines
@@ -36,12 +39,19 @@ pub use cnp_encyclopedia as encyclopedia;
 pub use cnp_eval as eval;
 pub use cnp_nn as nn;
 pub use cnp_runtime as runtime;
+pub use cnp_serve as serve;
 pub use cnp_taxonomy as taxonomy;
 pub use cnp_text as text;
 
 // The headline serving types, re-exported at the crate root: build a
 // taxonomy with [`pipeline`], freeze it into a [`FrozenTaxonomy`], persist
-// it with `save_to_file` (snapshot format v2) and boot the Table II APIs
-// straight from disk with `ProbaseApi::from_snapshot_file`; [`Snapshot`]
-// dispatches on the format version, [`PersistError`] is the decode error.
-pub use cnp_taxonomy::{FrozenTaxonomy, PersistError, ProbaseApi, Snapshot};
+// it with `save_to_file` (snapshot format v2) and boot a [`TaxonomyService`]
+// straight from disk with `from_snapshot_file`; [`Snapshot`] dispatches on
+// the format version, [`PersistError`] is the decode error. Queries travel
+// as typed [`Query`] values and come back as generation-stamped
+// [`QueryResponse`]s; [`ProbaseApi`] is the paper-era Table II wrapper.
+pub use cnp_serve::{
+    Cursor, ListOptions, PageRequest, ProbaseApi, Query, QueryError, QueryResponse, Response,
+    TaxonomyService,
+};
+pub use cnp_taxonomy::{FrozenTaxonomy, PersistError, Snapshot};

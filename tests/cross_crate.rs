@@ -5,7 +5,7 @@
 use cn_probase::encyclopedia::{dump, CorpusConfig, CorpusGenerator};
 use cn_probase::eval::{coverage, generate_questions};
 use cn_probase::pipeline::{Pipeline, PipelineConfig};
-use cn_probase::taxonomy::ProbaseApi;
+use cn_probase::ProbaseApi;
 
 #[test]
 fn dump_roundtrip_feeds_an_identical_pipeline_run() {

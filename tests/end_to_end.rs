@@ -5,7 +5,8 @@
 use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 use cn_probase::eval;
 use cn_probase::pipeline::{Pipeline, PipelineConfig};
-use cn_probase::taxonomy::{closure, persist, ProbaseApi, Source};
+use cn_probase::taxonomy::{closure, persist, Source};
+use cn_probase::ProbaseApi;
 
 fn small_outcome() -> (
     cn_probase::encyclopedia::Corpus,

@@ -32,8 +32,29 @@ fn reexported_modules_resolve() {
     // The serving types are re-exported at the crate root.
     let frozen: cn_probase::FrozenTaxonomy = cn_probase::taxonomy::FrozenTaxonomy::freeze(&store);
     assert_eq!(frozen.num_is_a(), 0);
-    let api = cn_probase::ProbaseApi::from_frozen(frozen);
+    let api = cn_probase::ProbaseApi::from_frozen(frozen.clone());
     assert!(api.men2ent("刘德华").is_empty());
+
+    // serve → cnp_serve: the Serving API v1 protocol at the crate root.
+    let service: cn_probase::TaxonomyService = cn_probase::serve::TaxonomyService::new(frozen);
+    assert_eq!(service.generation(), 1);
+    let response: cn_probase::QueryResponse =
+        service.execute(&cn_probase::Query::men2ent("刘德华"));
+    assert!(matches!(
+        response.result,
+        Err(cn_probase::QueryError::UnknownMention(_))
+    ));
+    let options =
+        cn_probase::ListOptions::transitive().with_page(cn_probase::PageRequest::first(5));
+    let _query = cn_probase::Query::GetEntity {
+        concept: "人物".to_string(),
+        options,
+    };
+    assert!(matches!(
+        cn_probase::Cursor::decode("not a cursor"),
+        Err(cn_probase::serve::CursorError::Malformed)
+    ));
+    let _response_ty: Option<cn_probase::Response> = None;
 
     // pipeline → cnp_core
     let _config = cn_probase::pipeline::PipelineConfig::fast();

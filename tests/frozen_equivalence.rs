@@ -81,19 +81,22 @@ fn frozen_matches_mutable_store_on_generated_corpus() {
         assert_eq!(got, expected, "getConcept({e:?}, transitive)");
     }
 
-    // --- getEntity: identical including BFS order and dedup ---
+    // --- getEntity: identical including the ranked-row BFS order and
+    // dedup. Hyponym rows are confidence-ranked in the snapshot, so the
+    // expectation walks the store's own rank order
+    // (`TaxonomyStore::ranked_entities_of`). ---
     for c in store.concept_ids() {
         let name = store.concept_name(c).to_string();
         let mut expected: Vec<String> = Vec::new();
         let mut seen: Vec<EntityId> = Vec::new();
-        for &e in store.entities_of(c) {
+        for e in store.ranked_entities_of(c) {
             if !seen.contains(&e) {
                 seen.push(e);
                 expected.push(store.entity_key(e));
             }
         }
         for sub in closure::descendants(&store, c) {
-            for &e in store.entities_of(sub) {
+            for e in store.ranked_entities_of(sub) {
                 if !seen.contains(&e) {
                     seen.push(e);
                     expected.push(store.entity_key(e));
