@@ -40,6 +40,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod pool;
+
+pub use pool::{BoundedQueue, PushError, WorkerPool};
+
 /// Upper bound on the number of chunks an input is split into.
 pub const MAX_PARTITIONS: usize = 64;
 

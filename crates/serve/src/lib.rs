@@ -24,6 +24,10 @@
 //! * [`ProbaseApi`] — the paper-era three-call interface, kept as a thin
 //!   compatibility wrapper over the service (same answers, verified by
 //!   the `serve_equivalence` integration test).
+//! * [`wire`] / [`json`] — the network-facing codec: every [`Query`] and
+//!   [`QueryResponse`] as a JSON document (hand-rolled, hardened parser;
+//!   no registry deps), plus the typed-error → HTTP-status mapping the
+//!   `cnp_server` front-end serves.
 //!
 //! ## Quickstart
 //!
@@ -53,9 +57,11 @@
 
 mod compat;
 mod exec;
+pub mod json;
 mod query;
 mod response;
 mod service;
+pub mod wire;
 
 pub use compat::{EntitySense, ProbaseApi};
 pub use query::{Cursor, ListOptions, PageRequest, Query};

@@ -1,0 +1,807 @@
+//! Wire-facing serde for the serving protocol: [`Query`] and
+//! [`QueryResponse`] as JSON documents, plus the error → HTTP-status
+//! mapping the network front-end uses.
+//!
+//! The encoding is deliberately flat and self-describing:
+//!
+//! ```json
+//! {"op":"getEntity","concept":"人物",
+//!  "options":{"transitive":true,"minConfidence":0.5,"limit":10,
+//!             "cursor":"v1.g1.o10.q..."}}
+//! ```
+//!
+//! comes back as
+//!
+//! ```json
+//! {"generation":1,
+//!  "result":{"type":"entities","items":[…],"total":123,"next":"v1.…"}}
+//! ```
+//!
+//! or, on a typed refusal,
+//!
+//! ```json
+//! {"generation":1,
+//!  "error":{"kind":"unknownConcept","name":"不存在"}}
+//! ```
+//!
+//! Every enum in the protocol round-trips exactly (`encode → decode` is
+//! the identity, asserted by unit and integration tests), so the load
+//! harness and any non-Rust client can rely on the documented shape.
+//! Pagination cursors travel as the opaque tokens of
+//! [`Cursor::encode`] / [`Cursor::decode`].
+
+use crate::json::Json;
+use crate::query::{Cursor, ListOptions, PageRequest, Query};
+use crate::response::{
+    ConceptHit, CursorError, EntityHit, Paged, QueryError, QueryResponse, Response, Sense,
+    SenseConcepts,
+};
+use cnp_taxonomy::{ConceptId, EntityId};
+use std::fmt;
+
+/// Why a wire document could not be decoded into a protocol value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description of the malformation.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> WireError {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire message: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ----- error → status mapping ----------------------------------------------
+
+/// The HTTP status code a query result maps to: `200` for `Ok`, `404` for
+/// the unknown-name family, `400` for a cursor that does not even parse,
+/// and `409` for a structurally valid cursor rejected against the serving
+/// state (wrong generation / query / range) — the client must restart its
+/// walk, nothing was wrong with the request's syntax.
+pub fn status_for(result: &Result<Response, QueryError>) -> u16 {
+    match result {
+        Ok(_) => 200,
+        Err(e) => status_for_error(e),
+    }
+}
+
+/// [`status_for`], for the error alone.
+pub fn status_for_error(error: &QueryError) -> u16 {
+    match error {
+        QueryError::UnknownMention(_)
+        | QueryError::UnknownEntity(_)
+        | QueryError::UnknownConcept(_) => 404,
+        QueryError::InvalidCursor(CursorError::Malformed) => 400,
+        QueryError::InvalidCursor(_) => 409,
+    }
+}
+
+/// The stable wire identifier of a [`QueryError`] variant.
+pub fn error_kind(error: &QueryError) -> &'static str {
+    match error {
+        QueryError::UnknownMention(_) => "unknownMention",
+        QueryError::UnknownEntity(_) => "unknownEntity",
+        QueryError::UnknownConcept(_) => "unknownConcept",
+        QueryError::InvalidCursor(_) => "invalidCursor",
+    }
+}
+
+// ----- Query ---------------------------------------------------------------
+
+/// Encodes a [`Query`] as its wire document.
+pub fn encode_query(query: &Query) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+    match query {
+        Query::Men2Ent { mention } => {
+            push("op", Json::str("men2ent"));
+            push("mention", Json::str(mention.clone()));
+        }
+        Query::MentionSenses { mention } => {
+            push("op", Json::str("mentionSenses"));
+            push("mention", Json::str(mention.clone()));
+        }
+        Query::GetConcept { entity, options } => {
+            push("op", Json::str("getConcept"));
+            push("entity", Json::str(entity.clone()));
+            push("options", encode_options(options));
+        }
+        Query::GetConceptByMention { mention, options } => {
+            push("op", Json::str("getConceptByMention"));
+            push("mention", Json::str(mention.clone()));
+            push("options", encode_options(options));
+        }
+        Query::GetEntity { concept, options } => {
+            push("op", Json::str("getEntity"));
+            push("concept", Json::str(concept.clone()));
+            push("options", encode_options(options));
+        }
+        Query::AncestorsOf { concept } => {
+            push("op", Json::str("ancestorsOf"));
+            push("concept", Json::str(concept.clone()));
+        }
+        Query::IsA {
+            sub,
+            sup,
+            transitive,
+        } => {
+            push("op", Json::str("isA"));
+            push("sub", Json::str(sub.clone()));
+            push("sup", Json::str(sup.clone()));
+            push("transitive", Json::Bool(*transitive));
+        }
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes a wire document into a [`Query`]. Unknown `op`s and missing or
+/// mistyped fields are typed [`WireError`]s (the server answers 400).
+pub fn decode_query(doc: &Json) -> Result<Query, WireError> {
+    let op = req_str(doc, "op")?;
+    match op {
+        "men2ent" => Ok(Query::Men2Ent {
+            mention: req_str(doc, "mention")?.to_string(),
+        }),
+        "mentionSenses" => Ok(Query::MentionSenses {
+            mention: req_str(doc, "mention")?.to_string(),
+        }),
+        "getConcept" => Ok(Query::GetConcept {
+            entity: req_str(doc, "entity")?.to_string(),
+            options: decode_options(doc.get("options"))?,
+        }),
+        "getConceptByMention" => Ok(Query::GetConceptByMention {
+            mention: req_str(doc, "mention")?.to_string(),
+            options: decode_options(doc.get("options"))?,
+        }),
+        "getEntity" => Ok(Query::GetEntity {
+            concept: req_str(doc, "concept")?.to_string(),
+            options: decode_options(doc.get("options"))?,
+        }),
+        "ancestorsOf" => Ok(Query::AncestorsOf {
+            concept: req_str(doc, "concept")?.to_string(),
+        }),
+        "isA" => Ok(Query::IsA {
+            sub: req_str(doc, "sub")?.to_string(),
+            sup: req_str(doc, "sup")?.to_string(),
+            transitive: doc
+                .get("transitive")
+                .map(|v| v.as_bool().ok_or_else(|| type_err("transitive", "bool")))
+                .transpose()?
+                .unwrap_or(false),
+        }),
+        other => Err(WireError::new(format!("unknown op {other:?}"))),
+    }
+}
+
+fn encode_options(options: &ListOptions) -> Json {
+    let mut fields = vec![
+        ("transitive".to_string(), Json::Bool(options.transitive)),
+        (
+            "minConfidence".to_string(),
+            Json::num(f64::from(options.min_confidence)),
+        ),
+    ];
+    if options.page.limit != usize::MAX {
+        fields.push(("limit".to_string(), Json::num(options.page.limit as f64)));
+    }
+    if let Some(cursor) = &options.page.cursor {
+        fields.push(("cursor".to_string(), Json::str(cursor.encode())));
+    }
+    Json::Obj(fields)
+}
+
+fn decode_options(doc: Option<&Json>) -> Result<ListOptions, WireError> {
+    let Some(doc) = doc else {
+        return Ok(ListOptions::default());
+    };
+    if doc.is_null() {
+        return Ok(ListOptions::default());
+    }
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(type_err("options", "object"));
+    }
+    let transitive = match doc.get("transitive") {
+        None => false,
+        Some(v) => v.as_bool().ok_or_else(|| type_err("transitive", "bool"))?,
+    };
+    let min_confidence = match doc.get("minConfidence") {
+        None => 0.0,
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| type_err("minConfidence", "number"))? as f32,
+    };
+    let limit = match doc.get("limit") {
+        None => usize::MAX,
+        Some(Json::Null) => usize::MAX,
+        Some(v) => usize::try_from(v.as_u64().ok_or_else(|| type_err("limit", "integer"))?)
+            .map_err(|_| type_err("limit", "integer"))?,
+    };
+    let cursor = match doc.get("cursor") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let token = v.as_str().ok_or_else(|| type_err("cursor", "string"))?;
+            Some(
+                Cursor::decode(token)
+                    .map_err(|e| WireError::new(format!("invalid cursor token: {e}")))?,
+            )
+        }
+    };
+    Ok(ListOptions {
+        transitive,
+        min_confidence,
+        page: PageRequest { limit, cursor },
+    })
+}
+
+// ----- QueryResponse -------------------------------------------------------
+
+/// Encodes a [`QueryResponse`] envelope: `generation` plus either
+/// `result` or `error`.
+pub fn encode_response(response: &QueryResponse) -> Json {
+    let mut fields = vec![(
+        "generation".to_string(),
+        Json::num(response.generation as f64),
+    )];
+    match &response.result {
+        Ok(result) => fields.push(("result".to_string(), encode_result(result))),
+        Err(error) => fields.push(("error".to_string(), encode_error(error))),
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes a wire envelope back into a [`QueryResponse`].
+pub fn decode_response(doc: &Json) -> Result<QueryResponse, WireError> {
+    let generation = doc
+        .get("generation")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| type_err("generation", "integer"))?;
+    let result = match (doc.get("result"), doc.get("error")) {
+        (Some(r), None) => Ok(decode_result(r)?),
+        (None, Some(e)) => Err(decode_error(e)?),
+        _ => {
+            return Err(WireError::new(
+                "envelope must carry exactly one of result/error",
+            ))
+        }
+    };
+    Ok(QueryResponse { generation, result })
+}
+
+fn encode_error(error: &QueryError) -> Json {
+    let mut fields = vec![("kind".to_string(), Json::str(error_kind(error)))];
+    match error {
+        QueryError::UnknownMention(name)
+        | QueryError::UnknownEntity(name)
+        | QueryError::UnknownConcept(name) => {
+            fields.push(("name".to_string(), Json::str(name.clone())));
+        }
+        QueryError::InvalidCursor(cursor_error) => {
+            let cursor = match cursor_error {
+                CursorError::Malformed => vec![("kind".to_string(), Json::str("malformed"))],
+                CursorError::WrongGeneration { cursor, serving } => vec![
+                    ("kind".to_string(), Json::str("wrongGeneration")),
+                    ("cursor".to_string(), Json::num(*cursor as f64)),
+                    ("serving".to_string(), Json::num(*serving as f64)),
+                ],
+                CursorError::WrongQuery => vec![("kind".to_string(), Json::str("wrongQuery"))],
+                CursorError::OutOfRange { offset, total } => vec![
+                    ("kind".to_string(), Json::str("outOfRange")),
+                    ("offset".to_string(), Json::num(*offset as f64)),
+                    ("total".to_string(), Json::num(*total as f64)),
+                ],
+            };
+            fields.push(("cursor".to_string(), Json::Obj(cursor)));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn decode_error(doc: &Json) -> Result<QueryError, WireError> {
+    let kind = req_str(doc, "kind")?;
+    match kind {
+        "unknownMention" => Ok(QueryError::UnknownMention(
+            req_str(doc, "name")?.to_string(),
+        )),
+        "unknownEntity" => Ok(QueryError::UnknownEntity(req_str(doc, "name")?.to_string())),
+        "unknownConcept" => Ok(QueryError::UnknownConcept(
+            req_str(doc, "name")?.to_string(),
+        )),
+        "invalidCursor" => {
+            let c = doc
+                .get("cursor")
+                .ok_or_else(|| WireError::new("invalidCursor without cursor detail"))?;
+            let cursor_error = match req_str(c, "kind")? {
+                "malformed" => CursorError::Malformed,
+                "wrongGeneration" => CursorError::WrongGeneration {
+                    cursor: req_u64(c, "cursor")?,
+                    serving: req_u64(c, "serving")?,
+                },
+                "wrongQuery" => CursorError::WrongQuery,
+                "outOfRange" => CursorError::OutOfRange {
+                    offset: req_usize(c, "offset")?,
+                    total: req_usize(c, "total")?,
+                },
+                other => return Err(WireError::new(format!("unknown cursor error {other:?}"))),
+            };
+            Ok(QueryError::InvalidCursor(cursor_error))
+        }
+        other => Err(WireError::new(format!("unknown error kind {other:?}"))),
+    }
+}
+
+fn encode_result(result: &Response) -> Json {
+    match result {
+        Response::Senses(senses) => Json::Obj(vec![
+            ("type".to_string(), Json::str("senses")),
+            (
+                "items".to_string(),
+                Json::Arr(senses.iter().map(encode_sense).collect()),
+            ),
+        ]),
+        Response::SenseConcepts(items) => Json::Obj(vec![
+            ("type".to_string(), Json::str("senseConcepts")),
+            (
+                "items".to_string(),
+                Json::Arr(
+                    items
+                        .iter()
+                        .map(|sc| {
+                            Json::Obj(vec![
+                                ("sense".to_string(), encode_sense(&sc.sense)),
+                                (
+                                    "concepts".to_string(),
+                                    Json::Arr(sc.concepts.iter().map(encode_concept_hit).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Concepts(page) => encode_page("concepts", page, encode_concept_hit),
+        Response::Entities(page) => encode_page("entities", page, encode_entity_hit),
+        Response::Ancestors(hits) => Json::Obj(vec![
+            ("type".to_string(), Json::str("ancestors")),
+            (
+                "items".to_string(),
+                Json::Arr(hits.iter().map(encode_concept_hit).collect()),
+            ),
+        ]),
+        Response::IsA { holds } => Json::Obj(vec![
+            ("type".to_string(), Json::str("isA")),
+            ("holds".to_string(), Json::Bool(*holds)),
+        ]),
+    }
+}
+
+fn decode_result(doc: &Json) -> Result<Response, WireError> {
+    match req_str(doc, "type")? {
+        "senses" => Ok(Response::Senses(
+            req_arr(doc, "items")?
+                .iter()
+                .map(decode_sense)
+                .collect::<Result<_, _>>()?,
+        )),
+        "senseConcepts" => Ok(Response::SenseConcepts(
+            req_arr(doc, "items")?
+                .iter()
+                .map(|item| {
+                    Ok(SenseConcepts {
+                        sense: decode_sense(
+                            item.get("sense")
+                                .ok_or_else(|| type_err("sense", "object"))?,
+                        )?,
+                        concepts: req_arr(item, "concepts")?
+                            .iter()
+                            .map(decode_concept_hit)
+                            .collect::<Result<_, _>>()?,
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        )),
+        "concepts" => Ok(Response::Concepts(decode_page(doc, decode_concept_hit)?)),
+        "entities" => Ok(Response::Entities(decode_page(doc, decode_entity_hit)?)),
+        "ancestors" => Ok(Response::Ancestors(
+            req_arr(doc, "items")?
+                .iter()
+                .map(decode_concept_hit)
+                .collect::<Result<_, _>>()?,
+        )),
+        "isA" => Ok(Response::IsA {
+            holds: doc
+                .get("holds")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| type_err("holds", "bool"))?,
+        }),
+        other => Err(WireError::new(format!("unknown result type {other:?}"))),
+    }
+}
+
+fn encode_page<T>(kind: &str, page: &Paged<T>, item: impl Fn(&T) -> Json) -> Json {
+    Json::Obj(vec![
+        ("type".to_string(), Json::str(kind)),
+        (
+            "items".to_string(),
+            Json::Arr(page.items.iter().map(item).collect()),
+        ),
+        ("total".to_string(), Json::num(page.total as f64)),
+        (
+            "next".to_string(),
+            match &page.next {
+                Some(cursor) => Json::str(cursor.encode()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn decode_page<T>(
+    doc: &Json,
+    item: impl Fn(&Json) -> Result<T, WireError>,
+) -> Result<Paged<T>, WireError> {
+    let items = req_arr(doc, "items")?
+        .iter()
+        .map(item)
+        .collect::<Result<_, _>>()?;
+    let total = req_usize(doc, "total")?;
+    let next = match doc.get("next") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let token = v.as_str().ok_or_else(|| type_err("next", "string"))?;
+            Some(
+                Cursor::decode(token)
+                    .map_err(|e| WireError::new(format!("invalid next cursor: {e}")))?,
+            )
+        }
+    };
+    Ok(Paged { items, total, next })
+}
+
+fn encode_sense(sense: &Sense) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::num(f64::from(sense.id.0))),
+        ("name".to_string(), Json::str(sense.name.clone())),
+        (
+            "disambig".to_string(),
+            match &sense.disambig {
+                Some(d) => Json::str(d.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("key".to_string(), Json::str(sense.key.clone())),
+    ])
+}
+
+fn decode_sense(doc: &Json) -> Result<Sense, WireError> {
+    Ok(Sense {
+        id: EntityId(req_u32(doc, "id")?),
+        name: req_str(doc, "name")?.to_string(),
+        disambig: match doc.get("disambig") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| type_err("disambig", "string"))?
+                    .to_string(),
+            ),
+        },
+        key: req_str(doc, "key")?.to_string(),
+    })
+}
+
+fn encode_concept_hit(hit: &ConceptHit) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::num(f64::from(hit.id.0))),
+        ("name".to_string(), Json::str(hit.name.clone())),
+        ("depth".to_string(), Json::num(f64::from(hit.depth))),
+        ("direct".to_string(), Json::Bool(hit.direct)),
+        (
+            "confidence".to_string(),
+            match hit.confidence {
+                Some(c) => Json::num(f64::from(c)),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn decode_concept_hit(doc: &Json) -> Result<ConceptHit, WireError> {
+    Ok(ConceptHit {
+        id: ConceptId(req_u32(doc, "id")?),
+        name: req_str(doc, "name")?.to_string(),
+        depth: req_u32(doc, "depth")?,
+        direct: doc
+            .get("direct")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| type_err("direct", "bool"))?,
+        confidence: match doc.get("confidence") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_f64().ok_or_else(|| type_err("confidence", "number"))? as f32),
+        },
+    })
+}
+
+fn encode_entity_hit(hit: &EntityHit) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::num(f64::from(hit.id.0))),
+        ("key".to_string(), Json::str(hit.key.clone())),
+        ("via".to_string(), Json::num(f64::from(hit.via.0))),
+        (
+            "confidence".to_string(),
+            Json::num(f64::from(hit.confidence)),
+        ),
+    ])
+}
+
+fn decode_entity_hit(doc: &Json) -> Result<EntityHit, WireError> {
+    Ok(EntityHit {
+        id: EntityId(req_u32(doc, "id")?),
+        key: req_str(doc, "key")?.to_string(),
+        via: ConceptId(req_u32(doc, "via")?),
+        confidence: doc
+            .get("confidence")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| type_err("confidence", "number"))? as f32,
+    })
+}
+
+// ----- field helpers -------------------------------------------------------
+
+fn type_err(field: &str, expected: &str) -> WireError {
+    WireError::new(format!("field {field:?} missing or not a {expected}"))
+}
+
+fn req_str<'a>(doc: &'a Json, field: &str) -> Result<&'a str, WireError> {
+    doc.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| type_err(field, "string"))
+}
+
+fn req_u64(doc: &Json, field: &str) -> Result<u64, WireError> {
+    doc.get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| type_err(field, "integer"))
+}
+
+fn req_u32(doc: &Json, field: &str) -> Result<u32, WireError> {
+    u32::try_from(req_u64(doc, field)?).map_err(|_| type_err(field, "u32"))
+}
+
+fn req_usize(doc: &Json, field: &str) -> Result<usize, WireError> {
+    usize::try_from(req_u64(doc, field)?).map_err(|_| type_err(field, "integer"))
+}
+
+fn req_arr<'a>(doc: &'a Json, field: &str) -> Result<&'a [Json], WireError> {
+    doc.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| type_err(field, "array"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_round_trip(q: Query) {
+        let doc = encode_query(&q);
+        let text = doc.write();
+        let back = decode_query(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, q, "wire round trip diverged for {text}");
+    }
+
+    #[test]
+    fn every_query_variant_round_trips() {
+        query_round_trip(Query::men2ent("刘德华"));
+        query_round_trip(Query::MentionSenses {
+            mention: "苹果".to_string(),
+        });
+        query_round_trip(Query::GetConcept {
+            entity: "刘德华（中国香港男演员）".to_string(),
+            options: ListOptions::transitive().with_min_confidence(0.25),
+        });
+        query_round_trip(Query::GetConceptByMention {
+            mention: "苹果".to_string(),
+            options: ListOptions::default(),
+        });
+        query_round_trip(Query::GetEntity {
+            concept: "人物".to_string(),
+            options: ListOptions::transitive().with_page(PageRequest::after(
+                10,
+                Cursor::decode("v1.g3.o20.q00000000deadbeef").unwrap(),
+            )),
+        });
+        query_round_trip(Query::AncestorsOf {
+            concept: "演员".to_string(),
+        });
+        query_round_trip(Query::IsA {
+            sub: "刘德华".to_string(),
+            sup: "人物".to_string(),
+            transitive: true,
+        });
+    }
+
+    fn response_round_trip(r: QueryResponse) {
+        let doc = encode_response(&r);
+        let text = doc.write();
+        let back = decode_response(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r, "wire round trip diverged for {text}");
+    }
+
+    fn sample_sense() -> Sense {
+        Sense {
+            id: EntityId(7),
+            name: "刘德华".to_string(),
+            disambig: Some("中国香港男演员".to_string()),
+            key: "刘德华（中国香港男演员）".to_string(),
+        }
+    }
+
+    fn sample_hit() -> ConceptHit {
+        ConceptHit {
+            id: ConceptId(3),
+            name: "演员".to_string(),
+            depth: 2,
+            direct: true,
+            confidence: Some(0.875),
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        let g = 5;
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::Senses(vec![
+                sample_sense(),
+                Sense {
+                    disambig: None,
+                    ..sample_sense()
+                },
+            ])),
+        });
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::SenseConcepts(vec![SenseConcepts {
+                sense: sample_sense(),
+                concepts: vec![sample_hit()],
+            }])),
+        });
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::Concepts(Paged {
+                items: vec![
+                    sample_hit(),
+                    ConceptHit {
+                        direct: false,
+                        confidence: None,
+                        ..sample_hit()
+                    },
+                ],
+                total: 10,
+                next: Some(Cursor::decode("v1.g5.o2.q0000000000000abc").unwrap()),
+            })),
+        });
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::Entities(Paged {
+                items: vec![EntityHit {
+                    id: EntityId(1),
+                    key: "张学友".to_string(),
+                    via: ConceptId(3),
+                    confidence: 0.5,
+                }],
+                total: 1,
+                next: None,
+            })),
+        });
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::Ancestors(vec![sample_hit()])),
+        });
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::IsA { holds: true }),
+        });
+    }
+
+    #[test]
+    fn every_error_variant_round_trips() {
+        for error in [
+            QueryError::UnknownMention("无此人".to_string()),
+            QueryError::UnknownEntity("无此人（到处）".to_string()),
+            QueryError::UnknownConcept("无此类".to_string()),
+            QueryError::InvalidCursor(CursorError::Malformed),
+            QueryError::InvalidCursor(CursorError::WrongGeneration {
+                cursor: 1,
+                serving: 2,
+            }),
+            QueryError::InvalidCursor(CursorError::WrongQuery),
+            QueryError::InvalidCursor(CursorError::OutOfRange {
+                offset: 11,
+                total: 10,
+            }),
+        ] {
+            response_round_trip(QueryResponse {
+                generation: 2,
+                result: Err(error),
+            });
+        }
+    }
+
+    #[test]
+    fn status_mapping_is_stable() {
+        assert_eq!(status_for(&Ok(Response::IsA { holds: false })), 200);
+        assert_eq!(
+            status_for(&Err(QueryError::UnknownMention(String::new()))),
+            404
+        );
+        assert_eq!(
+            status_for(&Err(QueryError::UnknownEntity(String::new()))),
+            404
+        );
+        assert_eq!(
+            status_for(&Err(QueryError::UnknownConcept(String::new()))),
+            404
+        );
+        assert_eq!(
+            status_for(&Err(QueryError::InvalidCursor(CursorError::Malformed))),
+            400
+        );
+        assert_eq!(
+            status_for(&Err(QueryError::InvalidCursor(CursorError::WrongQuery))),
+            409
+        );
+        assert_eq!(
+            status_for(&Err(QueryError::InvalidCursor(
+                CursorError::WrongGeneration {
+                    cursor: 1,
+                    serving: 2
+                }
+            ))),
+            409
+        );
+    }
+
+    #[test]
+    fn hostile_query_documents_are_typed_errors() {
+        for bad in [
+            r#"{}"#,
+            r#"{"op":"launchMissiles"}"#,
+            r#"{"op":"men2ent"}"#,
+            r#"{"op":"men2ent","mention":7}"#,
+            r#"{"op":"getEntity","concept":"人物","options":7}"#,
+            r#"{"op":"getEntity","concept":"人物","options":{"limit":-1}}"#,
+            r#"{"op":"getEntity","concept":"人物","options":{"limit":1.5}}"#,
+            r#"{"op":"getEntity","concept":"人物","options":{"cursor":"garbage"}}"#,
+            r#"{"op":"isA","sub":"a","sup":"b","transitive":"yes"}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(decode_query(&doc).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn hostile_response_documents_are_typed_errors() {
+        for bad in [
+            r#"{}"#,
+            r#"{"generation":1}"#,
+            r#"{"generation":1,"result":{"type":"nope"}}"#,
+            r#"{"generation":1,"result":{"type":"isA"}}"#,
+            r#"{"generation":1,"error":{"kind":"nope"}}"#,
+            r#"{"generation":1,"result":{"type":"isA","holds":true},"error":{"kind":"wrongQuery"}}"#,
+            r#"{"generation":-1,"result":{"type":"isA","holds":true}}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(decode_response(&doc).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Replay a deterministic mixed-query workload against a running
+//! `cnp_server` and report latency percentiles, QPS, and error counts.
+//!
+//! ```text
+//! cnp_load --addr 127.0.0.1:7077 --snapshot /tmp/cnp.snapshot
+//!          [--connections 8] [--requests 4000] [--seed 42]
+//!          [--out report.json] [--max-p99-ms 250]
+//! ```
+//!
+//! The snapshot is only read locally, to harvest the probe vocabulary —
+//! the same file the server booted from, so every generated query targets
+//! names that exist. Exits non-zero if any protocol error occurs or the
+//! measured p99 exceeds `--max-p99-ms`.
+
+use cnp_server::{load, LoadConfig, ProbeVocab};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cnp_load --addr HOST:PORT --snapshot PATH \
+                     [--connections N] [--requests N] [--seed N] \
+                     [--out FILE] [--max-p99-ms MS]";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("cnp_load: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = LoadConfig::default();
+    let mut snapshot: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut max_p99_ms: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = match flag.as_str() {
+            "--addr" => value("--addr").map(|v| config.addr = v),
+            "--snapshot" => value("--snapshot").map(|v| snapshot = Some(PathBuf::from(v))),
+            "--connections" => value("--connections")
+                .and_then(|v| v.parse().map_err(|e| format!("--connections: {e}")))
+                .map(|v: usize| config.connections = v.max(1)),
+            "--requests" => value("--requests")
+                .and_then(|v| v.parse().map_err(|e| format!("--requests: {e}")))
+                .map(|v: usize| config.requests = v),
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                .map(|v: u64| config.seed = v),
+            "--out" => value("--out").map(|v| out = Some(PathBuf::from(v))),
+            "--max-p99-ms" => value("--max-p99-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--max-p99-ms: {e}")))
+                .map(|v: f64| max_p99_ms = Some(v)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(message) = result {
+            return fail(&message);
+        }
+    }
+
+    let Some(snapshot) = snapshot else {
+        return fail("--snapshot is required (probe vocabulary source)");
+    };
+    let vocab = match ProbeVocab::from_snapshot_file(&snapshot) {
+        Ok(vocab) => vocab,
+        Err(e) => return fail(&format!("cannot read snapshot {}: {e}", snapshot.display())),
+    };
+    if !vocab.is_usable() {
+        return fail("snapshot yields an empty probe vocabulary");
+    }
+
+    eprintln!(
+        "cnp_load: {} requests over {} connections against {} (seed {})",
+        config.requests, config.connections, config.addr, config.seed
+    );
+    let report = load::run(&config, &vocab);
+    let rendered = report.to_json().write();
+    println!("{rendered}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+    }
+    eprintln!(
+        "cnp_load: ok={} queryError={} overloaded={} protocolError={} \
+         p50={}us p99={}us p999={}us qps={:.0}",
+        report.counts.ok,
+        report.counts.query_error,
+        report.counts.overloaded,
+        report.counts.protocol_error,
+        report.percentile_us(0.50),
+        report.percentile_us(0.99),
+        report.percentile_us(0.999),
+        report.qps()
+    );
+    match report.check(max_p99_ms) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("cnp_load: FAILED: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

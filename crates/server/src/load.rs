@@ -1,0 +1,583 @@
+//! The load harness behind the `cnp_load` binary: drive N concurrent
+//! connections of mixed Table II traffic at a running [`crate::serve`]
+//! front-end, measure end-to-end latency, and emit a machine-readable
+//! JSON report — the artifact CI archives and future PRs regress against.
+//!
+//! Determinism: the workload is a pure function of `(vocab, seed,
+//! connections, requests)`. Each connection gets its own
+//! `StdRng::seed_from_u64(seed + index)`, so two runs against the same
+//! snapshot issue byte-identical query streams (timing, of course,
+//! varies).
+
+use crate::http;
+use cnp_serve::json::Json;
+use cnp_serve::{wire, ListOptions, PageRequest, Query};
+use cnp_taxonomy::{FrozenTaxonomy, PersistError, Snapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Query names in the workload mix, in emission-weight order.
+pub const MIX_OPS: [&str; 7] = [
+    "men2ent",
+    "getConceptByMention",
+    "getEntity",
+    "getConcept",
+    "mentionSenses",
+    "isA",
+    "ancestorsOf",
+];
+
+/// Relative weights of [`MIX_OPS`] — the Table II read mix: mention
+/// resolution dominates (the paper reports 43.9 M `men2ent` calls, §V),
+/// concept/entity listing follows, navigation queries trail.
+pub const MIX_WEIGHTS: [u32; 7] = [30, 20, 20, 10, 10, 5, 5];
+
+/// The probe vocabulary the generator draws from: names that exist in the
+/// snapshot being served, so the expected outcome of every query is `Ok`.
+#[derive(Debug, Clone)]
+pub struct ProbeVocab {
+    /// Mentions that resolve to at least one sense with concepts.
+    pub mentions: Vec<String>,
+    /// Full entity display keys.
+    pub entity_keys: Vec<String>,
+    /// Concepts with at least one hyponym entity.
+    pub concepts: Vec<String>,
+}
+
+impl ProbeVocab {
+    /// Harvests a probe vocabulary from a frozen snapshot (bounded: at
+    /// most 512 of each, in snapshot id order — deterministic).
+    pub fn from_frozen(f: &FrozenTaxonomy) -> ProbeVocab {
+        const CAP: usize = 512;
+        let mut mentions = Vec::new();
+        let mut entity_keys = Vec::new();
+        for e in f.entity_ids() {
+            if f.concepts_of(e).is_empty() {
+                continue;
+            }
+            if mentions.len() < CAP {
+                mentions.push(f.resolve(f.entity(e).name).to_string());
+            }
+            if entity_keys.len() < CAP {
+                entity_keys.push(f.entity_key(e));
+            }
+            if mentions.len() >= CAP && entity_keys.len() >= CAP {
+                break;
+            }
+        }
+        let concepts = f
+            .concept_ids()
+            .filter(|&c| !f.entities_of(c).is_empty())
+            .take(CAP)
+            .map(|c| f.concept_name(c).to_string())
+            .collect();
+        ProbeVocab {
+            mentions,
+            entity_keys,
+            concepts,
+        }
+    }
+
+    /// [`ProbeVocab::from_frozen`] on a snapshot file of either format.
+    pub fn from_snapshot_file(path: &Path) -> Result<ProbeVocab, PersistError> {
+        Ok(Self::from_frozen(
+            &Snapshot::load_from_file(path)?.into_frozen(),
+        ))
+    }
+
+    /// Whether the vocabulary can drive the full mix.
+    pub fn is_usable(&self) -> bool {
+        !self.mentions.is_empty() && !self.entity_keys.is_empty() && !self.concepts.is_empty()
+    }
+
+    fn pick<'a>(&self, pool: &'a [String], rng: &mut StdRng) -> &'a str {
+        &pool[rng.gen_range(0..pool.len())]
+    }
+
+    /// The `index`-th query of the deterministic stream for `rng`.
+    pub fn next_query(&self, rng: &mut StdRng) -> Query {
+        let total: u32 = MIX_WEIGHTS.iter().sum();
+        let mut roll = rng.gen_range(0..total);
+        let mut op = MIX_OPS[0];
+        for (name, weight) in MIX_OPS.iter().zip(MIX_WEIGHTS) {
+            if roll < weight {
+                op = name;
+                break;
+            }
+            roll -= weight;
+        }
+        match op {
+            "men2ent" => Query::men2ent(self.pick(&self.mentions, rng)),
+            "getConceptByMention" => Query::GetConceptByMention {
+                mention: self.pick(&self.mentions, rng).to_string(),
+                options: ListOptions::transitive(),
+            },
+            "getEntity" => Query::GetEntity {
+                concept: self.pick(&self.concepts, rng).to_string(),
+                options: ListOptions::transitive().with_page(PageRequest::first(10)),
+            },
+            "getConcept" => Query::GetConcept {
+                entity: self.pick(&self.entity_keys, rng).to_string(),
+                options: ListOptions::transitive(),
+            },
+            "mentionSenses" => Query::MentionSenses {
+                mention: self.pick(&self.mentions, rng).to_string(),
+            },
+            "isA" => Query::IsA {
+                sub: self.pick(&self.mentions, rng).to_string(),
+                sup: self.pick(&self.concepts, rng).to_string(),
+                transitive: true,
+            },
+            _ => Query::AncestorsOf {
+                concept: self.pick(&self.concepts, rng).to_string(),
+            },
+        }
+    }
+}
+
+/// Workload shape for [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Workload seed; same seed ⇒ same query stream.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            connections: 8,
+            requests: 4000,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadCounts {
+    /// Requests that produced a parseable `200` envelope.
+    pub ok: u64,
+    /// Typed query refusals (404/400/409 with a protocol error body) —
+    /// served answers, counted separately from wire failures.
+    pub query_error: u64,
+    /// `429` admission refusals.
+    pub overloaded: u64,
+    /// Anything that violates the protocol: connect/write/read failures,
+    /// unparseable responses, unexpected statuses.
+    pub protocol_error: u64,
+}
+
+/// The measured result of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Echo of the workload shape.
+    pub config: LoadConfig,
+    /// Outcome counters (summing to `config.requests`).
+    pub counts: LoadCounts,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Served-request latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+    /// Per-op issue counts, aligned with [`MIX_OPS`].
+    pub per_op: [u64; 7],
+}
+
+impl LoadReport {
+    /// Served requests (ok + typed query errors) per second.
+    pub fn qps(&self) -> f64 {
+        let served = self.counts.ok + self.counts.query_error;
+        if self.elapsed.as_secs_f64() > 0.0 {
+            served as f64 / self.elapsed.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile latency in microseconds (e.g. `0.99` for p99).
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = (q * self.latencies_us.len() as f64).ceil() as usize;
+        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
+    }
+
+    /// Mean served latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.latencies_us.iter().sum::<u64>() as f64 / self.latencies_us.len() as f64
+    }
+
+    /// The machine-readable report (the `BENCH_*.json` `load` section).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "workload".to_string(),
+                Json::Obj(vec![
+                    ("addr".to_string(), Json::str(self.config.addr.clone())),
+                    (
+                        "connections".to_string(),
+                        Json::num(self.config.connections as f64),
+                    ),
+                    (
+                        "requests".to_string(),
+                        Json::num(self.config.requests as f64),
+                    ),
+                    ("seed".to_string(), Json::num(self.config.seed as f64)),
+                ]),
+            ),
+            (
+                "counts".to_string(),
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::num(self.counts.ok as f64)),
+                    (
+                        "queryError".to_string(),
+                        Json::num(self.counts.query_error as f64),
+                    ),
+                    (
+                        "overloaded".to_string(),
+                        Json::num(self.counts.overloaded as f64),
+                    ),
+                    (
+                        "protocolError".to_string(),
+                        Json::num(self.counts.protocol_error as f64),
+                    ),
+                ]),
+            ),
+            (
+                "latencyUs".to_string(),
+                Json::Obj(vec![
+                    (
+                        "p50".to_string(),
+                        Json::num(self.percentile_us(0.50) as f64),
+                    ),
+                    (
+                        "p90".to_string(),
+                        Json::num(self.percentile_us(0.90) as f64),
+                    ),
+                    (
+                        "p99".to_string(),
+                        Json::num(self.percentile_us(0.99) as f64),
+                    ),
+                    (
+                        "p999".to_string(),
+                        Json::num(self.percentile_us(0.999) as f64),
+                    ),
+                    (
+                        "max".to_string(),
+                        Json::num(self.latencies_us.last().copied().unwrap_or(0) as f64),
+                    ),
+                    ("meanUs".to_string(), Json::num(self.mean_us())),
+                ]),
+            ),
+            (
+                "elapsedSecs".to_string(),
+                Json::num(self.elapsed.as_secs_f64()),
+            ),
+            ("qps".to_string(), Json::num(self.qps())),
+            (
+                "perOp".to_string(),
+                Json::Obj(
+                    MIX_OPS
+                        .iter()
+                        .zip(self.per_op)
+                        .map(|(op, n)| ((*op).to_string(), Json::num(n as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// CI gate: zero protocol errors, and (optionally) a p99 bound.
+    pub fn check(&self, max_p99_ms: Option<f64>) -> Result<(), String> {
+        if self.counts.protocol_error > 0 {
+            return Err(format!(
+                "{} protocol error(s) on the wire",
+                self.counts.protocol_error
+            ));
+        }
+        if let Some(bound) = max_p99_ms {
+            let p99_ms = self.percentile_us(0.99) as f64 / 1000.0;
+            if p99_ms > bound {
+                return Err(format!(
+                    "p99 {p99_ms:.2} ms exceeds the {bound:.2} ms bound"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct WorkerOutcome {
+    latencies_us: Vec<u64>,
+    counts: LoadCounts,
+    per_op: [u64; 7],
+}
+
+fn op_index(query: &Query) -> usize {
+    match query {
+        Query::Men2Ent { .. } => 0,
+        Query::GetConceptByMention { .. } => 1,
+        Query::GetEntity { .. } => 2,
+        Query::GetConcept { .. } => 3,
+        Query::MentionSenses { .. } => 4,
+        Query::IsA { .. } => 5,
+        Query::AncestorsOf { .. } => 6,
+    }
+}
+
+/// One persistent client connection; reconnects transparently when the
+/// server closes it (after a 429 or an error response).
+struct Client {
+    addr: String,
+    reader: Option<BufReader<TcpStream>>,
+    writer: Option<BufWriter<TcpStream>>,
+}
+
+impl Client {
+    fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            reader: None,
+            writer: None,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.writer.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        self.reader = Some(BufReader::new(stream.try_clone()?));
+        self.writer = Some(BufWriter::new(stream));
+        Ok(())
+    }
+
+    fn disconnect(&mut self) {
+        self.reader = None;
+        self.writer = None;
+    }
+
+    /// One request/response exchange; `Err` is a wire-level failure.
+    fn exchange(&mut self, body: &[u8]) -> Result<http::ClientResponse, http::HttpError> {
+        self.ensure_connected()?;
+        let writer = self.writer.as_mut().expect("connected");
+        http::write_request(writer, "POST", "/v1/query", Some(body), true)?;
+        let reader = self.reader.as_mut().expect("connected");
+        match http::read_client_response(reader, http::MAX_BODY_BYTES)? {
+            Some(response) => {
+                if !response.keep_alive {
+                    self.disconnect();
+                }
+                Ok(response)
+            }
+            None => {
+                self.disconnect();
+                Err(http::HttpError::Malformed("server closed mid-exchange"))
+            }
+        }
+    }
+}
+
+fn run_worker(
+    index: usize,
+    config: &LoadConfig,
+    vocab: &ProbeVocab,
+    requests: usize,
+) -> WorkerOutcome {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(index as u64));
+    let mut client = Client::new(&config.addr);
+    let mut outcome = WorkerOutcome {
+        latencies_us: Vec::with_capacity(requests),
+        counts: LoadCounts::default(),
+        per_op: [0; 7],
+    };
+    for _ in 0..requests {
+        let query = vocab.next_query(&mut rng);
+        outcome.per_op[op_index(&query)] += 1;
+        let body = wire::encode_query(&query).write();
+        let start = Instant::now();
+        let response = match client.exchange(body.as_bytes()) {
+            Ok(response) => response,
+            Err(_) => {
+                client.disconnect();
+                outcome.counts.protocol_error += 1;
+                continue;
+            }
+        };
+        let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        match response.status {
+            200 => match parse_envelope(&response.body) {
+                Ok(()) => {
+                    outcome.counts.ok += 1;
+                    outcome.latencies_us.push(elapsed_us);
+                }
+                Err(()) => outcome.counts.protocol_error += 1,
+            },
+            404 | 400 | 409 => match parse_envelope(&response.body) {
+                Ok(()) => {
+                    outcome.counts.query_error += 1;
+                    outcome.latencies_us.push(elapsed_us);
+                }
+                Err(()) => outcome.counts.protocol_error += 1,
+            },
+            429 => outcome.counts.overloaded += 1,
+            _ => outcome.counts.protocol_error += 1,
+        }
+    }
+    outcome
+}
+
+/// Validates that a response body is a well-formed protocol envelope.
+fn parse_envelope(body: &[u8]) -> Result<(), ()> {
+    let text = std::str::from_utf8(body).map_err(|_| ())?;
+    let doc = Json::parse(text).map_err(|_| ())?;
+    if doc.get("generation").is_some() {
+        wire::decode_response(&doc).map(|_| ()).map_err(|_| ())
+    } else if doc.get("error").is_some() {
+        // Server-level error body ({"error":{"kind":…}}), e.g. badRequest.
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// Drives the workload and collects the merged report.
+///
+/// Spawns one thread per connection; each issues its deterministic share
+/// of the mixed query stream and measures every exchange end to end.
+pub fn run(config: &LoadConfig, vocab: &ProbeVocab) -> LoadReport {
+    assert!(vocab.is_usable(), "probe vocabulary is empty");
+    let connections = config.connections.max(1);
+    let per_worker = config.requests / connections;
+    let remainder = config.requests % connections;
+    let start = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|i| {
+                let requests = per_worker + usize::from(i < remainder);
+                scope.spawn(move || run_worker(i, config, vocab, requests))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies_us = Vec::new();
+    let mut counts = LoadCounts::default();
+    let mut per_op = [0u64; 7];
+    for outcome in outcomes {
+        latencies_us.extend(outcome.latencies_us);
+        counts.ok += outcome.counts.ok;
+        counts.query_error += outcome.counts.query_error;
+        counts.overloaded += outcome.counts.overloaded;
+        counts.protocol_error += outcome.counts.protocol_error;
+        for (total, n) in per_op.iter_mut().zip(outcome.per_op) {
+            *total += n;
+        }
+    }
+    latencies_us.sort_unstable();
+    LoadReport {
+        config: config.clone(),
+        counts,
+        elapsed,
+        latencies_us,
+        per_op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<u64>) -> LoadReport {
+        LoadReport {
+            config: LoadConfig::default(),
+            counts: LoadCounts {
+                ok: latencies.len() as u64,
+                ..LoadCounts::default()
+            },
+            elapsed: Duration::from_secs(2),
+            latencies_us: latencies,
+            per_op: [0; 7],
+        }
+    }
+
+    #[test]
+    fn percentiles_match_definition() {
+        let r = report((1..=1000).collect());
+        assert_eq!(r.percentile_us(0.50), 500);
+        assert_eq!(r.percentile_us(0.99), 990);
+        assert_eq!(r.percentile_us(0.999), 999);
+        assert_eq!(r.percentile_us(1.0), 1000);
+        assert_eq!(report(vec![7]).percentile_us(0.5), 7);
+        assert_eq!(report(Vec::new()).percentile_us(0.99), 0);
+    }
+
+    #[test]
+    fn qps_counts_served_requests() {
+        let r = report(vec![10; 500]);
+        assert!((r.qps() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_gates_on_protocol_errors_and_p99() {
+        let mut r = report((1..=1000).collect());
+        assert!(r.check(Some(1.0)).is_ok()); // p99 = 990us < 1ms
+        assert!(r.check(Some(0.5)).is_err());
+        r.counts.protocol_error = 1;
+        assert!(r.check(None).is_err());
+    }
+
+    #[test]
+    fn query_stream_is_deterministic_per_seed() {
+        let vocab = ProbeVocab {
+            mentions: vec!["刘德华".to_string(), "苹果".to_string()],
+            entity_keys: vec!["刘德华（歌手）".to_string()],
+            concepts: vec!["人物".to_string(), "歌手".to_string()],
+        };
+        let stream = |seed: u64| -> Vec<Query> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| vocab.next_query(&mut rng)).collect()
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8));
+        // The mix actually exercises every op over a long stream.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..2000 {
+            seen[op_index(&vocab.next_query(&mut rng))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "mix skipped an op: {seen:?}");
+    }
+
+    #[test]
+    fn envelope_validation_distinguishes_protocol_errors() {
+        assert!(
+            parse_envelope(br#"{"generation":1,"result":{"type":"isA","holds":true}}"#).is_ok()
+        );
+        assert!(parse_envelope(br#"{"error":{"kind":"badRequest","detail":"x"}}"#).is_ok());
+        assert!(parse_envelope(b"not json").is_err());
+        assert!(parse_envelope(br#"{"generation":"x"}"#).is_err());
+        assert!(parse_envelope(br#"{"unrelated":true}"#).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Lock-free serving counters, reported by `GET /v1/health`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by the accept loop and every worker. All
+/// updates are `Relaxed` — the counters are observability, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_error: AtomicU64,
+    overloaded: AtomicU64,
+    malformed: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections admitted to the worker pool.
+    pub connections: u64,
+    /// Requests fully parsed off the wire.
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub responses_ok: u64,
+    /// Responses with a 4xx/5xx status (excluding 429).
+    pub responses_error: u64,
+    /// Connections refused with `429` by admission control.
+    pub overloaded: u64,
+    /// Requests rejected at the HTTP layer (400/413/405).
+    pub malformed: u64,
+}
+
+impl ServerStats {
+    pub(crate) fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn response(&self, status: u16) {
+        if (200..300).contains(&status) {
+            self.responses_ok.fetch_add(1, Ordering::Relaxed);
+        } else if status == 429 {
+            self.overloaded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.responses_error.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            responses_error: self.responses_error.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_classify_statuses() {
+        let stats = ServerStats::default();
+        stats.connection();
+        stats.request();
+        stats.response(200);
+        stats.response(404);
+        stats.response(429);
+        stats.malformed();
+        let snap = stats.snapshot();
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.responses_ok, 1);
+        assert_eq!(snap.responses_error, 1);
+        assert_eq!(snap.overloaded, 1);
+        assert_eq!(snap.malformed, 1);
+    }
+}

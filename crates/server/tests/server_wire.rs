@@ -1,0 +1,430 @@
+//! Wire-level integration tests: a real `cnp_server` on an ephemeral
+//! port, real TCP clients, hostile bytes, admission-control saturation,
+//! and a live snapshot hot-swap under concurrent traffic.
+
+use cnp_serve::json::Json;
+use cnp_serve::{wire, ListOptions, PageRequest, Query, QueryError, Response, TaxonomyService};
+use cnp_server::{http, serve, ServerConfig, ServerHandle};
+use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStore};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Generation 1: 刘德华 is a 歌手, 张学友 does not exist yet.
+fn store_a() -> TaxonomyStore {
+    let mut s = TaxonomyStore::new();
+    let liu = s.add_entity("刘德华", None);
+    let singer = s.add_concept("歌手");
+    let person = s.add_concept("人物");
+    s.add_concept_is_a(singer, person, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_entity_is_a(liu, singer, IsAMeta::new(Source::Tag, 0.9));
+    s
+}
+
+/// Generation 2: 张学友 joins the taxonomy.
+fn store_b() -> TaxonomyStore {
+    let mut s = store_a();
+    let zhang = s.add_entity("张学友", None);
+    let singer = s.find_concept("歌手").unwrap();
+    s.add_entity_is_a(zhang, singer, IsAMeta::new(Source::Tag, 0.95));
+    s
+}
+
+fn snapshot_file(name: &str, store: &TaxonomyStore) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("cnp_wire_{}_{name}.cnpb", std::process::id()));
+    FrozenTaxonomy::freeze(store).save_to_file(&path).unwrap();
+    path
+}
+
+fn boot(store: TaxonomyStore, config: ServerConfig) -> ServerHandle {
+    let service = Arc::new(TaxonomyService::from_store(store));
+    serve(service, config).unwrap()
+}
+
+/// One request/response on a fresh connection.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    let payload = (!body.is_empty()).then_some(body.as_bytes());
+    http::write_request(&mut writer, method, path, payload, false).unwrap();
+    let response = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+        .unwrap()
+        .expect("server closed without responding");
+    let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    (response.status, doc)
+}
+
+fn post_query(addr: SocketAddr, query: &Query) -> (u16, Json) {
+    exchange(
+        addr,
+        "POST",
+        "/v1/query",
+        &wire::encode_query(query).write(),
+    )
+}
+
+#[test]
+fn mixed_traffic_stays_generation_consistent_across_live_reload() {
+    let path = snapshot_file("reload", &store_a());
+    let handle = boot(
+        store_a(),
+        ServerConfig {
+            // One worker per client plus headroom for the reload requests,
+            // so persistent connections never starve each other.
+            workers: 10,
+            queue_capacity: 20,
+            snapshot_path: Some(path.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // One persistent keep-alive connection per client thread.
+                let stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    // Mixed traffic: half the threads probe the entity that
+                    // only exists from generation 2, half a stable one.
+                    let mention = if i % 2 == 0 { "张学友" } else { "刘德华" };
+                    let body = wire::encode_query(&Query::men2ent(mention)).write();
+                    http::write_request(
+                        &mut writer,
+                        "POST",
+                        "/v1/query",
+                        Some(body.as_bytes()),
+                        true,
+                    )
+                    .unwrap();
+                    let raw = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+                        .unwrap()
+                        .expect("server closed a keep-alive connection");
+                    let status = raw.status;
+                    let doc = Json::parse(std::str::from_utf8(&raw.body).unwrap()).unwrap();
+                    let response = wire::decode_response(&doc).unwrap();
+                    // The answer must match the generation that served it.
+                    match (mention, response.generation, &response.result) {
+                        ("刘德华", _, Ok(Response::Senses(_))) => {}
+                        ("张学友", 1, Err(QueryError::UnknownMention(_))) => {
+                            assert_eq!(status, 404);
+                        }
+                        ("张学友", g, Ok(Response::Senses(_))) if g >= 2 => {}
+                        other => panic!("generation-inconsistent answer: {other:?}"),
+                    }
+                    observed.push(response.generation);
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // Let traffic flow on generation 1, then swap the snapshot file and
+    // reload over the wire, mid-flight.
+    std::thread::sleep(Duration::from_millis(100));
+    FrozenTaxonomy::freeze(&store_b())
+        .save_to_file(&path)
+        .unwrap();
+    let (status, doc) = exchange(addr, "POST", "/admin/reload", "");
+    assert_eq!(status, 200, "reload: {}", doc.write());
+    assert_eq!(doc.get("generation").and_then(Json::as_u64), Some(2));
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut saw_both = (false, false);
+    for client in clients {
+        let observed = client.join().unwrap();
+        assert!(!observed.is_empty());
+        // Generations are monotonic per client and span the swap.
+        assert!(observed.windows(2).all(|w| w[0] <= w[1]));
+        saw_both.0 |= observed.contains(&1);
+        saw_both.1 |= observed.contains(&2);
+    }
+    assert!(
+        saw_both.0 && saw_both.1,
+        "traffic missed one side of the swap"
+    );
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+#[test]
+fn stale_cursor_is_refused_with_409_over_the_wire() {
+    let path = snapshot_file("cursor", &store_b());
+    let handle = boot(
+        store_b(),
+        ServerConfig {
+            snapshot_path: Some(path.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    // Mint a cursor on generation 1: page through 歌手's two entities.
+    let page_one = Query::GetEntity {
+        concept: "歌手".to_string(),
+        options: ListOptions::transitive().with_page(PageRequest::first(1)),
+    };
+    let (status, doc) = post_query(addr, &page_one);
+    assert_eq!(status, 200);
+    let token = doc
+        .get("result")
+        .and_then(|r| r.get("next"))
+        .and_then(Json::as_str)
+        .expect("first page should have a next cursor")
+        .to_string();
+
+    // Hot-swap to generation 2, then replay the stale cursor.
+    let (status, _) = exchange(addr, "POST", "/admin/reload", "");
+    assert_eq!(status, 200);
+    let stale = format!(
+        r#"{{"op":"getEntity","concept":"歌手","options":{{"transitive":true,"limit":1,"cursor":"{token}"}}}}"#
+    );
+    let (status, doc) = exchange(addr, "POST", "/v1/query", &stale);
+    assert_eq!(status, 409, "stale cursor: {}", doc.write());
+    let error = doc.get("error").expect("typed error body");
+    assert_eq!(
+        error.get("kind").and_then(Json::as_str),
+        Some("invalidCursor")
+    );
+    let cursor = error.get("cursor").expect("cursor detail");
+    assert_eq!(
+        cursor.get("kind").and_then(Json::as_str),
+        Some("wrongGeneration")
+    );
+    assert_eq!(cursor.get("cursor").and_then(Json::as_u64), Some(1));
+    assert_eq!(cursor.get("serving").and_then(Json::as_u64), Some(2));
+    std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_returns_429_and_recovers() {
+    // One worker, one queue slot: the third concurrent connection must be
+    // refused by admission control, not buffered.
+    let handle = boot(
+        store_a(),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let body = wire::encode_query(&Query::men2ent("刘德华")).write();
+
+    // Connection A parks the only worker: full headers, missing body.
+    let mut park_worker = TcpStream::connect(addr).unwrap();
+    write!(
+        park_worker,
+        "POST /v1/query HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    park_worker.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Connection B occupies the single queue slot.
+    let fill_queue = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Connection C: queue full -> canned 429 from the accept thread.
+    let refused = TcpStream::connect(addr).unwrap();
+    refused
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(refused);
+    let response = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+        .unwrap()
+        .expect("refused connection should still get a response");
+    assert_eq!(response.status, 429);
+    let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("overloaded")
+    );
+    assert!(!response.keep_alive);
+
+    // Unblock A and B; both admitted connections are still served.
+    park_worker.write_all(body.as_bytes()).unwrap();
+    park_worker.flush().unwrap();
+    park_worker
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(park_worker.try_clone().unwrap());
+    let served = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+        .unwrap()
+        .expect("parked connection should be served");
+    assert_eq!(served.status, 200);
+
+    let mut writer = BufWriter::new(fill_queue.try_clone().unwrap());
+    http::write_request(
+        &mut writer,
+        "POST",
+        "/v1/query",
+        Some(body.as_bytes()),
+        false,
+    )
+    .unwrap();
+    fill_queue
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(fill_queue);
+    let served = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+        .unwrap()
+        .expect("queued connection should be served");
+    assert_eq!(served.status, 200);
+
+    assert_eq!(handle.stats().overloaded, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_bytes_get_typed_refusals_and_the_server_survives() {
+    let handle = boot(
+        store_a(),
+        ServerConfig {
+            read_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let hostile: &[(&[u8], u16)] = &[
+        (b"GARBAGE\r\n\r\n", 400),
+        (b"\x00\x01\x02\x03\r\n\r\n", 400),
+        (
+            b"POST /v1/query HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n",
+            413,
+        ),
+        (b"DELETE /v1/query HTTP/1.1\r\n\r\n", 405),
+        (
+            b"POST /v1/query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            400,
+        ),
+        (b"POST /v1/query HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+    ];
+    for (bytes, expected) in hostile {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(bytes).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let response = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap_or_else(|| panic!("no response for {bytes:?}"));
+        assert_eq!(response.status, *expected, "for {bytes:?}");
+        assert!(
+            !response.keep_alive,
+            "hostile input must close the connection"
+        );
+    }
+
+    // A truncated request (headers never finish) just times out and closes.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /v1/query HTTP/1.1\r\ncontent-le")
+        .unwrap();
+    stream.flush().unwrap();
+    let mut sink = Vec::new();
+    stream.read_to_end(&mut sink).unwrap();
+    assert!(sink.is_empty(), "truncated request got a reply: {sink:?}");
+
+    // After all of that, the server still serves clean traffic.
+    let (status, doc) = post_query(addr, &Query::men2ent("刘德华"));
+    assert_eq!(status, 200);
+    assert!(wire::decode_response(&doc).unwrap().result.is_ok());
+    assert!(handle.stats().malformed >= hostile.len() as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let handle = boot(store_a(), ServerConfig::default());
+    let addr = handle.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = BufWriter::new(stream);
+    let body = wire::encode_query(&Query::men2ent("刘德华")).write();
+    for i in 0..50 {
+        http::write_request(
+            &mut writer,
+            "POST",
+            "/v1/query",
+            Some(body.as_bytes()),
+            true,
+        )
+        .unwrap();
+        let response = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+            .unwrap()
+            .unwrap_or_else(|| panic!("request {i}: connection dropped"));
+        assert_eq!(response.status, 200);
+        assert!(response.keep_alive);
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.connections, 1, "keep-alive reused the connection");
+    assert_eq!(stats.requests, 50);
+    assert_eq!(stats.responses_ok, 50);
+    handle.shutdown();
+}
+
+#[test]
+fn batch_endpoint_answers_from_one_generation() {
+    let handle = boot(store_b(), ServerConfig::default());
+    let addr = handle.addr();
+    let queries = [
+        Query::men2ent("刘德华"),
+        Query::men2ent("张学友"),
+        Query::IsA {
+            sub: "刘德华".to_string(),
+            sup: "人物".to_string(),
+            transitive: true,
+        },
+    ];
+    let body = Json::Obj(vec![(
+        "queries".to_string(),
+        Json::Arr(queries.iter().map(wire::encode_query).collect()),
+    )]);
+    let (status, doc) = exchange(addr, "POST", "/v1/batch", &body.write());
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("generation").and_then(Json::as_u64), Some(1));
+    let responses = doc.get("responses").and_then(Json::as_arr).unwrap();
+    assert_eq!(responses.len(), queries.len());
+    for item in responses {
+        let response = wire::decode_response(item).unwrap();
+        assert_eq!(response.generation, 1);
+        assert!(response.result.is_ok());
+    }
+    // Oversized batches are refused with 413.
+    let huge = format!(
+        r#"{{"queries":[{}]}}"#,
+        vec![wire::encode_query(&queries[0]).write(); cnp_server::MAX_BATCH + 1].join(",")
+    );
+    let (status, _) = exchange(addr, "POST", "/v1/batch", &huge);
+    assert_eq!(status, 413);
+    handle.shutdown();
+}

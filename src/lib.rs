@@ -17,6 +17,8 @@
 //! * [`serve`] — Serving API v1: the typed [`Query`]/[`Response`] protocol,
 //!   batching, pagination and zero-downtime snapshot hot-swap, plus the
 //!   [`ProbaseApi`] Table II compatibility wrapper ([`cnp_serve`]).
+//! * [`server`] — the HTTP/1.1 network front-end over [`serve`], plus the
+//!   `cnp_load` load harness ([`cnp_server`]).
 //! * [`pipeline`] — the generation + verification framework itself
 //!   ([`cnp_core`]).
 //! * [`eval`] — precision / coverage evaluation and the Table I baselines
@@ -40,6 +42,7 @@ pub use cnp_eval as eval;
 pub use cnp_nn as nn;
 pub use cnp_runtime as runtime;
 pub use cnp_serve as serve;
+pub use cnp_server as server;
 pub use cnp_taxonomy as taxonomy;
 pub use cnp_text as text;
 
