@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-bench — benchmark harness for CN-Probase
 //!
 //! One Criterion bench per table/figure of the paper (see DESIGN.md §3 for

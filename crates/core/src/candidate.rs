@@ -150,6 +150,7 @@ impl CandidateSet {
                 merged
             },
         );
+        // cnp-lint: allow(determinism-contract) reason="folded is the runtime's per-shard Vec (the fold's FxHashMap is drained inside each shard); the first_seen sort below fixes the order"
         let mut slots: Vec<Slot> = folded.into_iter().flatten().collect();
         slots.sort_unstable_by_key(|s| s.first_seen);
         // Winners are distinct (one per key), so each take() hits once.

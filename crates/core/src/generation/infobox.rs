@@ -90,6 +90,7 @@ pub fn discover_predicates(
             },
         )
         .unwrap_or_default();
+    // cnp-lint: allow(determinism-contract) reason="the full sort below (rate, aligned, predicate tie-break) is a total order, so map iteration order washes out"
     let mut candidates: Vec<PredicateStats> = stats
         .into_iter()
         .filter(|(_, (aligned, _))| *aligned >= 1)
@@ -124,12 +125,12 @@ pub fn discover_predicates(
 /// Values that cannot be class names (digits, over-long literals,
 /// punctuation) are dropped at extraction time.
 pub fn extract(pages: &[Page], selected: &[String], rt: &Runtime) -> Vec<Candidate> {
-    let selected: HashSet<&str> = selected.iter().map(String::as_str).collect();
+    let wanted: HashSet<&str> = selected.iter().map(String::as_str).collect();
     let parts = rt.par_chunks_indexed(pages, |base, chunk| {
         let mut out = Vec::new();
         for (off, page) in chunk.iter().enumerate() {
             for t in &page.infobox {
-                if !selected.contains(t.predicate.as_str()) {
+                if !wanted.contains(t.predicate.as_str()) {
                     continue;
                 }
                 if !plausible_class_value(&t.value) || t.value == page.name {

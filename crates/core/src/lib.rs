@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-core — the CN-Probase construction framework
 //!
 //! This crate is the paper's primary contribution (Chen et al., ICDE

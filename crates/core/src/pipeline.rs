@@ -4,13 +4,12 @@
 use crate::candidate::CandidateSet;
 use crate::context::PipelineContext;
 use crate::generation::{self, abstract_gen, infobox, tag};
-use crate::report::{PipelineReport, Stage};
+use crate::report::{time_stage, PipelineReport, Stage};
 use crate::verification::{self, VerificationConfig};
 use cnp_encyclopedia::Corpus;
 use cnp_runtime::Runtime;
 use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, PersistError, Source, TaxonomyStats, TaxonomyStore};
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -162,90 +161,93 @@ impl Pipeline {
             ..Default::default()
         };
         let mut timings: Vec<(Stage, std::time::Duration)> = Vec::new();
-        let clock = Instant::now();
-        let ctx = PipelineContext::build_with(corpus, &rt);
-        timings.push((Stage::Context, clock.elapsed()));
+        let ctx = time_stage(&mut timings, Stage::Context, || {
+            PipelineContext::build_with(corpus, &rt)
+        });
 
         // ---- generation ----
         let mut all_candidates = Vec::new();
         let mut chains: Vec<(String, String)> = Vec::new();
 
-        let t = Instant::now();
-        let bracket_pairs = if cfg.enable_bracket {
-            let (cands, bracket_chains) = generation::extract_bracket(&corpus.pages, &ctx, &rt);
-            report.bracket_candidates = cands.len();
-            let pairs = generation::bracket_pairs_by_entity(&cands);
-            all_candidates.extend(cands);
-            chains.extend(bracket_chains);
-            pairs
-        } else {
-            Default::default()
-        };
-        timings.push((Stage::Bracket, t.elapsed()));
+        let bracket_pairs = time_stage(&mut timings, Stage::Bracket, || {
+            if cfg.enable_bracket {
+                let (cands, bracket_chains) = generation::extract_bracket(&corpus.pages, &ctx, &rt);
+                report.bracket_candidates = cands.len();
+                let pairs = generation::bracket_pairs_by_entity(&cands);
+                all_candidates.extend(cands);
+                chains.extend(bracket_chains);
+                pairs
+            } else {
+                Default::default()
+            }
+        });
 
-        let t = Instant::now();
-        if cfg.enable_infobox {
-            let discovery = infobox::discover_predicates(
-                &corpus.pages,
-                &bracket_pairs,
-                cfg.predicate_top_k,
-                cfg.predicate_min_support,
-                &rt,
-            );
-            report.predicate_candidates = discovery.candidates.len();
-            report.predicates_selected = discovery.selected.clone();
-            let cands = infobox::extract(&corpus.pages, &discovery.selected, &rt);
-            report.infobox_candidates = cands.len();
-            all_candidates.extend(cands);
-        }
-        timings.push((Stage::Infobox, t.elapsed()));
-
-        let t = Instant::now();
-        if cfg.enable_abstract {
-            let samples = abstract_gen::build_dataset(
-                &corpus.pages,
-                &ctx.segmenter,
-                &bracket_pairs,
-                cfg.neural.max_samples,
-            );
-            report.neural_samples = samples.len();
-            if !samples.is_empty() {
-                let (model, losses) = abstract_gen::train(&samples, &cfg.neural);
-                report.neural_losses = losses;
-                let cands = abstract_gen::extract(&corpus.pages, &ctx.segmenter, &model, &rt);
-                report.abstract_candidates = cands.len();
+        time_stage(&mut timings, Stage::Infobox, || {
+            if cfg.enable_infobox {
+                let discovery = infobox::discover_predicates(
+                    &corpus.pages,
+                    &bracket_pairs,
+                    cfg.predicate_top_k,
+                    cfg.predicate_min_support,
+                    &rt,
+                );
+                report.predicate_candidates = discovery.candidates.len();
+                report.predicates_selected = discovery.selected.clone();
+                let cands = infobox::extract(&corpus.pages, &discovery.selected, &rt);
+                report.infobox_candidates = cands.len();
                 all_candidates.extend(cands);
             }
-        }
-        timings.push((Stage::Abstract, t.elapsed()));
+        });
 
-        let t = Instant::now();
-        if cfg.enable_tag {
-            let cands = tag::extract(&corpus.pages, &rt);
-            report.tag_candidates = cands.len();
-            all_candidates.extend(cands);
-        }
-        timings.push((Stage::Tag, t.elapsed()));
+        time_stage(&mut timings, Stage::Abstract, || {
+            if cfg.enable_abstract {
+                let samples = abstract_gen::build_dataset(
+                    &corpus.pages,
+                    &ctx.segmenter,
+                    &bracket_pairs,
+                    cfg.neural.max_samples,
+                );
+                report.neural_samples = samples.len();
+                if !samples.is_empty() {
+                    let (model, losses) = abstract_gen::train(&samples, &cfg.neural);
+                    report.neural_losses = losses;
+                    let cands = abstract_gen::extract(&corpus.pages, &ctx.segmenter, &model, &rt);
+                    report.abstract_candidates = cands.len();
+                    all_candidates.extend(cands);
+                }
+            }
+        });
 
-        let t = Instant::now();
-        let merged = CandidateSet::merge_with(all_candidates, &rt);
-        report.merged_candidates = merged.len();
-        timings.push((Stage::Merge, t.elapsed()));
+        time_stage(&mut timings, Stage::Tag, || {
+            if cfg.enable_tag {
+                let cands = tag::extract(&corpus.pages, &rt);
+                report.tag_candidates = cands.len();
+                all_candidates.extend(cands);
+            }
+        });
+
+        let merged = time_stage(&mut timings, Stage::Merge, || {
+            let merged = CandidateSet::merge_with(all_candidates, &rt);
+            report.merged_candidates = merged.len();
+            merged
+        });
 
         // ---- verification ----
-        let t = Instant::now();
-        let (verified, vreport) =
-            verification::verify(merged, &corpus.pages, &ctx, &cfg.verification, &rt);
-        report.verification = vreport;
-        report.final_candidates = verified.len();
-        timings.push((Stage::Verification, t.elapsed()));
+        let verified = time_stage(&mut timings, Stage::Verification, || {
+            let (verified, vreport) =
+                verification::verify(merged, &corpus.pages, &ctx, &cfg.verification, &rt);
+            report.verification = vreport;
+            report.final_candidates = verified.len();
+            verified
+        });
 
         // ---- taxonomy assembly ----
-        let t = Instant::now();
-        let (taxonomy, cycle_removed) = assemble(&verified, &chains, corpus);
-        report.cycle_edges_removed = cycle_removed;
-        report.stats = TaxonomyStats::of(&taxonomy);
-        timings.push((Stage::Assembly, t.elapsed()));
+        let taxonomy = time_stage(&mut timings, Stage::Assembly, || {
+            let (taxonomy, cycle_removed) = assemble(&verified, &chains, corpus);
+            report.cycle_edges_removed = cycle_removed;
+            report.stats = TaxonomyStats::of(&taxonomy);
+            taxonomy
+        });
 
         report.stage_timings = timings;
         PipelineOutcome {

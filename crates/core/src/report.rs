@@ -62,6 +62,24 @@ impl fmt::Display for Stage {
     }
 }
 
+/// Runs `f`, recording its wall time against `stage` in `timings`.
+///
+/// This is the pipeline's **only** clock read: stage bodies stay pure
+/// functions of their inputs, and the measured duration flows solely into
+/// [`PipelineReport::stage_timings`] (observability), never into stage
+/// output.
+pub fn time_stage<T>(
+    timings: &mut Vec<(Stage, Duration)>,
+    stage: Stage,
+    f: impl FnOnce() -> T,
+) -> T {
+    // cnp-lint: allow(determinism-contract) reason="sole sanctioned clock read; duration feeds stage_timings (observability), never stage output"
+    let clock = std::time::Instant::now();
+    let out = f();
+    timings.push((stage, clock.elapsed()));
+    out
+}
+
 /// End-to-end construction statistics.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {

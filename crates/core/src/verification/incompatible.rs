@@ -141,6 +141,7 @@ pub fn filter(
             },
         )
         .unwrap_or_default();
+    // cnp-lint: allow(determinism-contract) reason="the keys are sorted on the next line before any ordered use"
     let mut concept_names: Vec<&str> = concept_pages.keys().copied().collect();
     concept_names.sort_unstable();
     let infos: Vec<ConceptInfo> = rt.par_index_map(concept_names.len(), |i| {

@@ -61,6 +61,7 @@ pub fn taxonomy_support(set: &CandidateSet, pages: &[Page], rt: &Runtime) -> Has
     let page_names = count_by(rt, pages, |p| p.name.as_str());
     let hyper_usage = count_by(rt, &set.items, |c| c.hypernym.as_str());
     let hypernyms: HashSet<&str> = set.items.iter().map(|c| c.hypernym.as_str()).collect();
+    // cnp-lint: allow(determinism-contract) reason="collects straight into the support HashMap; each key's score is computed independently, so set order cannot reach the result"
     hypernyms
         .into_iter()
         .map(|h| {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-encyclopedia — synthetic Chinese-encyclopedia substrate
 //!
 //! The CN-Probase paper builds its taxonomy from CN-DBpedia (Baidu Baike +

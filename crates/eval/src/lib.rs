@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-eval — evaluation harness for CN-Probase
 //!
 //! Everything §IV of the paper measures:

@@ -1,0 +1,255 @@
+//! The suppression grammar: `// cnp-lint: allow(<rule>) reason="…"`.
+//!
+//! An annotation on the same line as the offending code suppresses that
+//! rule on that line; an annotation alone on its own line suppresses the
+//! rule on the next code line (the common rustfmt-friendly placement).
+//! `allow-file(<rule>)` suppresses the rule for the whole file and must
+//! appear in the first 20 lines, next to the module docs.
+//!
+//! The `reason` is **mandatory and non-empty**: a suppression without a
+//! recorded justification is itself a finding, as is a reference to a
+//! rule that does not exist and an allow that suppresses nothing (stale
+//! annotations rot the invariant they were cut into).
+
+use crate::diag::Finding;
+use crate::lexer::Comment;
+use crate::rules::rule_exists;
+
+/// How far an annotation reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reach {
+    /// The annotation's own line (trailing comment).
+    Line(u32),
+    /// The whole file (`allow-file`).
+    File,
+}
+
+/// One parsed, well-formed allow annotation.
+#[derive(Debug)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// Where the suppression applies.
+    pub reach: Reach,
+    /// Line the annotation itself sits on (for unused-allow reporting).
+    pub at_line: u32,
+    /// Set when a suppressed finding consumed this allow.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// All annotations of one file plus the findings produced by malformed
+/// ones.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// Well-formed annotations.
+    pub allows: Vec<Allow>,
+    /// Malformed-annotation findings (missing reason, unknown rule…).
+    pub errors: Vec<Finding>,
+}
+
+impl Allows {
+    /// Whether `rule` is suppressed at `line`, marking the matching
+    /// annotation used.
+    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
+        for a in &self.allows {
+            let hit = a.rule == rule
+                && match a.reach {
+                    Reach::File => true,
+                    Reach::Line(l) => l == line,
+                };
+            if hit {
+                a.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Findings for annotations that suppressed nothing.
+    pub fn unused(&self, file: &str) -> Vec<Finding> {
+        self.allows
+            .iter()
+            .filter(|a| !a.used.get())
+            .map(|a| {
+                Finding::new(
+                file,
+                a.at_line,
+                1,
+                "bad-annotation",
+                format!("allow({}) suppresses nothing", a.rule),
+                "remove the stale annotation (or it will mask a future regression at this line)",
+            )
+            })
+            .collect()
+    }
+}
+
+const MARKER: &str = "cnp-lint:";
+
+/// Extracts annotations from a file's comments. `code_line_after` maps an
+/// own-line comment to the next line holding code (so a comment directly
+/// above the offending statement suppresses it).
+pub fn parse_allows(
+    file: &str,
+    comments: &[Comment],
+    mut code_line_after: impl FnMut(u32) -> Option<u32>,
+) -> Allows {
+    let mut out = Allows::default();
+    for c in comments {
+        // The marker must LEAD the comment (after doc-comment `/`/`!`
+        // sigils) — prose that merely *mentions* `cnp-lint:` mid-sentence,
+        // like this module's own docs, is not an annotation.
+        let lead = c.text.trim_start_matches(['/', '!', ' ', '\t']);
+        let Some(body) = lead.strip_prefix(MARKER) else {
+            continue;
+        };
+        let body = body.trim();
+        match parse_one(body) {
+            Ok((rule, file_wide)) => {
+                if !rule_exists(&rule) {
+                    out.errors.push(Finding::new(
+                        file,
+                        c.line,
+                        c.col,
+                        "bad-annotation",
+                        format!("unknown rule {rule:?} in cnp-lint allow"),
+                        "use one of the names listed by `cnp_lint --list-rules`",
+                    ));
+                    continue;
+                }
+                let reach = if file_wide {
+                    if c.line > 20 {
+                        out.errors.push(Finding::new(
+                            file,
+                            c.line,
+                            c.col,
+                            "bad-annotation",
+                            "allow-file must appear in the first 20 lines".to_string(),
+                            "move the annotation next to the module docs, or use per-line allow",
+                        ));
+                        continue;
+                    }
+                    Reach::File
+                } else if c.own_line {
+                    match code_line_after(c.line) {
+                        Some(next) => Reach::Line(next),
+                        None => Reach::Line(c.line),
+                    }
+                } else {
+                    Reach::Line(c.line)
+                };
+                out.allows.push(Allow {
+                    rule,
+                    reach,
+                    at_line: c.line,
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            Err(why) => out.errors.push(Finding::new(
+                file,
+                c.line,
+                c.col,
+                "bad-annotation",
+                why.to_string(),
+                "write `// cnp-lint: allow(<rule>) reason=\"non-empty justification\"`",
+            )),
+        }
+    }
+    out
+}
+
+/// Parses the annotation body after the `cnp-lint:` marker. Returns the
+/// rule name and whether it is file-wide.
+fn parse_one(body: &str) -> Result<(String, bool), &'static str> {
+    let (keyword, rest) = match body.find('(') {
+        Some(i) => (body[..i].trim(), &body[i + 1..]),
+        None => return Err("expected allow(<rule>) after cnp-lint:"),
+    };
+    let file_wide = match keyword {
+        "allow" => false,
+        "allow-file" => true,
+        _ => return Err("expected allow(<rule>) or allow-file(<rule>)"),
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule name parenthesis");
+    };
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() || rule.contains(',') {
+        return Err("exactly one rule name per annotation");
+    }
+    let tail = rest[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("reason=") else {
+        return Err("missing mandatory reason=\"…\"");
+    };
+    let reason = reason.trim();
+    let inner = reason
+        .strip_prefix('"')
+        .and_then(|r| r.find('"').map(|end| &r[..end]));
+    match inner {
+        Some(text) if !text.trim().is_empty() => Ok((rule, file_wide)),
+        Some(_) => Err("reason must not be empty"),
+        None => Err("reason must be a double-quoted string"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Allows {
+        let lexed = lex(src).expect("lex");
+        let toks = lexed.toks;
+        parse_allows("f.rs", &lexed.comments, move |line| {
+            toks.iter().map(|t| t.line).find(|&l| l > line)
+        })
+    }
+
+    #[test]
+    fn trailing_allow_reaches_its_own_line() {
+        let a =
+            parse("x.unwrap(); // cnp-lint: allow(no-panic-serving-path) reason=\"test rig\"\n");
+        assert_eq!(a.errors.len(), 0);
+        assert_eq!(a.allows.len(), 1);
+        assert_eq!(a.allows[0].reach, Reach::Line(1));
+        assert!(a.suppresses("no-panic-serving-path", 1));
+        assert!(!a.suppresses("capped-decode", 1));
+    }
+
+    #[test]
+    fn own_line_allow_reaches_next_code_line() {
+        let a = parse(
+            "// cnp-lint: allow(capped-decode) reason=\"len checked above\"\nlet v = vec![0; n];\n",
+        );
+        assert_eq!(a.allows[0].reach, Reach::Line(2));
+    }
+
+    #[test]
+    fn missing_or_empty_reason_is_a_finding() {
+        for bad in [
+            "x(); // cnp-lint: allow(capped-decode)",
+            "x(); // cnp-lint: allow(capped-decode) reason=\"\"",
+            "x(); // cnp-lint: allow(capped-decode) reason=none",
+            "x(); // cnp-lint: deny(capped-decode) reason=\"x\"",
+        ] {
+            let a = parse(bad);
+            assert_eq!(a.errors.len(), 1, "no finding for {bad:?}");
+            assert_eq!(a.allows.len(), 0);
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let a = parse("x(); // cnp-lint: allow(no-such-rule) reason=\"hm\"");
+        assert_eq!(a.errors.len(), 1);
+        assert!(a.errors[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_allows_are_reported() {
+        let a = parse("x(); // cnp-lint: allow(capped-decode) reason=\"nothing here\"");
+        let unused = a.unused("f.rs");
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].message.contains("suppresses nothing"));
+    }
+}

@@ -1,0 +1,120 @@
+#![forbid(unsafe_code)]
+//! The `cnp_lint` CLI: scan the workspace, print diagnostics, exit
+//! non-zero on any finding. See `--help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+cnp_lint — repo-invariant static analysis for the CN-Probase workspace
+
+USAGE:
+    cnp_lint [--root <dir>] [--format text|json] [--list-rules]
+
+OPTIONS:
+    --root <dir>     Workspace root to scan (default: auto-detected by
+                     walking up from the current directory to the first
+                     directory containing both Cargo.toml and crates/)
+    --format <fmt>   Diagnostic format: text (default) or json
+    --list-rules     Print every rule, its scope, and the compiled-in
+                     allowlist, then exit
+    -h, --help       This text
+
+EXIT CODE:
+    0  no findings — every codified invariant holds
+    1  findings printed
+    2  usage or I/O error
+
+Suppressions: `// cnp-lint: allow(<rule>) reason=\"…\"` on (or directly
+above) the offending line; `allow-file(<rule>)` in the first 20 lines for
+a whole file. The reason is mandatory; stale or malformed annotations are
+themselves findings.";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                _ => return usage("--format must be text or json"),
+            },
+            "--list-rules" => list_rules = true,
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if list_rules {
+        for rule in cnp_lint::RULES {
+            println!(
+                "{}\n    invariant: {}\n    scope:     {}",
+                rule.name, rule.summary, rule.scope
+            );
+        }
+        println!("\ncompiled-in allowlist:");
+        for (file, rule, reason) in cnp_lint::BUILTIN_ALLOWS {
+            println!("    {file} · {rule}\n        {reason}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(root) => root,
+        None => return usage("could not auto-detect the workspace root; pass --root"),
+    };
+    let findings = match cnp_lint::lint_root(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("cnp_lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        println!("{}", cnp_lint::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            eprintln!("cnp_lint: clean — every codified invariant holds");
+        } else {
+            eprintln!("cnp_lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first directory that looks
+/// like the workspace root (has both `Cargo.toml` and `crates/`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("cnp_lint: {message}\n\n{HELP}");
+    ExitCode::from(2)
+}

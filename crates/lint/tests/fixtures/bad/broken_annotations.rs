@@ -1,0 +1,13 @@
+//@ path: crates/serve/src/exec.rs
+//! Every way a suppression annotation can go wrong.
+
+pub fn f(v: Option<u32>) -> u32 {
+    // A reason is mandatory:
+    let a = v.unwrap(); // cnp-lint: allow(no-panic-serving-path)
+    // The reason must be non-empty:
+    let b = v.unwrap(); // cnp-lint: allow(no-panic-serving-path) reason=""
+    // The rule must exist:
+    let c = v.unwrap(); // cnp-lint: allow(no-such-rule) reason="typo"
+    // cnp-lint: allow(capped-decode) reason="stale: suppresses nothing here"
+    a + b + c
+}

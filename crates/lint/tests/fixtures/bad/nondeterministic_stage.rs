@@ -1,0 +1,23 @@
+//@ path: crates/core/src/generation/sample.rs
+//! Clock reads, unseeded randomness, and hash-order iteration in a
+//! pipeline stage.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stage(items: &[(String, u32)]) -> Vec<String> {
+    let started = Instant::now();
+    let mut counts: HashMap<&str, u32> = HashMap::new();
+    for (name, n) in items {
+        *counts.entry(name.as_str()).or_insert(0) += n;
+    }
+    let mut out = Vec::new();
+    for (name, _) in &counts {
+        out.push(name.to_string());
+    }
+    counts.keys().for_each(|_| {});
+    let _jitter: f64 = rand::random();
+    let _rng = thread_rng();
+    let _ = started.elapsed();
+    out
+}

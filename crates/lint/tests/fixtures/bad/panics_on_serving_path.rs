@@ -1,0 +1,27 @@
+//@ path: crates/serve/src/exec.rs
+//! Every panicking construct the no-panic rule names, in serving scope.
+
+pub fn handle(input: Option<u32>, xs: &[u8]) -> u8 {
+    let v = input.unwrap();
+    let w = input.expect("present");
+    if v + w == 0 {
+        panic!("zero");
+    }
+    if xs.is_empty() {
+        unreachable!();
+    }
+    xs[0]
+}
+
+pub fn later() {
+    todo!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let v: Option<u8> = None;
+        v.unwrap();
+    }
+}

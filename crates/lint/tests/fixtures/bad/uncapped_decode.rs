@@ -1,0 +1,14 @@
+//@ path: crates/serve/src/wire.rs
+//! Length-driven allocations with no clamp in a decode path.
+
+pub fn decode(buf: &[u8]) -> Vec<Vec<u8>> {
+    let n = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = buf.len();
+        let row = vec![0u8; len * 1024];
+        rows.push(row);
+    }
+    rows.reserve(n * 2);
+    rows
+}

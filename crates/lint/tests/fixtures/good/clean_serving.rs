@@ -1,0 +1,16 @@
+//@ path: crates/serve/src/exec.rs
+//! The disciplined version of the serving path: typed errors, `.get`,
+//! clamped allocations — nothing for any rule to say.
+
+pub enum QueryError {
+    Missing,
+}
+
+pub fn handle(input: Option<u32>, xs: &[u8]) -> Result<u8, QueryError> {
+    let v = input.ok_or(QueryError::Missing)?;
+    let first = xs.get(0).copied().ok_or(QueryError::Missing)?;
+    // unwrap_or and array types are not panics:
+    let fallback = input.unwrap_or(0);
+    let _mask: [u8; 4] = [0; 4];
+    Ok(first ^ (v as u8) ^ (fallback as u8))
+}

@@ -1,0 +1,26 @@
+//@ path: crates/server/src/session.rs
+//! Panics and raw threads inside test-gated regions are out of scope:
+//! tests may unwrap, spawn, and index at will.
+
+pub fn serving(value: Option<u8>) -> u8 {
+    value.unwrap_or_default()
+}
+
+#[test]
+fn a_bare_test_function() {
+    let xs = [1u8, 2];
+    assert_eq!(xs[0], serving(Some(1)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_here() {
+        let h = std::thread::spawn(|| serving(None));
+        assert_eq!(h.join().unwrap(), 0);
+        let v: Option<u8> = None;
+        assert!(std::panic::catch_unwind(|| v.unwrap()).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! The repo lints itself: the workspace this crate ships in must uphold
+//! every invariant `cnp_lint` codifies. This is the same gate CI's
+//! `static-analysis` job runs via the CLI — kept as a test so plain
+//! `cargo test` catches a regression before CI does.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_upholds_its_own_invariants() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/lint");
+    assert!(
+        root.join("Cargo.toml").is_file() && root.join("crates").is_dir(),
+        "resolved {root:?} is not the workspace root"
+    );
+    let findings = cnp_lint::lint_root(root).expect("scan workspace");
+    assert!(
+        findings.is_empty(),
+        "the repo violates its own invariants:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-nn — minimal neural-network library for CN-Probase
 //!
 //! The paper's *neural generation* component (§II) needs an

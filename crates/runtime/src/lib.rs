@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-runtime — the pipeline's shared parallel execution layer
 //!
 //! CN-Probase's headline claim is scale: 60 M isA relations extracted from

@@ -294,6 +294,8 @@ mod tests {
     fn pop_blocks_until_an_item_arrives() {
         let q = Arc::new(BoundedQueue::new(1));
         let q2 = Arc::clone(&q);
+        #[allow(clippy::disallowed_methods)]
+        // raw thread: the queue under test must not depend on the pool it powers
         let handle = std::thread::spawn(move || q2.pop());
         std::thread::sleep(Duration::from_millis(50));
         q.try_push(42u32).unwrap();

@@ -445,8 +445,8 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number charset is ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number bytes"))?;
         let n: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
         if !n.is_finite() {
             return Err(self.err("number out of range"));
@@ -539,6 +539,17 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
         }
+    }
+
+    #[test]
+    fn hostile_numbers_are_typed_errors_not_panics() {
+        for bad in ["1e309", "-1e309", "1e999999999999999999999"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert_eq!(err.message, "number out of range", "{bad}");
+        }
+        // Long-but-representable literals round to the nearest f64.
+        let long = format!("0.{}", "3".repeat(60));
+        assert_eq!(Json::parse(&long).unwrap().as_f64(), Some(1.0 / 3.0));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-serve — Serving API v1 for CN-Probase
 //!
 //! CN-Probase's value is its serving surface: the paper's Table II APIs

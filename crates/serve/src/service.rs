@@ -99,6 +99,7 @@ impl TaxonomyService {
     /// Boots generation 1 with an explicit batch runtime.
     pub fn with_runtime(frozen: FrozenTaxonomy, runtime: Runtime) -> Self {
         TaxonomyService {
+            // cnp-lint: allow(runtime-owns-concurrency) reason="the hot-swap generation pointer: read-locked for one Arc clone per query, write-locked only by swap(); no compute happens under it"
             current: RwLock::new(Arc::new(Generation { number: 1, frozen })),
             runtime,
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Replay a deterministic mixed-query workload against a running
 //! `cnp_server` and report latency percentiles, QPS, and error counts.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Serve a taxonomy snapshot over HTTP.
 //!
 //! ```text

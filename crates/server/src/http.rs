@@ -188,7 +188,7 @@ fn read_body(
     if len > max_body {
         return Err(HttpError::BodyTooLarge);
     }
-    // The cap was enforced above; allocation is bounded.
+    // cnp-lint: allow(capped-decode) reason="len > max_body was rejected two lines up, so this allocation is bounded by the configured body cap"
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body).map_err(|e| match e.kind() {
         io::ErrorKind::UnexpectedEof => HttpError::Malformed("body shorter than content-length"),

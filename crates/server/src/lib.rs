@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cnp_server` — the network front-end that puts the CN-Probase serving
 //! stack on a wire (Chen et al., ICDE 2019, §V: the taxonomy "has been
 //! used in applications" — this crate is the application-facing edge).

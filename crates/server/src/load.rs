@@ -102,6 +102,7 @@ impl ProbeVocab {
     pub fn next_query(&self, rng: &mut StdRng) -> Query {
         let total: u32 = MIX_WEIGHTS.iter().sum();
         let mut roll = rng.gen_range(0..total);
+        // cnp-lint: allow(no-panic-serving-path) reason="MIX_OPS is a non-empty const array; [0] is the fallback before the weighted scan"
         let mut op = MIX_OPS[0];
         for (name, weight) in MIX_OPS.iter().zip(MIX_WEIGHTS) {
             if roll < weight {
@@ -144,7 +145,7 @@ impl ProbeVocab {
 pub struct LoadConfig {
     /// Server address (`host:port`).
     pub addr: String,
-    /// Concurrent connections (one thread each).
+    /// Concurrent connections (one runtime task each).
     pub connections: usize,
     /// Total requests across all connections.
     pub requests: usize,
@@ -377,9 +378,10 @@ impl Client {
     /// One request/response exchange; `Err` is a wire-level failure.
     fn exchange(&mut self, body: &[u8]) -> Result<http::ClientResponse, http::HttpError> {
         self.ensure_connected()?;
-        let writer = self.writer.as_mut().expect("connected");
+        let (Some(writer), Some(reader)) = (self.writer.as_mut(), self.reader.as_mut()) else {
+            return Err(http::HttpError::Malformed("connection lost after connect"));
+        };
         http::write_request(writer, "POST", "/v1/query", Some(body), true)?;
-        let reader = self.reader.as_mut().expect("connected");
         match http::read_client_response(reader, http::MAX_BODY_BYTES)? {
             Some(response) => {
                 if !response.keep_alive {
@@ -460,25 +462,20 @@ fn parse_envelope(body: &[u8]) -> Result<(), ()> {
 
 /// Drives the workload and collects the merged report.
 ///
-/// Spawns one thread per connection; each issues its deterministic share
-/// of the mixed query stream and measures every exchange end to end.
+/// Runs one [`cnp_runtime::Runtime`] task per connection (task
+/// granularity 1, so every connection drives concurrently); each issues
+/// its deterministic share of the mixed query stream and measures every
+/// exchange end to end.
 pub fn run(config: &LoadConfig, vocab: &ProbeVocab) -> LoadReport {
     assert!(vocab.is_usable(), "probe vocabulary is empty");
     let connections = config.connections.max(1);
     let per_worker = config.requests / connections;
     let remainder = config.requests % connections;
+    let rt = cnp_runtime::Runtime::new(connections);
     let start = Instant::now();
-    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..connections)
-            .map(|i| {
-                let requests = per_worker + usize::from(i < remainder);
-                scope.spawn(move || run_worker(i, config, vocab, requests))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("load worker panicked"))
-            .collect()
+    let outcomes: Vec<WorkerOutcome> = rt.par_tasks(connections, |i| {
+        let requests = per_worker + usize::from(i < remainder);
+        run_worker(i, config, vocab, requests)
     });
     let elapsed = start.elapsed();
 

@@ -175,40 +175,54 @@ pub fn serve(service: Arc<TaxonomyService>, config: ServerConfig) -> std::io::Re
         config,
     });
 
-    let workers = (0..shared.config.workers.max(1))
-        .map(|i| {
-            let queue = Arc::clone(&queue);
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("cnp-http-{i}"))
-                .spawn(move || {
-                    while let Some(stream) = queue.pop() {
-                        handle_connection(stream, &shared);
-                    }
-                })
-                .expect("spawn http worker")
-        })
-        .collect();
+    // A failed spawn propagates as io::Error after closing the queue so
+    // any workers already running drain out and exit instead of leaking.
+    let n_workers = shared.config.workers.max(1);
+    let mut workers = Vec::with_capacity(n_workers);
+    for i in 0..n_workers {
+        let queue_w = Arc::clone(&queue);
+        let shared_w = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("cnp-http-{i}"))
+            .spawn(move || {
+                while let Some(stream) = queue_w.pop() {
+                    handle_connection(stream, &shared_w);
+                }
+            });
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                abandon_workers(&queue, workers);
+                return Err(e);
+            }
+        }
+    }
 
     let accept = {
-        let queue = Arc::clone(&queue);
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
+        let queue_a = Arc::clone(&queue);
+        let shared_a = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
             .name("cnp-accept".to_string())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
+                    if shared_a.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    match queue.try_push(stream) {
-                        Ok(()) => shared.stats.connection(),
-                        Err(PushError::Full(stream)) => refuse_overloaded(stream, &shared),
+                    match queue_a.try_push(stream) {
+                        Ok(()) => shared_a.stats.connection(),
+                        Err(PushError::Full(stream)) => refuse_overloaded(stream, &shared_a),
                         Err(PushError::Closed(_)) => break,
                     }
                 }
-            })
-            .expect("spawn accept thread")
+            });
+        match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                abandon_workers(&queue, workers);
+                return Err(e);
+            }
+        }
     };
 
     Ok(ServerHandle {
@@ -218,6 +232,15 @@ pub fn serve(service: Arc<TaxonomyService>, config: ServerConfig) -> std::io::Re
         accept: Some(accept),
         workers,
     })
+}
+
+/// Boot-failure cleanup: closes the queue so every already-spawned worker
+/// sees `pop() == None` and exits, then joins them.
+fn abandon_workers(queue: &BoundedQueue<TcpStream>, workers: Vec<std::thread::JoinHandle<()>>) {
+    queue.close();
+    for worker in workers {
+        let _ = worker.join();
+    }
 }
 
 /// Admission control's refusal path: a canned `429` written on the accept
@@ -411,5 +434,19 @@ fn reload(shared: &Shared) -> (u16, String) {
             (200, body.write())
         }
         Err(e) => (500, error_body("reloadFailed", &e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abandon_workers_closes_the_queue_so_workers_drain_out() {
+        let queue: BoundedQueue<TcpStream> = BoundedQueue::new(4);
+        abandon_workers(&queue, Vec::new());
+        assert!(queue.is_closed());
+        // What a parked worker's next pop() sees: None, i.e. "exit now".
+        assert!(queue.pop().is_none());
     }
 }

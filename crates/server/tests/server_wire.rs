@@ -4,7 +4,7 @@
 
 use cnp_serve::json::Json;
 use cnp_serve::{wire, ListOptions, PageRequest, Query, QueryError, Response, TaxonomyService};
-use cnp_server::{http, serve, ServerConfig, ServerHandle};
+use cnp_server::{http, load, serve, LoadConfig, ProbeVocab, ServerConfig, ServerHandle};
 use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStore};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -90,6 +90,8 @@ fn mixed_traffic_stays_generation_consistent_across_live_reload() {
     let clients: Vec<_> = (0..8)
         .map(|i| {
             let stop = Arc::clone(&stop);
+            #[allow(clippy::disallowed_methods)]
+            // raw client threads: this test attacks the server from outside the runtime
             std::thread::spawn(move || {
                 // One persistent keep-alive connection per client thread.
                 let stream = TcpStream::connect(addr).unwrap();
@@ -427,4 +429,46 @@ fn batch_endpoint_answers_from_one_generation() {
     let (status, _) = exchange(addr, "POST", "/v1/batch", &huge);
     assert_eq!(status, 413);
     handle.shutdown();
+}
+
+#[test]
+fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
+    let handle = boot(store_a(), ServerConfig::default());
+    let vocab = ProbeVocab {
+        mentions: vec!["刘德华".to_string()],
+        entity_keys: vec!["刘德华（歌手）".to_string()],
+        concepts: vec!["歌手".to_string()],
+    };
+    // More connections than the remainder exercises the uneven split
+    // (10 requests over 4 tasks = 3 + 3 + 2 + 2).
+    let report = load::run(
+        &LoadConfig {
+            addr: handle.addr().to_string(),
+            connections: 4,
+            requests: 10,
+            seed: 7,
+        },
+        &vocab,
+    );
+    assert_eq!(report.counts.protocol_error, 0);
+    assert_eq!(report.counts.overloaded, 0);
+    assert_eq!(report.counts.ok + report.counts.query_error, 10);
+    assert_eq!(report.latencies_us.len(), 10);
+    handle.shutdown();
+
+    // Nobody listening: every exchange must come back as a typed wire
+    // failure. (The pre-fix client expected a live connection and
+    // panicked instead of reporting.)
+    let report = load::run(
+        &LoadConfig {
+            addr: "127.0.0.1:9".to_string(),
+            connections: 2,
+            requests: 6,
+            seed: 7,
+        },
+        &vocab,
+    );
+    assert_eq!(report.counts.protocol_error, 6);
+    assert_eq!(report.counts.ok, 0);
+    assert!(report.latencies_us.is_empty());
 }

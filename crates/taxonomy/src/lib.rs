@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-taxonomy — taxonomy storage engine for CN-Probase
 //!
 //! CN-Probase is deployed as a service (paper §V): the taxonomy lives in a

@@ -636,6 +636,7 @@ fn validate_frozen(raw: RawSections) -> Result<FrozenTaxonomy, PersistError> {
     }
 
     // Topological order must be a permutation of the concepts.
+    // cnp-lint: allow(capped-decode) reason="n_concepts is the length of the already-capped decoded concept table, not a raw wire value"
     let mut seen = vec![false; n_concepts];
     for &c in &topo {
         if !concept_ok(c) || std::mem::replace(&mut seen[c.index()], true) {
@@ -870,7 +871,7 @@ fn get_csr_preamble(
     if (body.remaining() as u64) < n_offsets as u64 * 4 {
         return Err(PersistError::Truncated(what));
     }
-    let mut offsets = Vec::with_capacity(n_offsets);
+    let mut offsets = Vec::with_capacity(n_offsets.min(body.remaining() / 4));
     let mut prev = 0u32;
     for i in 0..n_offsets {
         let o = body.get_u32_le();
@@ -896,7 +897,7 @@ fn get_id_csr<T: Copy>(
     wrap: impl Fn(u32) -> T,
 ) -> Result<Csr<T>, PersistError> {
     let (offsets, n_entries) = get_csr_preamble(&mut body, what, 4)?;
-    let mut data = Vec::with_capacity(n_entries);
+    let mut data = Vec::with_capacity(n_entries.min(body.remaining() / 4));
     for _ in 0..n_entries {
         data.push(wrap(body.get_u32_le()));
     }
@@ -909,7 +910,7 @@ fn get_meta_csr(
     what: &'static str,
 ) -> Result<Csr<(ConceptId, IsAMeta)>, PersistError> {
     let (offsets, n_entries) = get_csr_preamble(&mut body, what, 9)?;
-    let mut data = Vec::with_capacity(n_entries);
+    let mut data = Vec::with_capacity(n_entries.min(body.remaining() / 9));
     for _ in 0..n_entries {
         let c = ConceptId(body.get_u32_le());
         let src = body.get_u8();
@@ -974,7 +975,7 @@ fn get_str(buf: &mut &[u8]) -> Result<String, PersistError> {
     if buf.remaining() < len {
         return Err(PersistError::Truncated("string body"));
     }
-    let mut bytes = vec![0u8; len];
+    let mut bytes = vec![0u8; len.min(buf.remaining())];
     buf.copy_to_slice(&mut bytes);
     String::from_utf8(bytes).map_err(|_| PersistError::BadUtf8)
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cnp-text — Chinese text-processing substrate for CN-Probase
 //!
 //! The CN-Probase paper (Chen et al., ICDE 2019) builds a Chinese taxonomy

@@ -14,7 +14,7 @@ use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 use cn_probase::eval;
 use cn_probase::pipeline::{Pipeline, PipelineConfig};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let pages: usize = std::env::var("CNP_PAGES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -44,7 +44,7 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("failed to write snapshot to {}: {e}", path.display());
-                std::process::exit(1);
+                return std::process::ExitCode::FAILURE;
             }
         }
     }
@@ -65,4 +65,5 @@ fn main() {
             );
         }
     }
+    std::process::ExitCode::SUCCESS
 }

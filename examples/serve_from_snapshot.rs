@@ -17,14 +17,14 @@ use cn_probase::ProbaseApi;
 use std::path::Path;
 use std::time::Instant;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let path = std::env::var("CNP_SNAPSHOT").unwrap_or_else(|_| "/tmp/cnp.snapshot".to_string());
     let t = Instant::now();
     let api = match ProbaseApi::from_snapshot_file(Path::new(&path)) {
         Ok(api) => api,
         Err(e) => {
             eprintln!("failed to boot from snapshot {path}: {e}");
-            std::process::exit(1);
+            return std::process::ExitCode::FAILURE;
         }
     };
     let boot = t.elapsed();
@@ -38,7 +38,7 @@ fn main() {
     );
     if f.num_is_a() == 0 {
         eprintln!("snapshot serves an empty taxonomy");
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
 
     // Answer a few queries straight off the loaded snapshot, using its own
@@ -67,6 +67,7 @@ fn main() {
     }
     if shown == 0 {
         eprintln!("no linked entity found in the snapshot");
-        std::process::exit(1);
+        return std::process::ExitCode::FAILURE;
     }
+    std::process::ExitCode::SUCCESS
 }

@@ -25,6 +25,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
+#[allow(clippy::disallowed_methods)] // diverging demo helper; the examples hold no state worth unwinding
 fn fail(msg: &str) -> ! {
     eprintln!("serve_http: {msg}");
     std::process::exit(1);

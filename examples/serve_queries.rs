@@ -26,6 +26,7 @@ use cn_probase::{ListOptions, PageRequest, Query, QueryError, Response, Taxonomy
 use std::path::PathBuf;
 use std::time::Instant;
 
+#[allow(clippy::disallowed_methods)] // diverging demo helper; the examples hold no state worth unwinding
 fn fail(msg: &str) -> ! {
     eprintln!("serve_queries: {msg}");
     std::process::exit(1);

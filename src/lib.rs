@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # CN-Probase — facade crate
 //!
 //! A complete Rust reproduction of **“CN-Probase: A Data-driven Approach for

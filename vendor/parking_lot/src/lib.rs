@@ -97,6 +97,7 @@ mod tests {
     fn rwlock_survives_poisoning() {
         let l = std::sync::Arc::new(RwLock::new(0));
         let l2 = l.clone();
+        #[allow(clippy::disallowed_methods)] // vendored drop-in test; no cnp_runtime here
         let _ = std::thread::spawn(move || {
             let _g = l2.write();
             panic!("poison the inner std rwlock");
@@ -117,6 +118,7 @@ mod tests {
     fn survives_poisoning() {
         let m = std::sync::Arc::new(Mutex::new(0));
         let m2 = m.clone();
+        #[allow(clippy::disallowed_methods)] // vendored drop-in test; no cnp_runtime here
         let _ = std::thread::spawn(move || {
             let _g = m2.lock();
             panic!("poison the inner std mutex");
