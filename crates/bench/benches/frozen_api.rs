@@ -10,13 +10,18 @@
 //! * **frozen** — `FrozenTaxonomy`/`ProbaseApi`: CSR adjacency and the
 //!   precomputed ancestor closure, lock-free and `&self`-only.
 //!
+//! * **view** — `ProbaseApi<FrozenTaxonomyView>`: the same queries served
+//!   from the borrowed v3 snapshot, decoding varint CSR rows and the
+//!   succinct ancestor closure on the fly — the zero-copy-boot path must
+//!   not give back the serving wins.
+//!
 //! A multi-threaded group hammers `men2ent` + `getConcept(transitive)`
 //! from 8 threads to expose the mutex contention the frozen path removes.
 
-use cnp_serve::ProbaseApi;
+use cnp_serve::{ProbaseApi, TaxonomyService};
 use cnp_taxonomy::closure::AncestorCache;
 use cnp_taxonomy::mention::MentionIndex;
-use cnp_taxonomy::{ConceptId, EntityId, TaxonomyStore};
+use cnp_taxonomy::{persist, ConceptId, EntityId, FrozenTaxonomyView, TaxonomyRead, TaxonomyStore};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,6 +71,9 @@ impl MutablePath {
 struct Fixture {
     mutable: MutablePath,
     api: ProbaseApi,
+    /// The same taxonomy served from the borrowed v3 snapshot view — must
+    /// keep pace with the owned `FrozenTaxonomy` on every query.
+    view_api: ProbaseApi<FrozenTaxonomyView>,
     mentions: Vec<String>,
     entities: Vec<EntityId>,
 }
@@ -74,7 +82,11 @@ fn build_fixture() -> Fixture {
     let corpus =
         cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7)).generate();
     let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
-    let api = ProbaseApi::from_frozen(outcome.freeze());
+    let frozen = outcome.freeze();
+    let v3 = persist::encode_frozen_v3(&frozen);
+    let view = FrozenTaxonomyView::open(v3).expect("v3 open");
+    let view_api = ProbaseApi::from_service(TaxonomyService::new(view));
+    let api = ProbaseApi::from_frozen(frozen);
     let mutable = MutablePath::new(outcome.taxonomy);
     let mentions: Vec<String> = corpus
         .pages
@@ -90,6 +102,7 @@ fn build_fixture() -> Fixture {
     Fixture {
         mutable,
         api,
+        view_api,
         mentions,
         entities,
     }
@@ -180,6 +193,13 @@ fn bench(c: &mut Criterion) {
             black_box(f.api.frozen().men2ent(black_box(m)))
         })
     });
+    group.bench_function("men2ent/view", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+            black_box(TaxonomyRead::men2ent(f.view_api.frozen(), black_box(m)))
+        })
+    });
     group.bench_function("get_concept_transitive/mutable", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| {
@@ -192,6 +212,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let e = f.entities[rng.gen_range(0..f.entities.len())];
             black_box(f.api.get_concept(e, true))
+        })
+    });
+    group.bench_function("get_concept_transitive/view", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let e = f.entities[rng.gen_range(0..f.entities.len())];
+            black_box(f.view_api.get_concept(e, true))
         })
     });
     // 8 threads × (men2ent + getConcept(transitive)) over a shared service:
@@ -221,6 +248,19 @@ fn bench(c: &mut Criterion) {
                     let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
                     for &id in f.api.frozen().men2ent(m) {
                         black_box(f.api.get_concept(id, true));
+                    }
+                }
+            })
+        })
+    });
+    group.bench_function("mt8_men2ent_get_concept/view", |b| {
+        b.iter(|| {
+            run_threads(MT_THREADS, || {
+                let mut rng = StdRng::seed_from_u64(3);
+                for _ in 0..MT_BATCH {
+                    let m = &f.mentions[rng.gen_range(0..f.mentions.len())];
+                    for id in TaxonomyRead::men2ent(f.view_api.frozen(), m) {
+                        black_box(f.view_api.get_concept(id, true));
                     }
                 }
             })

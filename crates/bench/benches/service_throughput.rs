@@ -8,7 +8,15 @@
 //!
 //! * **per_call** — a serial loop over `TaxonomyService::execute`;
 //! * **batch/N** — one `execute_batch` on a `Runtime` with N = 1/2/4/8
-//!   worker threads (identical responses, one pinned generation).
+//!   worker threads (identical responses, one pinned generation);
+//! * **batch_view/2** — the same batch on a service backed by the
+//!   borrowed v3 `FrozenTaxonomyView` instead of the owned
+//!   `FrozenTaxonomy`, so any view-decode regression on the serving
+//!   path shows up against `batch/2` directly.
+//!
+//! `execute_batch` caps its worker count by the machine's available
+//! parallelism and by batch size (≥32 queries per worker), so asking for
+//! more threads than cores never costs throughput.
 //!
 //! On a single-core CI container the batch numbers show overhead, not
 //! speedup; on real cores batching scales near-linearly because every
@@ -16,6 +24,7 @@
 
 use cnp_runtime::Runtime;
 use cnp_serve::{ListOptions, PageRequest, Query, TaxonomyService};
+use cnp_taxonomy::{persist, FrozenTaxonomyView};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,6 +115,18 @@ fn bench(c: &mut Criterion) {
         group.bench_function(&format!("batch/{threads}"), |b| {
             b.iter(|| black_box(service.execute_batch(&queries)))
         });
+        if threads == 2 {
+            // Same batch, served from the borrowed v3 snapshot view —
+            // measured back-to-back with `batch/2` so the owned-vs-view
+            // comparison shares one machine state instead of sitting at
+            // opposite ends of the run.
+            let view =
+                FrozenTaxonomyView::open(persist::encode_frozen_v3(&frozen)).expect("v3 open");
+            let view_service = TaxonomyService::with_runtime(view, Runtime::new(2));
+            group.bench_function("batch_view/2", |b| {
+                b.iter(|| black_box(view_service.execute_batch(&queries)))
+            });
+        }
     }
     group.finish();
 }

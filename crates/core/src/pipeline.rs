@@ -106,6 +106,18 @@ impl PipelineOutcome {
         frozen.save_to_file(path)?;
         Ok(frozen)
     }
+
+    /// Freezes the taxonomy and persists it in the v3 view format: the
+    /// smallest snapshot and the fastest boot — `FrozenTaxonomyView::open`
+    /// serves straight off the loaded buffer instead of materialising
+    /// owned sections. Older boots still work: `Snapshot::load_from_file`
+    /// reads every format. Returns the frozen snapshot for immediate
+    /// serving.
+    pub fn save_view(&self, path: &std::path::Path) -> Result<FrozenTaxonomy, PersistError> {
+        let frozen = self.freeze();
+        std::fs::write(path, cnp_taxonomy::persist::encode_frozen_v3(&frozen))?;
+        Ok(frozen)
+    }
 }
 
 /// The CN-Probase construction pipeline.

@@ -44,7 +44,8 @@ pub const RULES: &[RuleInfo] = &[
         summary:
             "no unwrap/expect/panic!/unreachable!/todo!/unimplemented!/slice-index-by-literal \
                   in non-test serving code",
-        scope: "crates/serve/src, crates/server/src, crates/taxonomy/src/frozen.rs",
+        scope: "crates/serve/src, crates/server/src, \
+                crates/taxonomy/src/{frozen,view,read,varint}.rs",
     },
     RuleInfo {
         name: RUNTIME_OWNS,
@@ -61,8 +62,9 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: CAPPED_DECODE,
         summary: "decode-path with_capacity/reserve/vec![x; n] must be clamped by remaining input \
-                  bytes or a constant cap",
-        scope: "crates/taxonomy/src/persist.rs, crates/serve/src/{wire,json}.rs, \
+                  bytes or a constant cap; counts decoded through the varint readers \
+                  (read_varint/varint_at) are called out by name",
+        scope: "crates/taxonomy/src/{persist,view,varint}.rs, crates/serve/src/{wire,json}.rs, \
                 crates/server/src/http.rs",
     },
 ];
@@ -94,7 +96,13 @@ fn builtin_allowed(file: &str, rule: &str) -> bool {
 fn no_panic_scope(rel: &str) -> bool {
     rel.starts_with("crates/serve/src/")
         || rel.starts_with("crates/server/src/")
-        || rel == "crates/taxonomy/src/frozen.rs"
+        || matches!(
+            rel,
+            "crates/taxonomy/src/frozen.rs"
+                | "crates/taxonomy/src/view.rs"
+                | "crates/taxonomy/src/read.rs"
+                | "crates/taxonomy/src/varint.rs"
+        )
 }
 
 fn runtime_owns_scope(rel: &str) -> bool {
@@ -111,6 +119,8 @@ fn capped_decode_scope(rel: &str) -> bool {
     matches!(
         rel,
         "crates/taxonomy/src/persist.rs"
+            | "crates/taxonomy/src/view.rs"
+            | "crates/taxonomy/src/varint.rs"
             | "crates/serve/src/wire.rs"
             | "crates/serve/src/json.rs"
             | "crates/server/src/http.rs"
@@ -471,6 +481,7 @@ impl<'a> Ctx<'a> {
     // ----- rule 4: capped-decode --------------------------------------------
 
     fn rule_capped_decode(&mut self) {
+        let varint_names = self.collect_varint_bindings();
         for i in 0..self.toks.len() {
             let t = &self.toks[i];
             if t.kind != TokKind::Ident {
@@ -480,10 +491,17 @@ impl<'a> Ctx<'a> {
                 "with_capacity" | "reserve" | "reserve_exact" if self.is_punct(i + 1, '(') => {
                     let args = self.group_inner(i + 1);
                     if !args_are_capped(args) {
-                        let msg = format!(
-                            "`{}` sized by untrusted input can pre-allocate unboundedly",
-                            t.text
-                        );
+                        let msg = match varint_arg(args, &varint_names) {
+                            Some(name) => format!(
+                                "`{}` sized by the varint-decoded count `{name}` — a raw wire \
+                                 value — can pre-allocate unboundedly",
+                                t.text
+                            ),
+                            None => format!(
+                                "`{}` sized by untrusted input can pre-allocate unboundedly",
+                                t.text
+                            ),
+                        };
                         self.emit(
                             &t.clone(),
                             CAPPED_DECODE,
@@ -510,12 +528,21 @@ impl<'a> Ctx<'a> {
                         }
                     }
                     if let Some(k) = semi {
-                        if !args_are_capped(&inner[k + 1..]) {
+                        let len_args = &inner[k + 1..];
+                        if !args_are_capped(len_args) {
+                            let msg = match varint_arg(len_args, &varint_names) {
+                                Some(name) => format!(
+                                    "`vec![…; n]` sized by the varint-decoded count `{name}` — a \
+                                     raw wire value — can allocate unboundedly"
+                                ),
+                                None => "`vec![…; n]` with an input-derived length can allocate \
+                                         unboundedly"
+                                    .to_string(),
+                            };
                             self.emit(
                                 &t.clone(),
                                 CAPPED_DECODE,
-                                "`vec![…; n]` with an input-derived length can allocate unboundedly"
-                                    .to_string(),
+                                msg,
                                 "clamp by remaining input bytes (`n.min(buf.remaining() / elem_size)`) \
                                  or a named constant cap",
                             );
@@ -525,6 +552,63 @@ impl<'a> Ctx<'a> {
                 _ => {}
             }
         }
+    }
+
+    /// Names bound by statements that decode through the varint readers:
+    /// `let n = read_varint(…)?`, `let (v, next) = varint_at(…)`, and any
+    /// other `let` whose initializer mentions `read_varint` / `varint_at`.
+    /// Every identifier in the pattern (before the `=`) is recorded — a
+    /// tuple pattern binds all its names.
+    fn collect_varint_bindings(&self) -> Vec<String> {
+        const VARINT_READERS: [&str; 2] = ["read_varint", "varint_at"];
+        let mut names = Vec::new();
+        let toks = self.toks;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("let") {
+                continue;
+            }
+            // Pattern: idents up to the `=` at depth 0 (skipping `mut`).
+            let mut pattern = Vec::new();
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut eq = None;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct('=') && depth <= 0 {
+                    eq = Some(j);
+                    break;
+                } else if t.is_punct(';') && depth <= 0 {
+                    break;
+                } else if t.kind == TokKind::Ident && !t.is_ident("mut") {
+                    pattern.push(t.text.clone());
+                }
+                j += 1;
+            }
+            let Some(eq) = eq else { continue };
+            // Initializer: to the `;` at depth 0; varint reader mentioned?
+            let mut depth = 0i32;
+            let mut decodes_varint = false;
+            for t in &toks[eq + 1..] {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth <= 0 {
+                    break;
+                } else if t.kind == TokKind::Ident && VARINT_READERS.contains(&t.text.as_str()) {
+                    decodes_varint = true;
+                }
+            }
+            if decodes_varint {
+                names.extend(pattern);
+            }
+        }
+        names.sort();
+        names.dedup();
+        names
     }
 
     /// The tokens strictly inside the bracket group opened at `open_idx`.
@@ -572,6 +656,21 @@ fn args_are_capped(args: &[Tok]) -> bool {
         TokKind::Int | TokKind::Float | TokKind::Punct => true,
         TokKind::Ident => is_const_ident(&t.text),
         _ => false,
+    })
+}
+
+/// The first allocation-size argument that names a varint-decoded
+/// binding, if any — it upgrades the finding to the varint-specific
+/// message.
+fn varint_arg<'n>(args: &[Tok], varint_names: &'n [String]) -> Option<&'n str> {
+    args.iter().find_map(|t| {
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        varint_names
+            .iter()
+            .find(|n| n.as_str() == t.text)
+            .map(String::as_str)
     })
 }
 
@@ -674,6 +773,38 @@ mod tests {
         let src = "fn f(n: usize) { let v = Vec::with_capacity(n); }";
         assert!(findings("crates/serve/src/exec.rs", src).is_empty());
         assert_eq!(findings("crates/serve/src/json.rs", src).len(), 1);
+        // ISSUE 8: the v3 view and varint readers are decode paths too.
+        assert_eq!(findings("crates/taxonomy/src/view.rs", src).len(), 1);
+        assert_eq!(findings("crates/taxonomy/src/varint.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn varint_decoded_counts_are_called_out_by_name() {
+        let flagged = "fn d(buf: &mut &[u8]) -> Result<(), E> {\n  let rows = read_varint(buf, \"rows\")? as usize;\n  let mut v = Vec::with_capacity(rows);\n  let bits = vec![0u8; rows];\n  Ok(())\n}\n";
+        let f = findings("crates/taxonomy/src/view.rs", flagged);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(
+            f[0].message.contains("varint-decoded count `rows`"),
+            "{f:#?}"
+        );
+        assert!(
+            f[1].message.contains("varint-decoded count `rows`"),
+            "{f:#?}"
+        );
+        // Tuple patterns bind every name: `varint_at` results count too.
+        let tuple = "fn d(buf: &[u8]) {\n  let (n, next) = varint_at(buf, 0).unwrap_or((0, 0));\n  let v = Vec::with_capacity(n as usize);\n}\n";
+        let f = findings("crates/taxonomy/src/persist.rs", tuple);
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains("varint-decoded count `n`")),
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn capped_varint_counts_are_clean() {
+        let ok = "fn d(buf: &mut &[u8]) -> Result<(), E> {\n  let rows = read_varint(buf, \"rows\")? as usize;\n  let mut v = Vec::with_capacity(rows.min(buf.remaining()));\n  Ok(())\n}\n";
+        assert!(findings("crates/taxonomy/src/view.rs", ok).is_empty());
     }
 
     #[test]

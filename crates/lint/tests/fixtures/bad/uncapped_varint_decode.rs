@@ -1,0 +1,22 @@
+//@ path: crates/taxonomy/src/view.rs
+//! Varint-decoded counts feeding preallocations without a clamp — the
+//! hostile-snapshot OOM shape the v3 decoder must never have.
+
+pub fn decode_rows(buf: &mut &[u8]) -> Result<Vec<Vec<u32>>, PersistError> {
+    let rows = read_varint(buf, "rows")? as usize;
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let len = read_varint(buf, "row len")? as usize;
+        let mut row = Vec::new();
+        row.reserve(len);
+        out.push(row);
+    }
+    Ok(out)
+}
+
+pub fn decode_bitmap(buf: &[u8]) -> Option<Vec<bool>> {
+    let (base, next) = varint_at(buf, 0)?;
+    let bits = vec![false; base as usize];
+    let _ = next;
+    Some(bits)
+}

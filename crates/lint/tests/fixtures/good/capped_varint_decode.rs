@@ -1,0 +1,26 @@
+//@ path: crates/taxonomy/src/view.rs
+//! Varint-decoded counts, properly clamped before every preallocation:
+//! the shape the v3 view decoder uses. A raw wire count may claim
+//! u64::MAX; capping by the remaining input bytes bounds the allocation
+//! by the snapshot's actual size.
+
+pub fn decode_rows(buf: &mut &[u8]) -> Result<Vec<Vec<u32>>, PersistError> {
+    let rows = read_varint(buf, "rows")? as usize;
+    // Each row costs at least one payload byte, so `remaining` bounds it.
+    let mut out = Vec::with_capacity(rows.min(buf.remaining()));
+    for _ in 0..rows {
+        let len = read_varint(buf, "row len")? as usize;
+        let mut row = Vec::new();
+        row.reserve(len.min(buf.remaining()));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+pub fn decode_dir(buf: &[u8]) -> Option<Vec<u32>> {
+    let (n, _next) = varint_at(buf, 0)?;
+    let capped = (n as usize).min(buf.len() / 4);
+    let mut dir = Vec::with_capacity(capped.min(MAX_SECTIONS));
+    dir.push(0);
+    Some(dir)
+}

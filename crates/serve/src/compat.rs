@@ -14,7 +14,7 @@ use crate::query::{ListOptions, PageRequest, Query};
 use crate::response::Response;
 use crate::service::{PinnedSnapshot, TaxonomyService};
 use cnp_taxonomy::persist::PersistError;
-use cnp_taxonomy::{EntityId, FrozenTaxonomy, TaxonomyStore};
+use cnp_taxonomy::{EntityId, FrozenTaxonomy, TaxonomyRead, TaxonomyStore};
 use std::path::Path;
 
 /// A resolved entity sense returned by `men2ent`.
@@ -31,18 +31,23 @@ pub struct EntitySense {
 }
 
 /// Read-side compatibility facade over a [`TaxonomyService`].
+///
+/// Generic over the same [`TaxonomyRead`] backends as the service: the
+/// default keeps existing `ProbaseApi` mentions on the owned
+/// [`FrozenTaxonomy`], while `ProbaseApi::from_service` accepts a
+/// view-backed or `AnySnapshot`-backed service unchanged.
 #[derive(Debug)]
-pub struct ProbaseApi {
-    service: TaxonomyService,
+pub struct ProbaseApi<T = FrozenTaxonomy> {
+    service: TaxonomyService<T>,
     /// The boot generation, pinned for the API's lifetime: `frozen()`
-    /// hands out plain `&FrozenTaxonomy` borrows, and answers never shift
-    /// under a caller even if someone swaps the inner service.
-    pinned: PinnedSnapshot,
+    /// hands out plain `&T` borrows, and answers never shift under a
+    /// caller even if someone swaps the inner service.
+    pinned: PinnedSnapshot<T>,
 }
 
-impl Clone for ProbaseApi {
+impl<T: TaxonomyRead + Clone> Clone for ProbaseApi<T> {
     fn clone(&self) -> Self {
-        ProbaseApi::from_frozen(self.pinned.frozen().clone())
+        Self::from_service(TaxonomyService::new(self.pinned.frozen().clone()))
     }
 }
 
@@ -57,33 +62,35 @@ impl ProbaseApi {
         Self::from_service(TaxonomyService::new(frozen))
     }
 
-    /// Wraps an existing service, pinning its current generation.
-    pub fn from_service(service: TaxonomyService) -> Self {
-        let pinned = service.pin();
-        ProbaseApi { service, pinned }
-    }
-
-    /// Boots the service from a snapshot file of either format: a v2
-    /// snapshot is a validate-and-go load of the frozen taxonomy, a v1
-    /// snapshot loads the build store and pays one freeze here.
+    /// Boots the service from a snapshot file of any format into the
+    /// owned backend: v2 is validate-and-go, v1 loads the build store and
+    /// pays one freeze here, v3 decodes into owned CSR.
     pub fn from_snapshot_file(path: &Path) -> Result<Self, PersistError> {
         Ok(Self::from_service(TaxonomyService::from_snapshot_file(
             path,
         )?))
     }
+}
+
+impl<T: TaxonomyRead> ProbaseApi<T> {
+    /// Wraps an existing service, pinning its current generation.
+    pub fn from_service(service: TaxonomyService<T>) -> Self {
+        let pinned = service.pin();
+        ProbaseApi { service, pinned }
+    }
 
     /// Read-only access to the pinned snapshot.
-    pub fn frozen(&self) -> &FrozenTaxonomy {
+    pub fn frozen(&self) -> &T {
         self.pinned.frozen()
     }
 
     /// The underlying typed service (still serving the same snapshot).
-    pub fn service(&self) -> &TaxonomyService {
+    pub fn service(&self) -> &TaxonomyService<T> {
         &self.service
     }
 
     /// Unwraps into the typed service.
-    pub fn into_service(self) -> TaxonomyService {
+    pub fn into_service(self) -> TaxonomyService<T> {
         self.service
     }
 

@@ -1,12 +1,16 @@
-//! The query executor: pure functions from an immutable
-//! [`FrozenTaxonomy`] (plus its generation number) to typed responses.
+//! The query executor: pure functions from an immutable snapshot (plus
+//! its generation number) to typed responses.
 //!
-//! Everything here is `&`-only and allocation-bounded by the result size —
-//! no locks, no interior mutability — which is what lets
-//! [`crate::TaxonomyService`] run batches on worker threads and the
-//! hot-swap path proceed while queries are in flight. The compatibility
-//! [`crate::ProbaseApi`] calls the same building blocks, so the wrapper
-//! and the typed protocol cannot drift apart.
+//! Every function is generic over [`TaxonomyRead`], so the same executor
+//! serves the owned `FrozenTaxonomy` (slice-backed CSR) and the borrowed
+//! `FrozenTaxonomyView` (varint rows decoded on the fly) — the protocol
+//! cannot fork between representations. Everything here is `&`-only and
+//! allocation-bounded by the result size — no locks, no interior
+//! mutability — which is what lets [`crate::TaxonomyService`] run batches
+//! on worker threads and the hot-swap path proceed while queries are in
+//! flight. The compatibility [`crate::ProbaseApi`] calls the same
+//! building blocks, so the wrapper and the typed protocol cannot drift
+//! apart.
 
 use crate::query::{Cursor, ListOptions, PageRequest, Query};
 use crate::response::{
@@ -15,17 +19,17 @@ use crate::response::{
 };
 use cnp_taxonomy::hash::FxHashSet;
 use cnp_taxonomy::mention::has_disambig;
-use cnp_taxonomy::{ConceptId, EntityId, FrozenTaxonomy};
+use cnp_taxonomy::{ConceptId, EntityId, TaxonomyRead};
 
 /// Executes one query against one pinned snapshot generation.
-pub(crate) fn execute(f: &FrozenTaxonomy, generation: u64, query: &Query) -> QueryResponse {
+pub(crate) fn execute<T: TaxonomyRead>(f: &T, generation: u64, query: &Query) -> QueryResponse {
     QueryResponse {
         generation,
         result: run(f, generation, query),
     }
 }
 
-fn run(f: &FrozenTaxonomy, generation: u64, query: &Query) -> Result<Response, QueryError> {
+fn run<T: TaxonomyRead>(f: &T, generation: u64, query: &Query) -> Result<Response, QueryError> {
     match query {
         Query::Men2Ent { mention } => {
             let ids = known_senses(f, mention)?;
@@ -108,12 +112,12 @@ fn run(f: &FrozenTaxonomy, generation: u64, query: &Query) -> Result<Response, Q
 
 /// Resolves a mention, distinguishing "unknown" from "empty": a mention
 /// exists iff it has at least one sense.
-fn known_senses(f: &FrozenTaxonomy, mention: &str) -> Result<Vec<EntityId>, QueryError> {
+fn known_senses<T: TaxonomyRead>(f: &T, mention: &str) -> Result<Vec<EntityId>, QueryError> {
     let ids = f.men2ent(mention);
     if ids.is_empty() {
         Err(QueryError::UnknownMention(mention.to_string()))
     } else {
-        Ok(ids.to_vec())
+        Ok(ids)
     }
 }
 
@@ -121,20 +125,17 @@ fn known_senses(f: &FrozenTaxonomy, mention: &str) -> Result<Vec<EntityId>, Quer
 /// an undisambiguated entity, or a full `name（disambig）` key. No string
 /// surgery — the snapshot's own key tables decide, so a name that itself
 /// contains a full-width bracket cannot be mis-split.
-pub(crate) fn resolve_entity_key(f: &FrozenTaxonomy, key: &str) -> Option<EntityId> {
+pub(crate) fn resolve_entity_key<T: TaxonomyRead>(f: &T, key: &str) -> Option<EntityId> {
     if let Some(id) = f.find_entity(key, None) {
         return Some(id);
     }
     if !has_disambig(key) {
         return None;
     }
-    f.men2ent(key)
-        .iter()
-        .copied()
-        .find(|&e| f.entity_key(e) == key)
+    f.men2ent(key).into_iter().find(|&e| f.entity_key(e) == key)
 }
 
-fn sense(f: &FrozenTaxonomy, id: EntityId) -> Sense {
+fn sense<T: TaxonomyRead>(f: &T, id: EntityId) -> Sense {
     let rec = f.entity(id);
     let disambig = f.resolve(rec.disambig);
     Sense {
@@ -149,8 +150,8 @@ fn sense(f: &FrozenTaxonomy, id: EntityId) -> Sense {
     }
 }
 
-fn concept_hit(
-    f: &FrozenTaxonomy,
+fn concept_hit<T: TaxonomyRead>(
+    f: &T,
     c: ConceptId,
     direct: bool,
     confidence: Option<f32>,
@@ -167,10 +168,9 @@ fn concept_hit(
 // ----- list builders (shared with the compatibility wrapper) ---------------
 
 /// Direct concepts of an entity, in snapshot edge order, no floor.
-fn direct_concepts(f: &FrozenTaxonomy, e: EntityId) -> Vec<ConceptHit> {
+fn direct_concepts<T: TaxonomyRead>(f: &T, e: EntityId) -> Vec<ConceptHit> {
     f.concepts_of(e)
-        .iter()
-        .map(|&(c, m)| concept_hit(f, c, true, Some(m.confidence)))
+        .map(|(c, m)| concept_hit(f, c, true, Some(m.confidence)))
         .collect()
 }
 
@@ -179,14 +179,14 @@ fn direct_concepts(f: &FrozenTaxonomy, e: EntityId) -> Vec<ConceptHit> {
 /// deduplicated ancestors of the surviving direct concepts, nearest-first
 /// (deeper concepts before shallower, id as tie-break), so consumers that
 /// truncate keep the most specific hypernyms.
-pub(crate) fn concept_hits(
-    f: &FrozenTaxonomy,
+pub(crate) fn concept_hits<T: TaxonomyRead>(
+    f: &T,
     e: EntityId,
     options: &ListOptions,
 ) -> Vec<ConceptHit> {
     let mut ids: Vec<ConceptId> = Vec::new();
     let mut hits: Vec<ConceptHit> = Vec::new();
-    for &(c, m) in f.concepts_of(e) {
+    for (c, m) in f.concepts_of(e) {
         if m.confidence >= options.min_confidence {
             ids.push(c);
             hits.push(concept_hit(f, c, true, Some(m.confidence)));
@@ -215,8 +215,8 @@ pub(crate) fn concept_hits(
 /// sense order, deduplicated by concept id with the *first* occurrence
 /// kept — multiple senses sharing a hypernym report it once, at its
 /// best rank.
-pub(crate) fn merged_concept_hits(
-    f: &FrozenTaxonomy,
+pub(crate) fn merged_concept_hits<T: TaxonomyRead>(
+    f: &T,
     senses: &[EntityId],
     options: &ListOptions,
 ) -> Vec<ConceptHit> {
@@ -242,16 +242,15 @@ pub(crate) fn merged_concept_hits(
 /// through a stronger one.
 type RawEntityHit = (EntityId, ConceptId, f32);
 
-pub(crate) fn entity_hits(
-    f: &FrozenTaxonomy,
+pub(crate) fn entity_hits<T: TaxonomyRead>(
+    f: &T,
     c: ConceptId,
     options: &ListOptions,
 ) -> Vec<RawEntityHit> {
     let mut seen: FxHashSet<EntityId> = FxHashSet::default();
     let mut out: Vec<RawEntityHit> = Vec::new();
     let push_row = |via: ConceptId, seen: &mut FxHashSet<EntityId>, out: &mut Vec<RawEntityHit>| {
-        for &e in f.entities_of(via) {
-            let confidence = f.entity_edge(e, via).map_or(0.0, |m| m.confidence);
+        for (e, confidence) in f.entities_with_confidence(via) {
             if confidence < options.min_confidence {
                 continue;
             }
@@ -272,24 +271,24 @@ pub(crate) fn entity_hits(
 /// `AncestorsOf` enumeration: the precomputed closure row reordered
 /// nearest-first (depth descending, id tie-break); direct parents carry
 /// their edge confidence.
-pub(crate) fn ancestor_hits(f: &FrozenTaxonomy, c: ConceptId) -> Vec<ConceptHit> {
-    let mut ids: Vec<ConceptId> = f.ancestors_of(c).to_vec();
+pub(crate) fn ancestor_hits<T: TaxonomyRead>(f: &T, c: ConceptId) -> Vec<ConceptHit> {
+    let mut ids: Vec<ConceptId> = f.ancestors(c).collect();
     ids.sort_unstable_by(|&x, &y| f.depth(y).cmp(&f.depth(x)).then(x.cmp(&y)));
     ids.into_iter()
         .map(|a| {
-            let direct_edge = f.parents_of(c).iter().find(|&&(p, _)| p == a);
+            let direct_edge = f.parents_of(c).find(|&(p, _)| p == a);
             concept_hit(
                 f,
                 a,
                 direct_edge.is_some(),
-                direct_edge.map(|&(_, m)| m.confidence),
+                direct_edge.map(|(_, m)| m.confidence),
             )
         })
         .collect()
 }
 
-fn is_a(
-    f: &FrozenTaxonomy,
+fn is_a<T: TaxonomyRead>(
+    f: &T,
     sub: &str,
     sup: &str,
     transitive: bool,
@@ -299,9 +298,9 @@ fn is_a(
         .ok_or_else(|| QueryError::UnknownConcept(sup.to_string()))?;
     let concept_holds = |c: ConceptId| {
         if transitive {
-            f.ancestors_of(c).binary_search(&sup_c).is_ok()
+            f.ancestor_contains(c, sup_c)
         } else {
-            f.parents_of(c).iter().any(|&(p, _)| p == sup_c)
+            f.parents_of(c).any(|(p, _)| p == sup_c)
         }
     };
     let holds = if let Some(c) = f.find_concept(sub) {
@@ -312,9 +311,8 @@ fn is_a(
             return Err(QueryError::UnknownMention(sub.to_string()));
         }
         senses.iter().any(|&e| {
-            f.concepts_of(e).iter().any(|&(c, _)| {
-                c == sup_c || (transitive && f.ancestors_of(c).binary_search(&sup_c).is_ok())
-            })
+            f.concepts_of(e)
+                .any(|(c, _)| c == sup_c || (transitive && f.ancestor_contains(c, sup_c)))
         })
     };
     Ok(Response::IsA { holds })

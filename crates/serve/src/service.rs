@@ -6,17 +6,22 @@ use crate::query::Query;
 use crate::response::QueryResponse;
 use cnp_runtime::Runtime;
 use cnp_taxonomy::persist::{PersistError, Snapshot};
-use cnp_taxonomy::{FrozenTaxonomy, TaxonomyStore};
+use cnp_taxonomy::{BootSnapshot, FrozenTaxonomy, TaxonomyRead, TaxonomyStore};
 use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
 
-/// One immutable serving state: a frozen snapshot plus its generation
+/// Minimum queries a batch worker must have before another worker is
+/// worth spawning: below this, thread hand-off costs more than the
+/// queries themselves.
+const MIN_BATCH_PER_WORKER: usize = 32;
+
+/// One immutable serving state: a snapshot backend plus its generation
 /// number.
 #[derive(Debug)]
-struct Generation {
+struct Generation<T> {
     number: u64,
-    frozen: FrozenTaxonomy,
+    snapshot: T,
 }
 
 /// A pinned snapshot generation: queries executed through it all see the
@@ -25,32 +30,37 @@ struct Generation {
 /// Cloning is an `Arc` bump; the underlying snapshot stays alive until the
 /// last pin drops, which is exactly the hot-swap draining rule — in-flight
 /// work finishes on the generation it pinned.
+///
+/// The backend `T` is any [`TaxonomyRead`] — the owned [`FrozenTaxonomy`],
+/// the borrowed `FrozenTaxonomyView`, or the version-dispatching
+/// `AnySnapshot`. The default keeps existing `PinnedSnapshot` mentions
+/// compiling unchanged.
 #[derive(Debug, Clone)]
-pub struct PinnedSnapshot {
-    inner: Arc<Generation>,
+pub struct PinnedSnapshot<T = FrozenTaxonomy> {
+    inner: Arc<Generation<T>>,
 }
 
-impl PinnedSnapshot {
+impl<T: TaxonomyRead> PinnedSnapshot<T> {
     /// The pinned generation number.
     pub fn generation(&self) -> u64 {
         self.inner.number
     }
 
-    /// The pinned frozen snapshot.
-    pub fn frozen(&self) -> &FrozenTaxonomy {
-        &self.inner.frozen
+    /// The pinned snapshot backend.
+    pub fn frozen(&self) -> &T {
+        &self.inner.snapshot
     }
 
     /// Executes one query on the pinned generation — lock-free: the
     /// snapshot is immutable and the executor takes `&self` only.
     pub fn execute(&self, query: &Query) -> QueryResponse {
-        exec::execute(&self.inner.frozen, self.inner.number, query)
+        exec::execute(&self.inner.snapshot, self.inner.number, query)
     }
 }
 
 /// The serving engine of API v1.
 ///
-/// The service holds its [`FrozenTaxonomy`] behind an atomically swappable
+/// The service holds its snapshot backend behind an atomically swappable
 /// `Arc` with a generation counter. Query execution never takes a lock on
 /// the data: [`TaxonomyService::execute`] pins the current generation (one
 /// brief, uncontended reader-side acquisition to clone the `Arc`) and then
@@ -59,6 +69,12 @@ impl PinnedSnapshot {
 /// store — readers never wait on snapshot decode or freeze, in-flight
 /// queries drain on the generation they pinned, and every
 /// [`QueryResponse`] carries the generation it answered from.
+///
+/// The backend is generic over [`TaxonomyRead`]: the same service type
+/// serves from the owned [`FrozenTaxonomy`] (the default, so existing
+/// `TaxonomyService` mentions compile unchanged), from the zero-copy
+/// `FrozenTaxonomyView` over a v3 snapshot buffer, or from `AnySnapshot`
+/// when the format is decided at boot time.
 ///
 /// ```
 /// use cnp_serve::{Query, Response, TaxonomyService};
@@ -84,36 +100,28 @@ impl PinnedSnapshot {
 /// assert_eq!(service.execute(&Query::men2ent("刘德华")).generation, 2);
 /// ```
 #[derive(Debug)]
-pub struct TaxonomyService {
-    current: RwLock<Arc<Generation>>,
+pub struct TaxonomyService<T = FrozenTaxonomy> {
+    current: RwLock<Arc<Generation<T>>>,
     runtime: Runtime,
 }
 
-impl TaxonomyService {
-    /// Boots generation 1 from a frozen snapshot, batching on a default
+impl<T: TaxonomyRead> TaxonomyService<T> {
+    /// Boots generation 1 from a snapshot backend, batching on a default
     /// [`Runtime`].
-    pub fn new(frozen: FrozenTaxonomy) -> Self {
-        Self::with_runtime(frozen, Runtime::default())
+    pub fn new(snapshot: T) -> Self {
+        Self::with_runtime(snapshot, Runtime::default())
     }
 
     /// Boots generation 1 with an explicit batch runtime.
-    pub fn with_runtime(frozen: FrozenTaxonomy, runtime: Runtime) -> Self {
+    pub fn with_runtime(snapshot: T, runtime: Runtime) -> Self {
         TaxonomyService {
             // cnp-lint: allow(runtime-owns-concurrency) reason="the hot-swap generation pointer: read-locked for one Arc clone per query, write-locked only by swap(); no compute happens under it"
-            current: RwLock::new(Arc::new(Generation { number: 1, frozen })),
+            current: RwLock::new(Arc::new(Generation {
+                number: 1,
+                snapshot,
+            })),
             runtime,
         }
-    }
-
-    /// Boots by freezing a finished build store.
-    pub fn from_store(store: TaxonomyStore) -> Self {
-        Self::new(FrozenTaxonomy::freeze(&store))
-    }
-
-    /// Boots from a snapshot file of either format (v2 is validate-and-go;
-    /// v1 loads the build store and pays one freeze here).
-    pub fn from_snapshot_file(path: &Path) -> Result<Self, PersistError> {
-        Ok(Self::new(Snapshot::load_from_file(path)?.into_frozen()))
     }
 
     /// The batch runtime.
@@ -123,7 +131,7 @@ impl TaxonomyService {
 
     /// Pins the current generation for any number of follow-up queries
     /// that must see one consistent state.
-    pub fn pin(&self) -> PinnedSnapshot {
+    pub fn pin(&self) -> PinnedSnapshot<T> {
         PinnedSnapshot {
             inner: self.current.read().clone(),
         }
@@ -139,23 +147,40 @@ impl TaxonomyService {
         self.pin().execute(query)
     }
 
-    /// Executes a batch on the runtime's worker threads. The whole batch
-    /// pins **one** generation (all responses carry the same number), and
-    /// results come back in input order.
+    /// Executes a batch on worker threads. The whole batch pins **one**
+    /// generation (all responses carry the same number), and results come
+    /// back in input order.
+    ///
+    /// The worker count is the runtime's thread budget capped twice: by
+    /// the machine's available parallelism (threads beyond the core count
+    /// only add contention) and by the batch size at
+    /// `MIN_BATCH_PER_WORKER` (32) queries per worker (spawning a thread for
+    /// a handful of sub-millisecond queries costs more than running
+    /// them). Small batches therefore execute inline on the caller's
+    /// thread, and adding threads to the runtime never makes a batch
+    /// slower.
     pub fn execute_batch(&self, queries: &[Query]) -> Vec<QueryResponse> {
         let pinned = self.pin();
-        self.runtime
-            .par_index_map(queries.len(), |i| pinned.execute(&queries[i]))
+        let workers = self
+            .runtime
+            .threads()
+            .min(cnp_runtime::default_threads())
+            .min(queries.len().div_ceil(MIN_BATCH_PER_WORKER))
+            .max(1);
+        if workers <= 1 {
+            return queries.iter().map(|q| pinned.execute(q)).collect();
+        }
+        Runtime::new(workers).par_index_map(queries.len(), |i| pinned.execute(&queries[i]))
     }
 
-    /// Atomically installs `frozen` as the next generation and returns its
-    /// number. Queries already in flight finish on the generation they
+    /// Atomically installs `snapshot` as the next generation and returns
+    /// its number. Queries already in flight finish on the generation they
     /// pinned; queries pinned after this call see the new one. The old
     /// snapshot is freed when its last pin drops.
-    pub fn swap(&self, frozen: FrozenTaxonomy) -> u64 {
+    pub fn swap(&self, snapshot: T) -> u64 {
         let mut current = self.current.write();
         let number = current.number + 1;
-        let old = std::mem::replace(&mut *current, Arc::new(Generation { number, frozen }));
+        let old = std::mem::replace(&mut *current, Arc::new(Generation { number, snapshot }));
         drop(current);
         // If this was the last reference, the old snapshot (a structure
         // sized for the whole taxonomy) deallocates *after* the write
@@ -163,14 +188,39 @@ impl TaxonomyService {
         drop(old);
         number
     }
+}
+
+impl<T: TaxonomyRead + BootSnapshot> TaxonomyService<T> {
+    /// Boots generation 1 from a snapshot file, decoding it as `T` boots:
+    /// `FrozenTaxonomy` accepts any version (paying a freeze for v1 and a
+    /// full decode for v3), `FrozenTaxonomyView` accepts v3 only and
+    /// opens it zero-copy, `AnySnapshot` picks the cheapest backend for
+    /// whatever version is on disk.
+    pub fn boot_from_file(path: &Path) -> Result<Self, PersistError> {
+        Ok(Self::new(T::boot_from_file(path)?))
+    }
 
     /// Zero-downtime reload: reads and validates the snapshot file
     /// *without holding any lock* — traffic keeps flowing on the old
     /// generation for the whole load — then swaps it in. Returns the new
     /// generation number; on error the service keeps serving unchanged.
     pub fn reload(&self, path: &Path) -> Result<u64, PersistError> {
-        let frozen = Snapshot::load_from_file(path)?.into_frozen();
-        Ok(self.swap(frozen))
+        let snapshot = T::boot_from_file(path)?;
+        Ok(self.swap(snapshot))
+    }
+}
+
+impl TaxonomyService {
+    /// Boots by freezing a finished build store.
+    pub fn from_store(store: TaxonomyStore) -> Self {
+        Self::new(FrozenTaxonomy::freeze(&store))
+    }
+
+    /// Boots from a snapshot file of any format into the owned backend
+    /// (v2 is validate-and-go; v1 loads the build store and pays one
+    /// freeze here; v3 decodes the varint sections into owned CSR).
+    pub fn from_snapshot_file(path: &Path) -> Result<Self, PersistError> {
+        Ok(Self::new(Snapshot::load_from_file(path)?.into_frozen()?))
     }
 }
 
@@ -179,7 +229,7 @@ mod tests {
     use super::*;
     use crate::query::ListOptions;
     use crate::response::{QueryError, Response};
-    use cnp_taxonomy::{IsAMeta, Source};
+    use cnp_taxonomy::{AnySnapshot, FrozenTaxonomyView, IsAMeta, Source};
 
     fn store_a() -> TaxonomyStore {
         let mut s = TaxonomyStore::new();
@@ -197,6 +247,11 @@ mod tests {
         let singer = s.find_concept("歌手").unwrap();
         s.add_entity_is_a(zhang, singer, IsAMeta::new(Source::Tag, 0.95));
         s
+    }
+
+    fn view_of(store: &TaxonomyStore) -> FrozenTaxonomyView {
+        let bytes = cnp_taxonomy::persist::encode_frozen_v3(&FrozenTaxonomy::freeze(store));
+        FrozenTaxonomyView::open(bytes).unwrap()
     }
 
     #[test]
@@ -246,6 +301,58 @@ mod tests {
     }
 
     #[test]
+    fn tiny_batches_run_inline_regardless_of_runtime_threads() {
+        // A batch smaller than MIN_BATCH_PER_WORKER must execute on the
+        // caller's thread even when the runtime advertises many workers.
+        let service =
+            TaxonomyService::with_runtime(FrozenTaxonomy::freeze(&store_b()), Runtime::new(16));
+        let queries = vec![Query::men2ent("刘德华"); MIN_BATCH_PER_WORKER];
+        let responses = service.execute_batch(&queries);
+        assert_eq!(responses.len(), queries.len());
+        assert!(responses.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn service_answers_identically_from_view_and_any_backends() {
+        let store = store_b();
+        let owned = TaxonomyService::from_store(store.clone());
+        let view = TaxonomyService::new(view_of(&store));
+        let any = TaxonomyService::new(AnySnapshot::View(view_of(&store)));
+        let queries = [
+            Query::men2ent("张学友"),
+            Query::men2ent("无此人"),
+            Query::GetEntity {
+                concept: "人物".to_string(),
+                options: ListOptions::transitive(),
+            },
+        ];
+        for q in &queries {
+            let a = owned.execute(q);
+            let b = view.execute(q);
+            let c = any.execute(q);
+            assert_eq!(a.result, b.result, "query {q:?}");
+            assert_eq!(a.result, c.result, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn view_backed_service_hot_swaps_and_reloads() {
+        let dir = std::env::temp_dir().join("cnp_serve_view_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b_v3.cnpb");
+        cnp_taxonomy::persist::save_frozen_v3_to_file(&FrozenTaxonomy::freeze(&store_b()), &path)
+            .unwrap();
+        let service: TaxonomyService<FrozenTaxonomyView> =
+            TaxonomyService::new(view_of(&store_a()));
+        assert!(service.execute(&Query::men2ent("张学友")).result.is_err());
+        assert_eq!(service.reload(&path).unwrap(), 2);
+        std::fs::remove_file(&path).ok();
+        let r = service.execute(&Query::men2ent("张学友"));
+        assert_eq!(r.generation, 2);
+        assert!(r.result.is_ok());
+    }
+
+    #[test]
     fn reload_errors_keep_serving_unchanged() {
         let service = TaxonomyService::from_store(store_a());
         let err = service.reload(Path::new("/nonexistent/snapshot.cnpb"));
@@ -275,5 +382,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TaxonomyService>();
         assert_send_sync::<PinnedSnapshot>();
+        assert_send_sync::<TaxonomyService<FrozenTaxonomyView>>();
+        assert_send_sync::<TaxonomyService<AnySnapshot>>();
     }
 }

@@ -6,12 +6,15 @@
 //!            [--workers N] [--queue N] [--read-timeout-ms MS]
 //! ```
 //!
-//! Prints `cnp_server listening on <addr> (generation N)` once the
-//! listener is bound — harness scripts wait for that line — then blocks
-//! until the process is killed.
+//! Prints `cnp_server listening on <addr> (generation N, <mode>
+//! snapshot)` once the listener is bound — harness scripts wait for that
+//! line — then blocks until the process is killed. The mode says how the
+//! snapshot serves: `owned` (v1/v2, materialised) or `view` (v3,
+//! zero-copy off the loaded buffer).
 
 use cnp_serve::TaxonomyService;
 use cnp_server::{serve, ServerConfig};
+use cnp_taxonomy::AnySnapshot;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -62,10 +65,14 @@ fn main() -> ExitCode {
         return fail("--snapshot is required");
     };
 
-    let service = match TaxonomyService::from_snapshot_file(&snapshot) {
+    // `AnySnapshot` boots whatever format the file holds: v1/v2
+    // materialise to the owned snapshot, v3 serves zero-copy from the
+    // loaded buffer.
+    let service = match TaxonomyService::<AnySnapshot>::boot_from_file(&snapshot) {
         Ok(service) => Arc::new(service),
         Err(e) => return fail(&format!("cannot load snapshot {}: {e}", snapshot.display())),
     };
+    let mode = service.pin().frozen().mode();
     config.snapshot_path = Some(snapshot);
 
     let handle = match serve(service, config) {
@@ -73,7 +80,7 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("cannot bind: {e}")),
     };
     println!(
-        "cnp_server listening on {} (generation {})",
+        "cnp_server listening on {} (generation {}, {mode} snapshot)",
         handle.addr(),
         handle.service().generation()
     );

@@ -82,10 +82,10 @@ impl ProbeVocab {
         }
     }
 
-    /// [`ProbeVocab::from_frozen`] on a snapshot file of either format.
+    /// [`ProbeVocab::from_frozen`] on a snapshot file of any format.
     pub fn from_snapshot_file(path: &Path) -> Result<ProbeVocab, PersistError> {
         Ok(Self::from_frozen(
-            &Snapshot::load_from_file(path)?.into_frozen(),
+            &Snapshot::load_from_file(path)?.into_frozen()?,
         ))
     }
 

@@ -27,6 +27,7 @@ use crate::stats::ServerStats;
 use cnp_runtime::{BoundedQueue, PushError};
 use cnp_serve::json::Json;
 use cnp_serve::{wire, Query, TaxonomyService};
+use cnp_taxonomy::{BootSnapshot, FrozenTaxonomy, TaxonomyRead};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -73,8 +74,8 @@ impl Default for ServerConfig {
     }
 }
 
-struct Shared {
-    service: Arc<TaxonomyService>,
+struct Shared<T> {
+    service: Arc<TaxonomyService<T>>,
     stats: ServerStats,
     shutdown: AtomicBool,
     config: ServerConfig,
@@ -84,15 +85,19 @@ struct Shared {
 /// [`ServerHandle::shutdown`] for an explicit graceful stop or
 /// [`ServerHandle::wait`] to park the calling thread (the `cnp_server`
 /// binary does).
-pub struct ServerHandle {
+///
+/// `T` is the snapshot backend the service answers from — the owned
+/// [`FrozenTaxonomy`] default, the borrowed `FrozenTaxonomyView`, or
+/// `AnySnapshot` for whatever format the snapshot file holds.
+pub struct ServerHandle<T = FrozenTaxonomy> {
     addr: SocketAddr,
-    shared: Arc<Shared>,
+    shared: Arc<Shared<T>>,
     queue: Arc<BoundedQueue<TcpStream>>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl std::fmt::Debug for ServerHandle {
+impl<T> std::fmt::Debug for ServerHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
@@ -101,7 +106,7 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-impl ServerHandle {
+impl<T> ServerHandle<T> {
     /// The bound address (resolves port `0` to the actual ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -114,7 +119,7 @@ impl ServerHandle {
 
     /// The service behind the wire — the embedding process can keep
     /// executing in-process queries and hot-swaps on it.
-    pub fn service(&self) -> &Arc<TaxonomyService> {
+    pub fn service(&self) -> &Arc<TaxonomyService<T>> {
         &self.shared.service
     }
 
@@ -152,7 +157,7 @@ impl ServerHandle {
     }
 }
 
-impl Drop for ServerHandle {
+impl<T> Drop for ServerHandle<T> {
     fn drop(&mut self) {
         self.begin_shutdown();
         if let Some(accept) = self.accept.take() {
@@ -164,7 +169,16 @@ impl Drop for ServerHandle {
 
 /// Binds `config.addr` and serves `service` until the returned handle is
 /// shut down or dropped.
-pub fn serve(service: Arc<TaxonomyService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+///
+/// Generic over the snapshot backend: a service holding the owned
+/// `FrozenTaxonomy`, the borrowed `FrozenTaxonomyView`, or the
+/// version-dispatching `AnySnapshot` all go on the wire unchanged.
+/// `BootSnapshot` is required because `/admin/reload` rebuilds a snapshot
+/// of the same representation from the configured file.
+pub fn serve<T: TaxonomyRead + BootSnapshot + 'static>(
+    service: Arc<TaxonomyService<T>>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle<T>> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(config.queue_capacity));
@@ -245,7 +259,7 @@ fn abandon_workers(queue: &BoundedQueue<TcpStream>, workers: Vec<std::thread::Jo
 
 /// Admission control's refusal path: a canned `429` written on the accept
 /// thread (never blocks on a worker), then close.
-fn refuse_overloaded(stream: TcpStream, shared: &Shared) {
+fn refuse_overloaded<T>(stream: TcpStream, shared: &Shared<T>) {
     shared.stats.response(429);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut writer = BufWriter::new(stream);
@@ -265,7 +279,7 @@ fn error_body(kind: &str, detail: &str) -> String {
 }
 
 /// One worker's whole tenure on one connection: the keep-alive loop.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection<T: TaxonomyRead + BootSnapshot>(stream: TcpStream, shared: &Shared<T>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
@@ -314,7 +328,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Maps one parsed request to `(status, JSON body)`.
-fn route(request: &Request, shared: &Shared) -> (u16, String) {
+fn route<T: TaxonomyRead + BootSnapshot>(request: &Request, shared: &Shared<T>) -> (u16, String) {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/v1/health") => health(shared),
         ("POST", "/v1/query") => query(&request.body, shared),
@@ -328,7 +342,7 @@ fn route(request: &Request, shared: &Shared) -> (u16, String) {
     }
 }
 
-fn health(shared: &Shared) -> (u16, String) {
+fn health<T: TaxonomyRead>(shared: &Shared<T>) -> (u16, String) {
     let stats = shared.stats.snapshot();
     let body = Json::Obj(vec![
         ("status".to_string(), Json::str("ok")),
@@ -365,7 +379,7 @@ fn parse_body(body: &[u8]) -> Result<Json, String> {
     Json::parse(text).map_err(|e| e.to_string())
 }
 
-fn query(body: &[u8], shared: &Shared) -> (u16, String) {
+fn query<T: TaxonomyRead>(body: &[u8], shared: &Shared<T>) -> (u16, String) {
     let query: Query = match parse_body(body)
         .and_then(|doc| wire::decode_query(&doc).map_err(|e| e.to_string()))
     {
@@ -377,7 +391,7 @@ fn query(body: &[u8], shared: &Shared) -> (u16, String) {
     (status, wire::encode_response(&response).write())
 }
 
-fn batch(body: &[u8], shared: &Shared) -> (u16, String) {
+fn batch<T: TaxonomyRead>(body: &[u8], shared: &Shared<T>) -> (u16, String) {
     let doc = match parse_body(body) {
         Ok(doc) => doc,
         Err(detail) => return (400, error_body("badRequest", &detail)),
@@ -418,7 +432,7 @@ fn batch(body: &[u8], shared: &Shared) -> (u16, String) {
 /// held, traffic keeps flowing on the old generation — and the swap is
 /// the single pointer store from PR 5; in-flight queries drain on the
 /// generation they pinned.
-fn reload(shared: &Shared) -> (u16, String) {
+fn reload<T: TaxonomyRead + BootSnapshot>(shared: &Shared<T>) -> (u16, String) {
     let Some(path) = &shared.config.snapshot_path else {
         return (
             404,

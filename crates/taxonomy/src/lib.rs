@@ -28,7 +28,15 @@
 //! * [`persist`] — compact binary snapshots: v1 persists the mutable
 //!   store (load, then freeze), v2 persists the [`FrozenTaxonomy`] itself
 //!   behind a sectioned, checksummed layout so serving boots straight from
-//!   disk; [`persist::Snapshot`] dispatches on the version header.
+//!   disk, v3 is the delta/varint-compressed layout the zero-copy view
+//!   serves from; [`persist::Snapshot`] dispatches on the version header.
+//! * [`varint`] — the LEB128/zigzag primitives of the v3 codec.
+//! * [`view`] — [`FrozenTaxonomyView`], the borrowed serving snapshot:
+//!   open a v3 buffer with in-place validation and answer every Table II
+//!   query straight off the bytes, zero per-section allocation on boot.
+//! * [`read`] — [`TaxonomyRead`], the query trait the serving layer is
+//!   generic over, plus [`AnySnapshot`] (version-dispatched boot into
+//!   owned or view form).
 //! * [`stats`] — the size metrics reported in Table I.
 
 pub mod closure;
@@ -38,12 +46,20 @@ pub mod interner;
 pub mod mention;
 pub mod persist;
 pub mod query;
+pub mod read;
 pub mod stats;
 pub mod store;
 pub mod topo;
+pub mod varint;
+pub mod view;
 
+// `FrozenTaxonomyView::open` takes a `Bytes` buffer; re-export the type so
+// callers don't need their own dependency on the buffer crate.
+pub use bytes::Bytes;
 pub use frozen::FrozenTaxonomy;
 pub use interner::{Interner, Symbol};
 pub use persist::{PersistError, Snapshot};
+pub use read::{AnySnapshot, BootSnapshot, TaxonomyRead};
 pub use stats::TaxonomyStats;
 pub use store::{ConceptId, EntityId, IsAMeta, Source, TaxonomyStore};
+pub use view::FrozenTaxonomyView;

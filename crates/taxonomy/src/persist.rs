@@ -1,8 +1,9 @@
-//! Compact binary snapshots of the taxonomy, in two formats.
+//! Compact binary snapshots of the taxonomy, in three formats.
 //!
 //! A production taxonomy service loads its state from a snapshot at boot.
-//! Both formats share the `CNPB` magic and a little-endian codec over
-//! [`bytes`]; they differ in *what* they persist:
+//! All formats share the `CNPB` magic, the sectioned framing and a
+//! little-endian codec over [`bytes`]; they differ in *what* they persist
+//! and how much work boot does:
 //!
 //! * **v1** persists the mutable build-time [`TaxonomyStore`]. Booting the
 //!   serving path from a v1 snapshot costs a full
@@ -11,12 +12,21 @@
 //! * **v2** persists the [`FrozenTaxonomy`] itself — interner, entity and
 //!   concept tables, all six CSR relations, the mention table, topological
 //!   order, exact depths and the materialised ancestor closure — so boot is
-//!   a validate-and-go load.
+//!   a validate-and-go load that still copies every section into owned
+//!   `Vec`s.
+//! * **v3** persists the same snapshot for
+//!   [`crate::view::FrozenTaxonomyView`]: queries are answered by
+//!   borrowing directly out of the one loaded buffer, so boot allocates
+//!   nothing per section and validation reduces to a single
+//!   bounds/invariant sweep over the raw bytes. The bytes are smaller
+//!   too — CSR rows are delta+varint-encoded ([`crate::varint`]) and the
+//!   materialised ancestor closure is replaced by a succinct run/bitset
+//!   encoding decoded on the query path.
 //!
-//! v2 layout:
+//! Shared layout:
 //!
 //! ```text
-//! magic "CNPB" | version u32 = 2
+//! magic "CNPB" | version u32 = 1|2|3
 //!   | section*          section = tag [u8;4] | byte-length u64 | payload
 //!   | "CKSM" section    FNV-1a of every byte before the CKSM tag
 //! ```
@@ -33,39 +43,73 @@
 //!
 //! [`Snapshot::load`] is the single entry point that dispatches on the
 //! version byte: v1 loads a store (freeze before serving), v2 loads the
-//! frozen snapshot directly.
+//! frozen snapshot directly, v3 opens the borrowed view.
 
 use crate::frozen::{Csr, FrozenTaxonomy};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::interner::{Interner, Symbol};
+use crate::read::AnySnapshot;
 use crate::store::{ConceptId, EntityId, EntityRecord, IsAMeta, Source, TaxonomyStore};
+use crate::varint::{put_varint, varint_len, zigzag};
+use crate::view::FrozenTaxonomyView;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cnp_runtime::stable_hash;
 use std::fmt;
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"CNPB";
+pub(crate) const MAGIC: &[u8; 4] = b"CNPB";
 /// v1: the mutable [`TaxonomyStore`] (load, then freeze).
 pub const VERSION_STORE: u32 = 1;
 /// v2: the [`FrozenTaxonomy`] serving snapshot (validate-and-go).
 pub const VERSION_FROZEN: u32 = 2;
+/// v3: the zero-copy [`FrozenTaxonomyView`] snapshot (borrow-and-go).
+pub const VERSION_VIEW: u32 = 3;
 
-// ----- v2 section tags ----------------------------------------------------
+// ----- section tags (v2 + v3; v3-only tags noted) -------------------------
 
-const SEC_INTERNER: [u8; 4] = *b"INTR";
-const SEC_ENTITIES: [u8; 4] = *b"ENTS";
-const SEC_CONCEPTS: [u8; 4] = *b"CNPT";
-const SEC_ENTITY_CONCEPTS: [u8; 4] = *b"ECON";
-const SEC_CONCEPT_ENTITIES: [u8; 4] = *b"CENT";
-const SEC_CONCEPT_PARENTS: [u8; 4] = *b"CPAR";
-const SEC_CONCEPT_CHILDREN: [u8; 4] = *b"CCHD";
-const SEC_ENTITY_ATTRS: [u8; 4] = *b"EATT";
-const SEC_ENTITY_ALIASES: [u8; 4] = *b"EALS";
-const SEC_ANCESTORS: [u8; 4] = *b"ANCS";
-const SEC_TOPO: [u8; 4] = *b"TOPO";
-const SEC_DEPTH: [u8; 4] = *b"DPTH";
-const SEC_MENTIONS: [u8; 4] = *b"MENT";
-const SEC_CHECKSUM: [u8; 4] = *b"CKSM";
+pub(crate) const SEC_INTERNER: [u8; 4] = *b"INTR";
+pub(crate) const SEC_ENTITIES: [u8; 4] = *b"ENTS";
+pub(crate) const SEC_CONCEPTS: [u8; 4] = *b"CNPT";
+pub(crate) const SEC_ENTITY_CONCEPTS: [u8; 4] = *b"ECON";
+pub(crate) const SEC_CONCEPT_ENTITIES: [u8; 4] = *b"CENT";
+pub(crate) const SEC_CONCEPT_PARENTS: [u8; 4] = *b"CPAR";
+pub(crate) const SEC_CONCEPT_CHILDREN: [u8; 4] = *b"CCHD";
+pub(crate) const SEC_ENTITY_ATTRS: [u8; 4] = *b"EATT";
+pub(crate) const SEC_ENTITY_ALIASES: [u8; 4] = *b"EALS";
+pub(crate) const SEC_ANCESTORS: [u8; 4] = *b"ANCS";
+pub(crate) const SEC_TOPO: [u8; 4] = *b"TOPO";
+pub(crate) const SEC_DEPTH: [u8; 4] = *b"DPTH";
+pub(crate) const SEC_MENTIONS: [u8; 4] = *b"MENT";
+/// v3 only: interner symbols sorted by string bytes (binary-search index).
+pub(crate) const SEC_STR_SORT: [u8; 4] = *b"SSRT";
+/// v3 only: concept ids sorted by name symbol (binary-search index).
+pub(crate) const SEC_CONCEPT_SORT: [u8; 4] = *b"CSRT";
+/// v3 only: succinct ancestor closure (run/bitset rows, replaces `ANCS`).
+pub(crate) const SEC_ANCESTOR_SUCC: [u8; 4] = *b"ANCC";
+/// v3 only: the deduplicated `(source, confidence)` dictionary every meta
+/// row indexes into — real corpora carry a handful of distinct edge
+/// provenances, so one varint per edge replaces five raw bytes.
+pub(crate) const SEC_META_DICT: [u8; 4] = *b"MDCT";
+/// v3 only: mention-key hash index — `(stable_hash32, symbol)` pairs for
+/// every non-empty mention row, sorted by hash. `men2ent` resolves a
+/// mention with one hash plus a binary search over fixed-width rows
+/// instead of `log n` string comparisons through the interner.
+pub(crate) const SEC_MENTION_HASH: [u8; 4] = *b"MHSH";
+pub(crate) const SEC_CHECKSUM: [u8; 4] = *b"CKSM";
+
+/// Rows per directory entry in a v3 varint-CSR section: row `i` is reached
+/// by one directory jump plus at most `VCSR_BLOCK - 1` length skips.
+///
+/// 8 keeps the skip loop short enough that random row access (the
+/// `getEntity` hyponym walk, `entity_edge` confidence probes) stays within
+/// ~2x of the owned CSR, while the directory still costs only half a byte
+/// per row.
+pub(crate) const VCSR_BLOCK: usize = 8;
+
+/// v3 succinct-closure row flavors: strictly ascending (gap, run-length)
+/// pairs, or a base id plus a bitmap spanning the row.
+pub(crate) const ANCC_RANGES: u8 = 0;
+pub(crate) const ANCC_BITSET: u8 = 1;
 
 /// Errors produced while decoding a snapshot.
 #[derive(Debug)]
@@ -125,7 +169,7 @@ pub fn peek_version(buf: &[u8]) -> Result<u32, PersistError> {
     Ok(u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]))
 }
 
-/// A decoded snapshot of either format, from the one [`Snapshot::load`]
+/// A decoded snapshot of any format, from the one [`Snapshot::load`]
 /// entry point that dispatches on the version header.
 #[derive(Debug)]
 pub enum Snapshot {
@@ -133,21 +177,35 @@ pub enum Snapshot {
     Store(Box<TaxonomyStore>),
     /// A v2 snapshot: the frozen serving snapshot, ready to serve.
     Frozen(Box<FrozenTaxonomy>),
+    /// A v3 snapshot: the borrowed zero-copy view, ready to serve.
+    View(Box<FrozenTaxonomyView>),
 }
 
 impl Snapshot {
-    /// Decodes a snapshot of either version.
+    /// Decodes a snapshot of any version.
+    ///
+    /// A v3 payload is copied once into the view's backing buffer (the
+    /// slice may not outlive the snapshot); [`Snapshot::load_from_file`]
+    /// avoids even that copy by handing the read buffer to the view.
     pub fn load(bytes: &[u8]) -> Result<Self, PersistError> {
         match peek_version(bytes)? {
             VERSION_STORE => Ok(Snapshot::Store(Box::new(decode(bytes)?))),
             VERSION_FROZEN => Ok(Snapshot::Frozen(Box::new(decode_frozen(bytes)?))),
+            VERSION_VIEW => Ok(Snapshot::View(Box::new(FrozenTaxonomyView::open(
+                Bytes::copy_from_slice(bytes),
+            )?))),
             v => Err(PersistError::BadVersion(v)),
         }
     }
 
-    /// Loads a snapshot of either version from `path`.
+    /// Loads a snapshot of any version from `path`. A v3 file boots
+    /// zero-copy: the read buffer *is* the view's backing storage.
     pub fn load_from_file(path: &Path) -> Result<Self, PersistError> {
         let bytes = std::fs::read(path)?;
+        if peek_version(&bytes)? == VERSION_VIEW {
+            let view = FrozenTaxonomyView::open(Bytes::from(bytes))?;
+            return Ok(Snapshot::View(Box::new(view)));
+        }
         Self::load(&bytes)
     }
 
@@ -156,15 +214,31 @@ impl Snapshot {
         match self {
             Snapshot::Store(_) => VERSION_STORE,
             Snapshot::Frozen(_) => VERSION_FROZEN,
+            Snapshot::View(_) => VERSION_VIEW,
         }
     }
 
-    /// The serving snapshot: a v2 payload is returned as-is, a v1 store
-    /// pays the freeze (Tarjan + depth DP + closure) here.
-    pub fn into_frozen(self) -> FrozenTaxonomy {
+    /// The owned serving snapshot: a v2 payload is returned as-is, a v1
+    /// store pays the freeze (Tarjan + depth DP + closure) here, and a v3
+    /// view is fully decoded and deep-validated (the only variant that can
+    /// fail — a v3 boot defers the semantic cross-checks to this
+    /// materialisation).
+    pub fn into_frozen(self) -> Result<FrozenTaxonomy, PersistError> {
         match self {
-            Snapshot::Store(store) => FrozenTaxonomy::freeze(&store),
-            Snapshot::Frozen(frozen) => *frozen,
+            Snapshot::Store(store) => Ok(FrozenTaxonomy::freeze(&store)),
+            Snapshot::Frozen(frozen) => Ok(*frozen),
+            Snapshot::View(view) => view.to_frozen(),
+        }
+    }
+
+    /// The snapshot as a serving backend, preserving the zero-copy view
+    /// where there is one: v1 freezes, v2 is wrapped as-is, v3 keeps
+    /// borrowing from its buffer.
+    pub fn into_any(self) -> AnySnapshot {
+        match self {
+            Snapshot::Store(store) => AnySnapshot::Owned(FrozenTaxonomy::freeze(&store)),
+            Snapshot::Frozen(frozen) => AnySnapshot::Owned(*frozen),
+            Snapshot::View(view) => AnySnapshot::View(*view),
         }
     }
 }
@@ -418,22 +492,24 @@ pub fn encode_frozen(f: &FrozenTaxonomy) -> Bytes {
 }
 
 /// Raw section payloads collected by the first decode pass, before any
-/// cross-section validation.
+/// cross-section validation. Also the hand-off point for
+/// [`FrozenTaxonomyView::to_frozen`], which decodes its borrowed sections
+/// into the same shape and funnels them through [`validate_frozen`].
 #[derive(Default)]
-struct RawSections {
-    interner: Option<Interner>,
-    entities: Option<Vec<EntityRecord>>,
-    concepts: Option<Vec<Symbol>>,
-    entity_concepts: Option<Csr<(ConceptId, IsAMeta)>>,
-    concept_entities: Option<Csr<EntityId>>,
-    concept_parents: Option<Csr<(ConceptId, IsAMeta)>>,
-    concept_children: Option<Csr<ConceptId>>,
-    entity_attrs: Option<Csr<Symbol>>,
-    entity_aliases: Option<Csr<Symbol>>,
-    ancestors: Option<Csr<ConceptId>>,
-    topo: Option<Vec<ConceptId>>,
-    depth: Option<Vec<u32>>,
-    by_mention: Option<Csr<EntityId>>,
+pub(crate) struct RawSections {
+    pub(crate) interner: Option<Interner>,
+    pub(crate) entities: Option<Vec<EntityRecord>>,
+    pub(crate) concepts: Option<Vec<Symbol>>,
+    pub(crate) entity_concepts: Option<Csr<(ConceptId, IsAMeta)>>,
+    pub(crate) concept_entities: Option<Csr<EntityId>>,
+    pub(crate) concept_parents: Option<Csr<(ConceptId, IsAMeta)>>,
+    pub(crate) concept_children: Option<Csr<ConceptId>>,
+    pub(crate) entity_attrs: Option<Csr<Symbol>>,
+    pub(crate) entity_aliases: Option<Csr<Symbol>>,
+    pub(crate) ancestors: Option<Csr<ConceptId>>,
+    pub(crate) topo: Option<Vec<ConceptId>>,
+    pub(crate) depth: Option<Vec<u32>>,
+    pub(crate) by_mention: Option<Csr<EntityId>>,
 }
 
 /// Deserializes a frozen snapshot from bytes (format v2), validating every
@@ -527,7 +603,7 @@ pub fn load_frozen_from_file(path: &Path) -> Result<FrozenTaxonomy, PersistError
 /// here; everything that is on the wire is checked for mutual consistency
 /// so a decoded snapshot upholds the same invariants a freshly frozen one
 /// does.
-fn validate_frozen(raw: RawSections) -> Result<FrozenTaxonomy, PersistError> {
+pub(crate) fn validate_frozen(raw: RawSections) -> Result<FrozenTaxonomy, PersistError> {
     let missing = PersistError::MissingSection;
     let interner = raw.interner.ok_or(missing("INTR"))?;
     let entities = raw.entities.ok_or(missing("ENTS"))?;
@@ -942,6 +1018,319 @@ fn expect_consumed(body: &[u8], what: &'static str) -> Result<(), PersistError> 
     }
 }
 
+// ----- v3: the zero-copy view snapshot ------------------------------------
+//
+// Same framing and checksum as v2, different section bodies, designed so
+// `FrozenTaxonomyView` can answer every query straight off the buffer:
+//
+// * `INTR` — `n u32 | n×u32 cumulative byte ends | concatenated UTF-8` —
+//   string `i` is `blob[end[i-1]..end[i]]`, no per-string length prefix.
+// * `SSRT` / `CSRT` — symbols sorted by string bytes / concept ids sorted
+//   by name symbol: the binary-search indexes replacing the hash maps a
+//   v2 boot rebuilds.
+// * `MDCT` — `n u32 | n×(source u8 | conf f32)` — the deduplicated edge
+//   metadata dictionary, sorted by `(source tag, confidence bits)`.
+// * CSR relations — varint-CSR ("VCSR"): `rows u32 | entries u32 |
+//   dir ceil(rows/VCSR_BLOCK)×u32 | payload_len u32 | payload`, each row
+//   a `varint(byte_len)` prefix plus delta+varint-encoded ids (first id
+//   raw, then zigzag deltas). Meta rows (`ECON`, `CPAR`) follow each id
+//   with a varint `MDCT` index; `CENT` rows carry the same index for the
+//   mirrored entity→concept edge, so the `getEntity` hyponym walk reads
+//   its confidences inline instead of probing the entity's `ECON` row per
+//   hit. The directory holds every `VCSR_BLOCK`th row's payload offset,
+//   so random row access is one jump plus at most `VCSR_BLOCK - 1`
+//   length skips.
+// * `ANCC` — the succinct ancestor closure: per row either strictly
+//   ascending `(gap, run_len-1)` pairs (closures over topo-ordered ids
+//   are usually a handful of intervals) or `base + bitmap` where the
+//   interval structure breaks down; the encoder picks whichever is
+//   smaller. An empty row is zero bytes.
+
+/// Serializes a frozen snapshot to bytes (format v3, for
+/// [`FrozenTaxonomyView`]).
+pub fn encode_frozen_v3(f: &FrozenTaxonomy) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_VIEW);
+
+    section(&mut buf, SEC_INTERNER, |b| {
+        b.put_u32_le(f.interner.len() as u32);
+        let mut end = 0u32;
+        for (_, s) in f.interner.iter() {
+            end += s.len() as u32;
+            b.put_u32_le(end);
+        }
+        for (_, s) in f.interner.iter() {
+            b.put_slice(s.as_bytes());
+        }
+    });
+    section(&mut buf, SEC_STR_SORT, |b| {
+        let mut order: Vec<u32> = (0..f.interner.len() as u32).collect();
+        order.sort_unstable_by_key(|&s| f.interner.resolve(Symbol(s)));
+        for s in order {
+            b.put_u32_le(s);
+        }
+    });
+    section(&mut buf, SEC_ENTITIES, |b| {
+        b.put_u32_le(f.entities.len() as u32);
+        for rec in &f.entities {
+            b.put_u32_le(rec.name.0);
+            b.put_u32_le(rec.disambig.0);
+        }
+    });
+    section(&mut buf, SEC_CONCEPTS, |b| {
+        b.put_u32_le(f.concepts.len() as u32);
+        for sym in &f.concepts {
+            b.put_u32_le(sym.0);
+        }
+    });
+    section(&mut buf, SEC_CONCEPT_SORT, |b| {
+        let mut order: Vec<u32> = (0..f.concepts.len() as u32).collect();
+        order.sort_unstable_by_key(|&c| f.concepts[c as usize].0);
+        for c in order {
+            b.put_u32_le(c);
+        }
+    });
+    let dict = meta_dict(f);
+    section(&mut buf, SEC_META_DICT, |b| {
+        b.put_u32_le(dict.len() as u32);
+        for &(src, conf_bits) in &dict {
+            b.put_u8(src);
+            b.put_u32_le(conf_bits);
+        }
+    });
+    section(&mut buf, SEC_ENTITY_CONCEPTS, |b| {
+        put_vcsr(b, &f.entity_concepts, |p, _, row| {
+            put_meta_row(p, row, &dict);
+        });
+    });
+    section(&mut buf, SEC_CONCEPT_ENTITIES, |b| {
+        // Hyponym rows mirror the entity→concept edge's dictionary index
+        // inline, so `getEntity` never probes `ECON` per hit.
+        put_vcsr(b, &f.concept_entities, |p, c, row| {
+            let mut prev = 0i64;
+            let mut first = true;
+            for &e in row {
+                if first {
+                    put_varint(p, u64::from(e.0));
+                    first = false;
+                } else {
+                    put_varint(p, zigzag(i64::from(e.0) - prev));
+                }
+                prev = i64::from(e.0);
+                let idx = f
+                    .entity_concepts
+                    .row(e.index())
+                    .iter()
+                    .find(|(cc, _)| cc.index() == c)
+                    .map(|(_, m)| dict_index(&dict, m))
+                    .unwrap_or(0);
+                put_varint(p, idx);
+            }
+        });
+    });
+    section(&mut buf, SEC_CONCEPT_PARENTS, |b| {
+        put_vcsr(b, &f.concept_parents, |p, _, row| {
+            put_meta_row(p, row, &dict);
+        });
+    });
+    section(&mut buf, SEC_CONCEPT_CHILDREN, |b| {
+        put_vcsr(b, &f.concept_children, |p, _, row| {
+            put_delta_ids(p, row.iter().map(|c| c.0));
+        });
+    });
+    section(&mut buf, SEC_ENTITY_ATTRS, |b| {
+        put_vcsr(b, &f.entity_attrs, |p, _, row| {
+            put_delta_ids(p, row.iter().map(|s| s.0));
+        });
+    });
+    section(&mut buf, SEC_ENTITY_ALIASES, |b| {
+        put_vcsr(b, &f.entity_aliases, |p, _, row| {
+            put_delta_ids(p, row.iter().map(|s| s.0));
+        });
+    });
+    section(&mut buf, SEC_ANCESTOR_SUCC, |b| {
+        put_vcsr(b, &f.ancestors, |p, _, row| put_ancc_row(p, row));
+    });
+    section(&mut buf, SEC_TOPO, |b| {
+        b.put_u32_le(f.topo.len() as u32);
+        for c in &f.topo {
+            b.put_u32_le(c.0);
+        }
+    });
+    section(&mut buf, SEC_DEPTH, |b| {
+        b.put_u32_le(f.depth.len() as u32);
+        for &d in &f.depth {
+            b.put_u32_le(d);
+        }
+    });
+    section(&mut buf, SEC_MENTIONS, |b| {
+        put_vcsr(b, &f.by_mention, |p, _, row| {
+            put_delta_ids(p, row.iter().map(|e| e.0));
+        });
+    });
+    section(&mut buf, SEC_MENTION_HASH, |b| {
+        let mut rows: Vec<(u32, u32)> = (0..f.interner.len())
+            .filter(|&s| !f.by_mention.row(s).is_empty())
+            .map(|s| {
+                let hash = stable_hash(f.interner.resolve(Symbol(s as u32)).as_bytes());
+                (hash as u32, s as u32)
+            })
+            .collect();
+        rows.sort_unstable();
+        b.put_u32_le(rows.len() as u32);
+        for (hash, sym) in rows {
+            b.put_u32_le(hash);
+            b.put_u32_le(sym);
+        }
+    });
+
+    let digest = stable_hash(&buf);
+    buf.put_slice(&SEC_CHECKSUM);
+    buf.put_u64_le(8);
+    buf.put_u64_le(digest);
+    buf.freeze()
+}
+
+/// Writes a v3 snapshot to `path`.
+pub fn save_frozen_v3_to_file(f: &FrozenTaxonomy, path: &Path) -> Result<(), PersistError> {
+    std::fs::write(path, encode_frozen_v3(f))?;
+    Ok(())
+}
+
+fn put_vcsr<T: Copy>(
+    buf: &mut BytesMut,
+    csr: &Csr<T>,
+    write_row: impl Fn(&mut BytesMut, usize, &[T]),
+) {
+    let rows = csr.num_rows();
+    buf.put_u32_le(rows as u32);
+    buf.put_u32_le(csr.num_entries() as u32);
+    let mut payload = BytesMut::new();
+    let mut dir: Vec<u32> = Vec::new();
+    let mut row_buf = BytesMut::new();
+    for i in 0..rows {
+        if i % VCSR_BLOCK == 0 {
+            dir.push(payload.len() as u32);
+        }
+        row_buf.clear();
+        write_row(&mut row_buf, i, csr.row(i));
+        put_varint(&mut payload, row_buf.len() as u64);
+        payload.put_slice(&row_buf);
+    }
+    for o in dir {
+        buf.put_u32_le(o);
+    }
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+}
+
+fn put_delta_ids(b: &mut BytesMut, ids: impl Iterator<Item = u32>) {
+    let mut prev = 0i64;
+    let mut first = true;
+    for id in ids {
+        if first {
+            put_varint(b, u64::from(id));
+            first = false;
+        } else {
+            put_varint(b, zigzag(i64::from(id) - prev));
+        }
+        prev = i64::from(id);
+    }
+}
+
+/// Same clamp as the v2 encoder (see `put_meta_csr`): the decoder rejects
+/// out-of-range confidences, and a snapshot that saved successfully must
+/// always load.
+fn clamp_conf(c: f32) -> f32 {
+    if c.is_nan() {
+        0.0
+    } else {
+        c.clamp(0.0, 1.0)
+    }
+}
+
+/// Builds the deduplicated `(source tag, confidence bits)` dictionary the
+/// v3 meta rows index into, sorted so re-encoding a decoded snapshot is
+/// byte-identical.
+fn meta_dict(f: &FrozenTaxonomy) -> Vec<(u8, u32)> {
+    let mut dict: Vec<(u8, u32)> = f
+        .entity_concepts
+        .data()
+        .iter()
+        .chain(f.concept_parents.data().iter())
+        .map(|(_, m)| (m.source.to_u8(), clamp_conf(m.confidence).to_bits()))
+        .collect();
+    dict.sort_unstable();
+    dict.dedup();
+    dict
+}
+
+/// Dictionary index of an edge's metadata; 0 only ever falls out for a
+/// meta value absent from the dictionary, which cannot happen for the
+/// frozen snapshot the dictionary was built from.
+fn dict_index(dict: &[(u8, u32)], m: &IsAMeta) -> u64 {
+    let key = (m.source.to_u8(), clamp_conf(m.confidence).to_bits());
+    dict.binary_search(&key).map_or(0, |i| i as u64)
+}
+
+fn put_meta_row(b: &mut BytesMut, row: &[(ConceptId, IsAMeta)], dict: &[(u8, u32)]) {
+    let mut prev = 0i64;
+    let mut first = true;
+    for &(c, meta) in row {
+        if first {
+            put_varint(b, u64::from(c.0));
+            first = false;
+        } else {
+            put_varint(b, zigzag(i64::from(c.0) - prev));
+        }
+        prev = i64::from(c.0);
+        put_varint(b, dict_index(dict, &meta));
+    }
+}
+
+fn put_ancc_row(b: &mut BytesMut, row: &[ConceptId]) {
+    if row.is_empty() {
+        return;
+    }
+    // Maximal runs of consecutive ids (rows are strictly ascending).
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for &c in row {
+        match runs.last_mut() {
+            Some((start, len)) if *start + *len == c.0 => *len += 1,
+            _ => runs.push((c.0, 1)),
+        }
+    }
+    let mut ranges_size = 1usize;
+    let mut cursor = 0u32;
+    for &(start, len) in &runs {
+        ranges_size += varint_len(u64::from(start - cursor)) + varint_len(u64::from(len - 1));
+        cursor = start + len;
+    }
+    let first = row[0].0;
+    let span = (row[row.len() - 1].0 - first) as usize + 1;
+    let bitset_size = 1 + varint_len(u64::from(first)) + span.div_ceil(8);
+    if ranges_size <= bitset_size {
+        b.put_u8(ANCC_RANGES);
+        let mut cursor = 0u32;
+        for &(start, len) in &runs {
+            put_varint(b, u64::from(start - cursor));
+            put_varint(b, u64::from(len - 1));
+            cursor = start + len;
+        }
+    } else {
+        b.put_u8(ANCC_BITSET);
+        put_varint(b, u64::from(first));
+        // cnp-lint: allow(capped-decode) reason="encoder-side scratch sized by the trusted in-memory closure row, not by a wire count"
+        let mut bits = vec![0u8; span.div_ceil(8)];
+        for &c in row {
+            let off = (c.0 - first) as usize;
+            bits[off / 8] |= 1 << (off % 8);
+        }
+        b.put_slice(&bits);
+    }
+}
+
 // ----- shared primitives --------------------------------------------------
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -1238,15 +1627,20 @@ mod tests {
     fn snapshot_dispatches_on_version() {
         let store = demo_store();
         let v1 = encode(&store);
-        let v2 = encode_frozen(&FrozenTaxonomy::freeze(&store));
+        let frozen = FrozenTaxonomy::freeze(&store);
+        let v2 = encode_frozen(&frozen);
+        let v3 = encode_frozen_v3(&frozen);
         let s1 = Snapshot::load(&v1).unwrap();
         assert_eq!(s1.version(), VERSION_STORE);
         let s2 = Snapshot::load(&v2).unwrap();
         assert_eq!(s2.version(), VERSION_FROZEN);
-        // Both land on an equivalent serving snapshot. The v1 path
+        let s3 = Snapshot::load(&v3).unwrap();
+        assert_eq!(s3.version(), VERSION_VIEW);
+        assert_frozen_equal(&frozen, &s3.into_frozen().expect("materialise v3"));
+        // v1 and v2 land on an equivalent serving snapshot. The v1 path
         // re-interns strings in rebuild order, so symbols are compared
         // through `resolve`, not numerically.
-        let (a, b) = (s1.into_frozen(), s2.into_frozen());
+        let (a, b) = (s1.into_frozen().unwrap(), s2.into_frozen().unwrap());
         assert_eq!(a.num_entities(), b.num_entities());
         assert_eq!(a.num_is_a(), b.num_is_a());
         for e in a.entity_ids() {
@@ -1441,6 +1835,80 @@ mod tests {
                 let m = format!("实体{e}");
                 prop_assert_eq!(frozen.men2ent(&m), loaded.men2ent(&m));
             }
+        }
+
+        /// Arbitrary stores through the v3 path: encode → open view ≡
+        /// owned queries, materialise through `to_frozen`, and re-encode
+        /// byte-identically (the canonical-closure-form guarantee).
+        #[test]
+        fn view_roundtrip_arbitrary(
+            concept_edges in proptest::collection::vec((0u32..12, 0u32..12, 0u32..100), 0..40),
+            entity_links in proptest::collection::vec((0u32..6, 0u32..12), 0..18),
+            aliased in proptest::collection::vec(0u32..6, 0..4),
+            disambiguated in proptest::collection::vec(0u32..6, 0..4),
+        ) {
+            let mut store = TaxonomyStore::new();
+            for i in 0..12 {
+                store.add_concept(&format!("概念{i}"));
+            }
+            for i in 0..6u32 {
+                let dis = disambiguated.contains(&i).then(|| format!("义项{i}"));
+                store.add_entity(&format!("实体{i}"), dis.as_deref());
+            }
+            for &(a, b, conf) in &concept_edges {
+                if a != b {
+                    store.add_concept_is_a(
+                        ConceptId(a),
+                        ConceptId(b),
+                        IsAMeta::new(Source::SubConcept, conf as f32 / 100.0),
+                    );
+                }
+            }
+            for &(e, c) in &entity_links {
+                store.add_entity_is_a(EntityId(e), ConceptId(c), IsAMeta::new(Source::Tag, 0.8));
+            }
+            for &e in &aliased {
+                store.add_alias(EntityId(e), &format!("别名{e}"));
+                store.add_attribute(EntityId(e), "职业");
+            }
+            let frozen = FrozenTaxonomy::freeze(&store);
+            let bytes = encode_frozen_v3(&frozen);
+            let view = FrozenTaxonomyView::open(bytes.clone()).unwrap();
+            for e in frozen.entity_ids() {
+                prop_assert_eq!(
+                    view.concepts_of(e).collect::<Vec<_>>(),
+                    frozen.concepts_of(e).to_vec()
+                );
+                prop_assert_eq!(view.entity_key(e), frozen.entity_key(e));
+                prop_assert_eq!(
+                    view.attributes_of(e).collect::<Vec<_>>(),
+                    frozen.attributes_of(e).to_vec()
+                );
+            }
+            for c in frozen.concept_ids() {
+                prop_assert_eq!(
+                    view.entities_of(c).collect::<Vec<_>>(),
+                    frozen.entities_of(c).to_vec()
+                );
+                prop_assert_eq!(
+                    view.ancestors(c).collect::<Vec<_>>(),
+                    frozen.ancestors_of(c).to_vec()
+                );
+                prop_assert_eq!(view.depth(c), frozen.depth(c));
+                for sup in frozen.concept_ids() {
+                    prop_assert_eq!(
+                        view.ancestor_contains(c, sup),
+                        frozen.ancestors_of(c).binary_search(&sup).is_ok()
+                    );
+                }
+            }
+            for e in 0..6u32 {
+                for m in [format!("实体{e}"), format!("别名{e}"), format!("实体{e}（义项{e}）")] {
+                    prop_assert_eq!(view.men2ent(&m), frozen.men2ent(&m).to_vec());
+                }
+            }
+            let owned = view.to_frozen().unwrap();
+            prop_assert_eq!(encode_frozen_v3(&owned).as_ref(), bytes.as_ref());
         }
     }
 }

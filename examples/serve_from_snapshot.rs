@@ -1,9 +1,9 @@
 //! Boot the Table II serving path straight from a snapshot file.
 //!
-//! This is the production boot sequence: no pipeline, no freeze — load a
-//! v2 snapshot (validate-and-go) or a v1 store snapshot (load, then one
-//! freeze) through `ProbaseApi::from_snapshot_file` and start answering
-//! `men2ent` / `getConcept` / `getEntity` immediately.
+//! This is the production boot sequence: no pipeline, no freeze — load
+//! whatever snapshot format the file holds (v3 serves zero-copy from the
+//! loaded buffer; v1/v2 materialise the owned snapshot) and start
+//! answering `men2ent` / `getConcept` / `getEntity` immediately.
 //!
 //! ```sh
 //! CNP_SNAPSHOT=/tmp/cnp.snapshot cargo run --release --example build_taxonomy
@@ -13,24 +13,29 @@
 //! Exits non-zero when the snapshot fails to load or serves an empty
 //! taxonomy, so CI can use it as a round-trip smoke check.
 
-use cn_probase::ProbaseApi;
+use cn_probase::taxonomy::{AnySnapshot, EntityId, TaxonomyRead};
+use cn_probase::{ProbaseApi, TaxonomyService};
 use std::path::Path;
 use std::time::Instant;
 
 fn main() -> std::process::ExitCode {
     let path = std::env::var("CNP_SNAPSHOT").unwrap_or_else(|_| "/tmp/cnp.snapshot".to_string());
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     let t = Instant::now();
-    let api = match ProbaseApi::from_snapshot_file(Path::new(&path)) {
-        Ok(api) => api,
+    let service = match TaxonomyService::<AnySnapshot>::boot_from_file(Path::new(&path)) {
+        Ok(service) => service,
         Err(e) => {
             eprintln!("failed to boot from snapshot {path}: {e}");
             return std::process::ExitCode::FAILURE;
         }
     };
     let boot = t.elapsed();
+    let api = ProbaseApi::from_service(service);
     let f = api.frozen();
     println!(
-        "booted from {path} in {boot:.1?}: {} entities, {} concepts, {} isA edges, {} mentions",
+        "booted from {path} ({bytes} bytes, {} mode) in {boot:.1?}: \
+         {} entities, {} concepts, {} isA edges, {} mentions",
+        f.mode(),
         f.num_entities(),
         f.num_concepts(),
         f.num_is_a(),
@@ -44,8 +49,8 @@ fn main() -> std::process::ExitCode {
     // Answer a few queries straight off the loaded snapshot, using its own
     // entity table as the query stream.
     let mut shown = 0;
-    for e in f.entity_ids() {
-        if f.concepts_of(e).is_empty() {
+    for e in (0..f.num_entities() as u32).map(EntityId) {
+        if f.concepts_of(e).next().is_none() {
             continue;
         }
         let mention = f.resolve(f.entity(e).name).to_string();

@@ -6,9 +6,18 @@ wire-level latency/QPS numbers next to the key in-process criterion
 medians, so regressions show up as a diff against the committed file.
 
 Usage:
-    bench_report.py --pr 6 --load /tmp/load_report.json \
+    bench_report.py --pr 8 --load /tmp/load_report.json \
         --criterion /tmp/criterion.log [--criterion more.log] \
-        --out BENCH_6.json
+        [--snapshot-file v2=/tmp/cnp_v2.snapshot] \
+        [--snapshot-file v3=/tmp/cnp.snapshot] \
+        --out BENCH_8.json
+
+Each --snapshot-file NAME=PATH records the file's on-disk byte size under
+"snapshotBytes". When both v2 and v3 sizes are present, and when the
+criterion logs hold both snapshot_boot/load_v2 and
+snapshot_boot/load_v3_view medians, a "derived" block spells out the
+v3-vs-v2 size reduction and boot speedup so the trajectory diff shows the
+headline numbers directly.
 
 Only the standard library is used; the criterion lines parsed are the
 vendored harness's summary format:
@@ -18,6 +27,7 @@ vendored harness's summary format:
 
 import argparse
 import json
+import os
 import re
 import sys
 
@@ -37,6 +47,27 @@ def parse_criterion(paths):
     return medians
 
 
+def snapshot_sizes(specs):
+    sizes = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(f"bench_report: bad --snapshot-file {spec!r} (want NAME=PATH)")
+        sizes[name] = os.path.getsize(path)
+    return sizes
+
+
+def derived_metrics(sizes, criterion):
+    derived = {}
+    if sizes.get("v2") and sizes.get("v3"):
+        derived["v3SizeReductionVsV2"] = round(1.0 - sizes["v3"] / sizes["v2"], 4)
+    v2_boot = criterion.get("snapshot_boot/load_v2")
+    v3_boot = criterion.get("snapshot_boot/load_v3_view")
+    if v2_boot and v3_boot:
+        derived["v3ViewBootSpeedupVsV2"] = round(v2_boot / v3_boot, 2)
+    return derived
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pr", type=int, required=True, help="PR number for the trajectory")
@@ -46,6 +77,13 @@ def main():
         action="append",
         default=[],
         help="criterion log file (repeatable)",
+    )
+    parser.add_argument(
+        "--snapshot-file",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="record a snapshot file's byte size under snapshotBytes (repeatable)",
     )
     parser.add_argument("--out", required=True, help="output BENCH_<n>.json path")
     args = parser.parse_args()
@@ -62,12 +100,19 @@ def main():
         print("bench_report: criterion logs yielded no parseable lines", file=sys.stderr)
         return 1
 
+    sizes = snapshot_sizes(args.snapshot_file)
+
     report = {
         "pr": args.pr,
         "kind": "serving-load-smoke",
         "load": load,
         "criterionNsPerIter": dict(sorted(criterion.items())),
     }
+    if sizes:
+        report["snapshotBytes"] = dict(sorted(sizes.items()))
+    derived = derived_metrics(sizes, criterion)
+    if derived:
+        report["derived"] = derived
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, ensure_ascii=False, sort_keys=False)
         fh.write("\n")

@@ -58,4 +58,7 @@ pub use cnp_serve::{
     Cursor, ListOptions, PageRequest, ProbaseApi, Query, QueryError, QueryResponse, Response,
     TaxonomyService,
 };
-pub use cnp_taxonomy::{FrozenTaxonomy, PersistError, Snapshot};
+pub use cnp_taxonomy::{
+    AnySnapshot, BootSnapshot, FrozenTaxonomy, FrozenTaxonomyView, PersistError, Snapshot,
+    TaxonomyRead,
+};

@@ -4,18 +4,32 @@
 //! `&[u8]` and advances the slice in place, exactly like the real crate.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
-/// Immutable byte buffer (frozen form of [`BytesMut`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Bytes(Vec<u8>);
+/// Immutable byte buffer (frozen form of [`BytesMut`]). Reference-counted
+/// like the real crate: `clone` shares the allocation instead of copying
+/// it, so zero-copy views over a snapshot buffer stay zero-copy when
+/// cloned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes(Arc<[u8]>);
 
 impl Bytes {
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes(Arc::from(&[][..]))
     }
 }
 
@@ -35,7 +49,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(v)
+        Bytes(Arc::from(v))
     }
 }
 
@@ -53,7 +67,11 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes(self.0)
+        Bytes(Arc::from(self.0))
+    }
+
+    pub fn clear(&mut self) {
+        self.0.clear();
     }
 
     pub fn len(&self) -> usize {
