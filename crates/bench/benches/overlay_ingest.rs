@@ -1,0 +1,117 @@
+//! Write-path benchmark: delta overlay apply vs background compaction.
+//!
+//! The incremental write path gives a serving node two very different
+//! write costs:
+//!
+//! * **apply** — folding one [`DeltaOverlay`] over the current snapshot
+//!   (`OverlayView::apply`): the latency a `POST /admin/ingest` pays
+//!   between decode and generation swap. This must be cheap enough to run
+//!   on a request worker.
+//! * **compact** — replaying the whole op log onto a thawed base and
+//!   re-freezing (`IngestDelta::compacted`): the background fold that
+//!   collapses an overlay stack into a fresh byte-identical base. This
+//!   runs on the dedicated compactor worker and bounds how fast deltas
+//!   may arrive sustainably.
+//!
+//! The read-side tax of serving through an overlay (vs the compacted
+//! base) rides along as a `men2ent` probe pair, so the trajectory file
+//! records what queries pay between compactions.
+
+use cnp_core::{Pipeline, PipelineConfig};
+use cnp_runtime::Runtime;
+use cnp_taxonomy::{DeltaOverlay, FrozenTaxonomy, IngestDelta, OverlayView, TaxonomyRead};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Fixture {
+    base: FrozenTaxonomy,
+    delta: DeltaOverlay,
+    mentions: Vec<String>,
+}
+
+fn build_fixture() -> Fixture {
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    let corpus1 =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7)).generate();
+    let corpus2 =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(8)).generate();
+    let base = pipeline.run(&corpus1).freeze();
+    let delta = pipeline.run(&corpus2).delta_against(&base);
+    // Probe the second batch's names: the answers only exist through the
+    // overlay (or the compacted base), so the read path cannot shortcut.
+    let mentions = corpus2
+        .pages
+        .iter()
+        .take(64)
+        .map(|p| p.name.clone())
+        .collect();
+    Fixture {
+        base,
+        delta,
+        mentions,
+    }
+}
+
+fn print_comparison(f: &Fixture, rt: &Runtime) {
+    let reps = 10;
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(OverlayView::new(f.base.clone()).apply(&f.delta));
+    }
+    let apply_t = t.elapsed() / reps;
+    let view = OverlayView::new(f.base.clone()).apply(&f.delta);
+    let t = Instant::now();
+    for _ in 0..reps {
+        black_box(view.compacted(rt).expect("compact"));
+    }
+    let compact_t = t.elapsed() / reps;
+    println!("\n========= overlay ingest: apply vs compact =========");
+    println!(
+        "base: {} entities, {} concepts; delta: {} ops",
+        f.base.num_entities(),
+        f.base.num_concepts(),
+        f.delta.num_ops()
+    );
+    println!("overlay apply (ingest latency)   {apply_t:>10.1?}");
+    println!("compaction    (background fold)  {compact_t:>10.1?}");
+    println!(
+        "one compaction amortises over {:.1} applies",
+        compact_t.as_secs_f64() / apply_t.as_secs_f64().max(1e-12)
+    );
+    println!("====================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let f = build_fixture();
+    let rt = Runtime::new(2);
+    print_comparison(&f, &rt);
+
+    let mut group = c.benchmark_group("overlay_ingest");
+    group.bench_function("apply_delta", |b| {
+        b.iter(|| black_box(OverlayView::new(f.base.clone()).apply(black_box(&f.delta))))
+    });
+    let view = OverlayView::new(f.base.clone()).apply(&f.delta);
+    group.bench_function("compact", |b| {
+        b.iter(|| black_box(view.compacted(&rt).expect("compact")))
+    });
+    let compacted = view.compacted(&rt).expect("compact");
+    group.bench_function("men2ent_overlay", |b| {
+        b.iter(|| {
+            for m in &f.mentions {
+                black_box(view.men2ent(black_box(m)));
+            }
+        })
+    });
+    group.bench_function("men2ent_compacted", |b| {
+        b.iter(|| {
+            for m in &f.mentions {
+                black_box(compacted.men2ent(black_box(m)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ use crate::report::{time_stage, PipelineReport, Stage};
 use crate::verification::{self, VerificationConfig};
 use cnp_encyclopedia::Corpus;
 use cnp_runtime::Runtime;
-use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, PersistError, Source, TaxonomyStats, TaxonomyStore};
+use cnp_taxonomy::{
+    DeltaOverlay, FrozenTaxonomy, IsAMeta, PersistError, Source, Symbol, TaxonomyRead,
+    TaxonomyStats, TaxonomyStore,
+};
 use std::collections::HashSet;
 
 /// Pipeline configuration.
@@ -117,6 +120,79 @@ impl PipelineOutcome {
         let frozen = self.freeze();
         std::fs::write(path, cnp_taxonomy::persist::encode_frozen_v3(&frozen))?;
         Ok(frozen)
+    }
+
+    /// Diffs this batch against a serving snapshot and returns the
+    /// [`DeltaOverlay`] that brings `base` up to date — the write half of
+    /// never-ending extraction without re-freezing the world: ship the
+    /// sidecar to a running `cnp_server` via `POST /admin/ingest` instead
+    /// of rebuilding and reloading the full snapshot.
+    ///
+    /// The delta is *additive*: new concepts, entities, edges, aliases and
+    /// attributes, plus metadata upserts for edges whose source or
+    /// confidence changed. Relations the batch does not mention are left
+    /// untouched — absence from one corpus batch is not evidence of
+    /// retraction, so no retract ops are ever emitted here (curation
+    /// produces those by hand). Iteration follows the batch store's
+    /// insertion-ordered ids, so the same outcome diffed against the same
+    /// base always yields the identical op sequence.
+    pub fn delta_against<B: TaxonomyRead>(&self, base: &B) -> DeltaOverlay {
+        let store = &self.taxonomy;
+        let text = |sym: Symbol| store.interner().resolve(sym);
+        let mut delta = DeltaOverlay::new();
+
+        for c in store.concept_ids() {
+            let name = store.concept_name(c);
+            let base_c = base.find_concept(name);
+            if base_c.is_none() {
+                delta.add_concept(name);
+            }
+            for &(sup, meta) in store.parents_of(c) {
+                let sup_name = store.concept_name(sup);
+                let known = base_c.is_some_and(|bc| {
+                    base.find_concept(sup_name).is_some_and(|bsup| {
+                        base.parents_of(bc).any(|(p, m)| p == bsup && m == meta)
+                    })
+                });
+                if !known {
+                    delta.upsert_concept_is_a(name, sup_name, meta);
+                }
+            }
+        }
+
+        for e in store.entity_ids() {
+            let record = store.entity(e);
+            let name = text(record.name);
+            let disambig = (record.disambig != Symbol(0)).then(|| text(record.disambig));
+            let base_e = base.find_entity(name, disambig);
+            if base_e.is_none() {
+                delta.add_entity(name, disambig);
+            }
+            for &(c, meta) in store.concepts_of(e) {
+                let concept = store.concept_name(c);
+                let known = base_e.is_some_and(|be| {
+                    base.find_concept(concept)
+                        .is_some_and(|bc| base.entity_edge(be, bc) == Some(meta))
+                });
+                if !known {
+                    delta.upsert_entity_is_a(name, disambig, concept, meta);
+                }
+            }
+            for &alias in store.aliases_of(e) {
+                let alias = text(alias);
+                let known = base_e.is_some_and(|be| base.men2ent(alias).contains(&be));
+                if !known {
+                    delta.add_alias(name, disambig, alias);
+                }
+            }
+            // Attributes are a build-time signal with no read-side
+            // accessor to diff against; replay dedupes, so emitting them
+            // for every batch entity is exact, just not minimal.
+            for &attr in store.attributes_of(e) {
+                delta.add_attribute(name, disambig, text(attr));
+            }
+        }
+        delta
     }
 }
 
@@ -515,6 +591,71 @@ mod tests {
         let after = TaxonomyStats::of(&store);
         assert_eq!(before.entity_is_a, after.entity_is_a);
         assert_eq!(before.entities, after.entities);
+    }
+
+    #[test]
+    fn delta_against_empty_base_reproduces_the_batch() {
+        let (_, outcome) = run_tiny(79);
+        let empty = FrozenTaxonomy::freeze(&TaxonomyStore::new());
+        let delta = outcome.delta_against(&empty);
+        let mut replayed = TaxonomyStore::new();
+        delta.apply_to_store(&mut replayed);
+        assert_eq!(
+            TaxonomyStats::of(&replayed),
+            TaxonomyStats::of(&outcome.taxonomy)
+        );
+    }
+
+    #[test]
+    fn delta_against_own_snapshot_carries_only_attributes() {
+        let (_, outcome) = run_tiny(79);
+        let frozen = outcome.freeze();
+        let delta = outcome.delta_against(&frozen);
+        // Every relation is already served; only the undiffable attribute
+        // ops remain (and replaying them is a no-op).
+        let attrs: usize = outcome
+            .taxonomy
+            .entity_ids()
+            .map(|e| outcome.taxonomy.attributes_of(e).len())
+            .sum();
+        assert_eq!(delta.num_ops(), attrs);
+        let before = TaxonomyStats::of(&outcome.taxonomy);
+        let mut store = outcome.taxonomy.clone();
+        delta.apply_to_store(&mut store);
+        assert_eq!(TaxonomyStats::of(&store), before);
+        // And the diff itself is deterministic.
+        assert_eq!(delta, outcome.delta_against(&frozen));
+    }
+
+    #[test]
+    fn delta_brings_a_live_overlay_up_to_date() {
+        let batch1 = CorpusGenerator::new(CorpusConfig::tiny(791)).generate();
+        let batch2 = CorpusGenerator::new(CorpusConfig::tiny(792)).generate();
+        let pipeline = Pipeline::new(PipelineConfig::fast());
+        let base = pipeline.run(&batch1).freeze();
+        let outcome2 = pipeline.run(&batch2);
+        let delta = outcome2.delta_against(&base);
+        assert!(!delta.is_empty(), "disjoint batch produced no delta");
+        let view = cnp_taxonomy::OverlayView::new(base).apply(&delta);
+        // Every batch-2 relation is now served through the overlay with
+        // at least the batch's confidence semantics: the edge exists.
+        for e in outcome2.taxonomy.entity_ids() {
+            let record = outcome2.taxonomy.entity(e);
+            let name = outcome2.taxonomy.interner().resolve(record.name);
+            let disambig = (record.disambig != Symbol(0))
+                .then(|| outcome2.taxonomy.interner().resolve(record.disambig));
+            let ve = view
+                .find_entity(name, disambig)
+                .unwrap_or_else(|| panic!("entity {name} missing after ingest"));
+            for &(c, _) in outcome2.taxonomy.concepts_of(e) {
+                let concept = outcome2.taxonomy.concept_name(c);
+                let vc = view.find_concept(concept).expect("concept missing");
+                assert!(
+                    view.entity_edge(ve, vc).is_some(),
+                    "edge {name} → {concept} missing after ingest"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub const RUNTIME_OWNS: &str = "runtime-owns-concurrency";
 pub const DETERMINISM: &str = "determinism-contract";
 /// Rule 4: decoder allocations must be clamped by remaining input.
 pub const CAPPED_DECODE: &str = "capped-decode";
+/// Rule 5: delta segments are consumed only by the overlay write path.
+pub const OVERLAY_READ_THROUGH: &str = "overlay-read-through";
 /// Meta rule: malformed / stale suppression annotations.
 pub const BAD_ANNOTATION: &str = "bad-annotation";
 /// Meta rule: a scanned file the lexer could not tokenize.
@@ -66,6 +68,13 @@ pub const RULES: &[RuleInfo] = &[
                   (read_varint/varint_at) are called out by name",
         scope: "crates/taxonomy/src/{persist,view,varint}.rs, crates/serve/src/{wire,json}.rs, \
                 crates/server/src/http.rs",
+    },
+    RuleInfo {
+        name: OVERLAY_READ_THROUGH,
+        summary: "delta segments (DeltaOp / the overlay op log) are consumed only by overlay.rs, \
+                  compact.rs and the persist sidecar codec; every other layer reads base+deltas \
+                  through TaxonomyRead",
+        scope: "all first-party src outside crates/taxonomy/src/{overlay,compact,persist}.rs",
     },
 ];
 
@@ -127,6 +136,15 @@ fn capped_decode_scope(rel: &str) -> bool {
     )
 }
 
+fn overlay_read_through_scope(rel: &str) -> bool {
+    !matches!(
+        rel,
+        "crates/taxonomy/src/overlay.rs"
+            | "crates/taxonomy/src/compact.rs"
+            | "crates/taxonomy/src/persist.rs"
+    )
+}
+
 // ----- the checker ----------------------------------------------------------
 
 /// Lints one file's source. `rel` is the workspace-relative path (forward
@@ -170,6 +188,9 @@ pub fn check_file(rel: &str, src: &str) -> Vec<Finding> {
     }
     if capped_decode_scope(rel) {
         ctx.rule_capped_decode();
+    }
+    if overlay_read_through_scope(rel) {
+        ctx.rule_overlay_read_through();
     }
 
     let mut findings = ctx.findings;
@@ -637,6 +658,41 @@ impl<'a> Ctx<'a> {
         }
         &[]
     }
+
+    // ----- rule 5: overlay-read-through -------------------------------------
+
+    fn rule_overlay_read_through(&mut self) {
+        for i in 0..self.toks.len() {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "DeltaOp" => {
+                    self.emit(
+                        &t.clone(),
+                        OVERLAY_READ_THROUGH,
+                        "`DeltaOp` handled outside the overlay write path — delta segments are \
+                         an implementation detail of the op log"
+                            .to_string(),
+                        "serve base+deltas through TaxonomyRead (an OverlayView); only \
+                         overlay.rs, compact.rs and the persist codec may consume delta ops",
+                    );
+                }
+                "log_ops" if self.is_punct(i + 1, '(') => {
+                    self.emit(
+                        &t.clone(),
+                        OVERLAY_READ_THROUGH,
+                        "`log_ops()` exposes the raw overlay op log outside the write path"
+                            .to_string(),
+                        "query the merged view through TaxonomyRead; compaction \
+                         (IngestDelta::compacted) is the only sanctioned log consumer",
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 /// An allocation-size argument is considered capped when it is clamped
@@ -805,6 +861,31 @@ mod tests {
     fn capped_varint_counts_are_clean() {
         let ok = "fn d(buf: &mut &[u8]) -> Result<(), E> {\n  let rows = read_varint(buf, \"rows\")? as usize;\n  let mut v = Vec::with_capacity(rows.min(buf.remaining()));\n  Ok(())\n}\n";
         assert!(findings("crates/taxonomy/src/view.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn delta_ops_are_write_path_only() {
+        let src = "fn f(ov: &DeltaOverlay) {\n  for op in ov.log_ops() {\n    if let DeltaOp::Entity { .. } = op {}\n  }\n}\n";
+        let f = findings("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().all(|x| x.rule == OVERLAY_READ_THROUGH), "{f:#?}");
+        assert!(f[0].message.contains("log_ops"), "{f:#?}");
+        assert!(f[1].message.contains("DeltaOp"), "{f:#?}");
+    }
+
+    #[test]
+    fn the_overlay_write_path_itself_is_sanctioned() {
+        let src = "fn f(ov: &DeltaOverlay) {\n  for op in ov.log_ops() {\n    if let DeltaOp::Entity { .. } = op {}\n  }\n}\n";
+        for rel in [
+            "crates/taxonomy/src/overlay.rs",
+            "crates/taxonomy/src/compact.rs",
+            "crates/taxonomy/src/persist.rs",
+        ] {
+            assert!(findings(rel, src).is_empty(), "{rel} is sanctioned");
+        }
+        // Reading through the merged view is fine anywhere.
+        let ok = "fn g(view: &dyn TaxonomyRead) -> usize { view.men2ent(\"m\").len() }";
+        assert!(findings("crates/serve/src/x.rs", ok).is_empty());
     }
 
     #[test]

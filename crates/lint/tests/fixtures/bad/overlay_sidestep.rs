@@ -1,0 +1,18 @@
+//@ path: crates/serve/src/overlay_sidestep.rs
+//! A serving helper that peels the overlay stack apart and matches delta
+//! segments directly, instead of reading through `TaxonomyRead`.
+
+use cnp_taxonomy::overlay::DeltaOp;
+
+/// Counts pending entity inserts by walking the raw op log.
+pub fn pending_entities(view: &OverlayView<FrozenTaxonomy>) -> usize {
+    let mut n = 0;
+    for overlay in view.overlays() {
+        for op in overlay.log_ops() {
+            if let DeltaOp::Entity { .. } = op {
+                n += 1;
+            }
+        }
+    }
+    n
+}

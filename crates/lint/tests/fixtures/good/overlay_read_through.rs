@@ -1,0 +1,15 @@
+//@ path: crates/serve/src/overlay_reader.rs
+//! The sanctioned shape: base+deltas are served through `TaxonomyRead`,
+//! so callers never see whether an answer came from the frozen base or a
+//! pending overlay segment.
+
+/// Resolves a mention against whatever the view currently merges.
+pub fn resolve(view: &dyn TaxonomyRead, mention: &str) -> usize {
+    view.men2ent(mention).len()
+}
+
+/// Applying a whole sidecar (not matching its segments) is a read-through
+/// operation too: the overlay fold happens inside `OverlayView::apply`.
+pub fn ingest(view: &OverlayView<FrozenTaxonomy>, delta: &DeltaOverlay) -> OverlayView<FrozenTaxonomy> {
+    view.apply(delta)
+}

@@ -193,18 +193,21 @@ pub(crate) fn concept_hits<T: TaxonomyRead>(
         }
     }
     if options.transitive {
-        // Linear-scan dedup: ancestor sets in a taxonomy are a handful of
-        // elements, where the scan beats sort-based dedup (measured in the
-        // frozen_api bench); only the appended tail is sorted.
-        let n_direct = ids.len();
-        for i in 0..n_direct {
-            for a in f.ancestors(ids[i]) {
-                if !ids.contains(&a) {
-                    ids.push(a);
+        // Seen-set dedup over the appended tail: the incremental write
+        // path can ingest high-fan-in entities whose combined ancestor
+        // sets make the old whole-vector `contains` scan quadratic. The
+        // output is unchanged — the tail is a set either way, and its
+        // order comes entirely from the total (depth desc, id asc) sort
+        // below, not from insertion order.
+        let mut seen: FxHashSet<ConceptId> = ids.iter().copied().collect();
+        let mut tail: Vec<ConceptId> = Vec::new();
+        for &d in &ids {
+            for a in f.ancestors(d) {
+                if seen.insert(a) {
+                    tail.push(a);
                 }
             }
         }
-        let mut tail = ids.split_off(n_direct);
         tail.sort_unstable_by(|&x, &y| f.depth(y).cmp(&f.depth(x)).then(x.cmp(&y)));
         hits.extend(tail.into_iter().map(|c| concept_hit(f, c, false, None)));
     }
@@ -212,9 +215,13 @@ pub(crate) fn concept_hits<T: TaxonomyRead>(
 }
 
 /// `getConcept` by mention: the per-sense enumerations concatenated in
-/// sense order, deduplicated by concept id with the *first* occurrence
-/// kept — multiple senses sharing a hypernym report it once, at its
-/// best rank.
+/// sense order, deduplicated by concept id at the *first* occurrence's
+/// rank position — multiple senses sharing a hypernym report it once, at
+/// its best rank. Directness wins over rank, though: when a later sense
+/// holds a *direct*, confidence-carrying edge to a concept an earlier
+/// sense only reached transitively, the hit is upgraded in place (same
+/// position, `direct = true` plus the edge confidence) instead of letting
+/// the indirect occurrence shadow it.
 pub(crate) fn merged_concept_hits<T: TaxonomyRead>(
     f: &T,
     senses: &[EntityId],
@@ -223,8 +230,14 @@ pub(crate) fn merged_concept_hits<T: TaxonomyRead>(
     let mut out: Vec<ConceptHit> = Vec::new();
     for &e in senses {
         for hit in concept_hits(f, e, options) {
-            if !out.iter().any(|h| h.id == hit.id) {
-                out.push(hit);
+            match out.iter_mut().find(|h| h.id == hit.id) {
+                None => out.push(hit),
+                Some(existing) => {
+                    if hit.direct && !existing.direct {
+                        existing.direct = true;
+                        existing.confidence = hit.confidence;
+                    }
+                }
             }
         }
     }
@@ -358,4 +371,142 @@ fn paginate<T>(
     });
     let items: Vec<T> = items.into_iter().skip(offset).take(end - offset).collect();
     Ok(Paged { items, total, next })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStore};
+
+    /// Two senses of the same bare mention: sense 0 reaches 人物 only
+    /// transitively (through 演员), sense 1 holds a direct,
+    /// confidence-carrying edge to it.
+    fn two_sense_store() -> TaxonomyStore {
+        let mut s = TaxonomyStore::new();
+        let actor_sense = s.add_entity("阿伦", Some("演员"));
+        let host_sense = s.add_entity("阿伦", Some("主持人"));
+        let actor = s.add_concept("演员");
+        let person = s.add_concept("人物");
+        s.add_concept_is_a(actor, person, IsAMeta::new(Source::SubConcept, 0.9));
+        s.add_entity_is_a(actor_sense, actor, IsAMeta::new(Source::Bracket, 0.95));
+        s.add_entity_is_a(host_sense, person, IsAMeta::new(Source::Tag, 0.8));
+        s
+    }
+
+    #[test]
+    fn direct_hit_is_not_shadowed_by_earlier_senses_indirect_hit() {
+        let f = FrozenTaxonomy::freeze(&two_sense_store());
+        let senses = TaxonomyRead::men2ent(&f, "阿伦");
+        assert_eq!(senses.len(), 2, "both senses resolve from the bare name");
+        let person = f.find_concept("人物").unwrap();
+
+        let hits = merged_concept_hits(&f, &senses, &ListOptions::transitive());
+        let person_hit = hits.iter().find(|h| h.id == person).expect("人物 reported");
+        // Pre-fix, the first sense's transitive occurrence won the dedup
+        // and the direct edge's confidence was dropped.
+        assert!(person_hit.direct, "direct edge must win over indirect");
+        assert_eq!(person_hit.confidence, Some(0.8));
+
+        // The upgrade keeps the earlier occurrence's rank position and
+        // changes no other hit.
+        let actor = f.find_concept("演员").unwrap();
+        let order: Vec<ConceptId> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(order, vec![actor, person]);
+        let actor_hit = &hits[0];
+        assert!(actor_hit.direct);
+        assert_eq!(actor_hit.confidence, Some(0.95));
+    }
+
+    #[test]
+    fn merged_hits_keep_first_direct_occurrence() {
+        // Both senses hold *direct* edges to 人物: the earlier sense's
+        // confidence must survive the merge unchanged.
+        let mut s = two_sense_store();
+        let actor_sense = s.find_entity("阿伦", Some("演员")).unwrap();
+        let person = s.find_concept("人物").unwrap();
+        s.add_entity_is_a(actor_sense, person, IsAMeta::new(Source::Infobox, 0.6));
+        let f = FrozenTaxonomy::freeze(&s);
+        let senses = TaxonomyRead::men2ent(&f, "阿伦");
+
+        let hits = merged_concept_hits(&f, &senses, &ListOptions::transitive());
+        let person_hit = hits.iter().find(|h| h.id == person).unwrap();
+        assert!(person_hit.direct);
+        assert_eq!(person_hit.confidence, Some(0.6));
+    }
+
+    /// The pre-PR-9 transitive tail: whole-vector `contains` dedup. Kept
+    /// as the reference the seen-set rewrite is locked against.
+    fn concept_hits_reference<T: TaxonomyRead>(
+        f: &T,
+        e: EntityId,
+        options: &ListOptions,
+    ) -> Vec<ConceptHit> {
+        let mut ids: Vec<ConceptId> = Vec::new();
+        let mut hits: Vec<ConceptHit> = Vec::new();
+        for (c, m) in f.concepts_of(e) {
+            if m.confidence >= options.min_confidence {
+                ids.push(c);
+                hits.push(concept_hit(f, c, true, Some(m.confidence)));
+            }
+        }
+        if options.transitive {
+            let n_direct = ids.len();
+            for i in 0..n_direct {
+                for a in f.ancestors(ids[i]) {
+                    if !ids.contains(&a) {
+                        ids.push(a);
+                    }
+                }
+            }
+            let mut tail = ids.split_off(n_direct);
+            tail.sort_unstable_by(|&x, &y| f.depth(y).cmp(&f.depth(x)).then(x.cmp(&y)));
+            hits.extend(tail.into_iter().map(|c| concept_hit(f, c, false, None)));
+        }
+        hits
+    }
+
+    #[test]
+    fn seen_set_tail_matches_reference_order_exactly() {
+        // A high-fan-in entity over a multi-level DAG with heavily shared
+        // ancestors — the shape the overlay write path now produces, and
+        // the one where insertion order into the tail differs most
+        // between the two dedup strategies.
+        let mut s = TaxonomyStore::new();
+        let e = s.add_entity("万能选手", None);
+        let root = s.add_concept("万物");
+        let mut mids = Vec::new();
+        for i in 0..6 {
+            let m = s.add_concept(&format!("中类{i}"));
+            s.add_concept_is_a(m, root, IsAMeta::new(Source::SubConcept, 0.9));
+            mids.push(m);
+        }
+        for i in 0..24 {
+            let leaf = s.add_concept(&format!("细类{i}"));
+            // Each leaf hangs under two mid concepts, sharing ancestors.
+            s.add_concept_is_a(leaf, mids[i % 6], IsAMeta::new(Source::SubConcept, 0.85));
+            s.add_concept_is_a(
+                leaf,
+                mids[(i + 1) % 6],
+                IsAMeta::new(Source::SubConcept, 0.8),
+            );
+            s.add_entity_is_a(e, leaf, IsAMeta::new(Source::Tag, 0.5 + (i as f32) * 0.02));
+        }
+        let f = FrozenTaxonomy::freeze(&s);
+
+        for options in [
+            ListOptions::transitive(),
+            ListOptions::default(),
+            ListOptions {
+                transitive: true,
+                min_confidence: 0.7,
+                ..ListOptions::default()
+            },
+        ] {
+            assert_eq!(
+                concept_hits(&f, e, &options),
+                concept_hits_reference(&f, e, &options),
+                "options {options:?}"
+            );
+        }
+    }
 }

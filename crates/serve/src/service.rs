@@ -6,8 +6,10 @@ use crate::query::Query;
 use crate::response::QueryResponse;
 use cnp_runtime::Runtime;
 use cnp_taxonomy::persist::{PersistError, Snapshot};
-use cnp_taxonomy::{BootSnapshot, FrozenTaxonomy, TaxonomyRead, TaxonomyStore};
-use parking_lot::RwLock;
+use cnp_taxonomy::{
+    BootSnapshot, DeltaOverlay, FrozenTaxonomy, IngestDelta, TaxonomyRead, TaxonomyStore,
+};
+use parking_lot::{Mutex, RwLock};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -103,6 +105,7 @@ impl<T: TaxonomyRead> PinnedSnapshot<T> {
 pub struct TaxonomyService<T = FrozenTaxonomy> {
     current: RwLock<Arc<Generation<T>>>,
     runtime: Runtime,
+    admin: Mutex<()>,
 }
 
 impl<T: TaxonomyRead> TaxonomyService<T> {
@@ -121,6 +124,8 @@ impl<T: TaxonomyRead> TaxonomyService<T> {
                 snapshot,
             })),
             runtime,
+            // cnp-lint: allow(runtime-owns-concurrency) reason="admin-plane serialisation only: ingest holds it across pin→fold→swap so concurrent ingests cannot fold from the same parent generation and lose a delta; never touched on the query path"
+            admin: Mutex::new(()),
         }
     }
 
@@ -188,6 +193,66 @@ impl<T: TaxonomyRead> TaxonomyService<T> {
         drop(old);
         number
     }
+
+    /// Installs `snapshot` only if the serving generation is still
+    /// `expected`; returns the new number, or `None` (discarding
+    /// `snapshot`) when another writer got there first. This is the
+    /// compare-and-swap background compaction publishes through: a fold
+    /// computed from generation N must not clobber deltas ingested into
+    /// N+1 while it ran.
+    pub fn swap_if_current(&self, expected: u64, snapshot: T) -> Option<u64> {
+        let mut current = self.current.write();
+        if current.number != expected {
+            return None;
+        }
+        let number = expected + 1;
+        let old = std::mem::replace(&mut *current, Arc::new(Generation { number, snapshot }));
+        drop(current);
+        drop(old);
+        Some(number)
+    }
+}
+
+impl<T: TaxonomyRead + IngestDelta> TaxonomyService<T> {
+    /// Applies one delta to the current snapshot and swaps the result in
+    /// as the next generation, returning its number. Readers never wait:
+    /// the fold happens off-lock on the caller's thread, and in-flight
+    /// queries drain on the generation they pinned.
+    ///
+    /// Concurrent ingests are serialised on an admin mutex (never touched
+    /// by the query path) so each fold starts from the previous ingest's
+    /// result — without it, two ingests could fold from the same parent
+    /// and the second swap would silently drop the first delta. A
+    /// concurrent *compaction* publishing between our pin and our swap is
+    /// tolerated: the overlay we fold carries the full op log over the
+    /// older base, which is logically identical to the compacted
+    /// generation it replaces.
+    pub fn ingest(&self, delta: &DeltaOverlay) -> Result<u64, PersistError> {
+        let _admin = self.admin.lock();
+        let next = self.pin().frozen().ingest_delta(delta)?;
+        Ok(self.swap(next))
+    }
+
+    /// Overlay segments accumulated on the serving snapshot (0 for a
+    /// fully compacted base — or a backend that materialises on ingest).
+    pub fn overlay_depth(&self) -> usize {
+        self.pin().frozen().overlay_depth()
+    }
+
+    /// Folds the current base + overlays into a fresh base and publishes
+    /// it **iff** the serving generation hasn't moved meanwhile (see
+    /// [`TaxonomyService::swap_if_current`]). Returns the new generation,
+    /// or `None` when there was nothing to compact or the fold lost the
+    /// race — both safe to retry later. Designed to run on a background
+    /// worker: queries and ingests proceed untouched for the whole fold.
+    pub fn compact(&self) -> Result<Option<u64>, PersistError> {
+        let pinned = self.pin();
+        if pinned.frozen().overlay_depth() == 0 {
+            return Ok(None);
+        }
+        let folded = pinned.frozen().compacted(&self.runtime)?;
+        Ok(self.swap_if_current(pinned.generation(), folded))
+    }
 }
 
 impl<T: TaxonomyRead + BootSnapshot> TaxonomyService<T> {
@@ -229,7 +294,7 @@ mod tests {
     use super::*;
     use crate::query::ListOptions;
     use crate::response::{QueryError, Response};
-    use cnp_taxonomy::{AnySnapshot, FrozenTaxonomyView, IsAMeta, Source};
+    use cnp_taxonomy::{AnySnapshot, FrozenTaxonomyView, IsAMeta, OverlayView, Source};
 
     fn store_a() -> TaxonomyStore {
         let mut s = TaxonomyStore::new();
@@ -384,5 +449,60 @@ mod tests {
         assert_send_sync::<PinnedSnapshot>();
         assert_send_sync::<TaxonomyService<FrozenTaxonomyView>>();
         assert_send_sync::<TaxonomyService<AnySnapshot>>();
+        assert_send_sync::<TaxonomyService<OverlayView<AnySnapshot>>>();
+    }
+
+    fn sample_delta() -> DeltaOverlay {
+        let mut d = DeltaOverlay::new();
+        d.upsert_entity_is_a("张学友", None, "歌手", IsAMeta::new(Source::Tag, 0.95));
+        d
+    }
+
+    #[test]
+    fn ingest_bumps_generation_and_serves_the_delta() {
+        let service = TaxonomyService::new(OverlayView::new(FrozenTaxonomy::freeze(&store_a())));
+        assert!(service.execute(&Query::men2ent("张学友")).result.is_err());
+        assert_eq!(service.ingest(&sample_delta()).unwrap(), 2);
+        assert_eq!(service.overlay_depth(), 1);
+        let r = service.execute(&Query::men2ent("张学友"));
+        assert_eq!(r.generation, 2);
+        assert!(matches!(r.result, Ok(Response::Senses(ref s)) if s.len() == 1));
+    }
+
+    #[test]
+    fn ingest_pins_drain_on_their_generation() {
+        let service = TaxonomyService::new(OverlayView::new(FrozenTaxonomy::freeze(&store_a())));
+        let pinned = service.pin();
+        service.ingest(&sample_delta()).unwrap();
+        // The pre-ingest pin still answers from generation 1.
+        let r = pinned.execute(&Query::men2ent("张学友"));
+        assert_eq!(r.generation, 1);
+        assert!(r.result.is_err());
+    }
+
+    #[test]
+    fn compaction_folds_overlays_and_keeps_answers() {
+        let service = TaxonomyService::new(OverlayView::new(FrozenTaxonomy::freeze(&store_a())));
+        service.ingest(&sample_delta()).unwrap();
+        let before = service.execute(&Query::men2ent("张学友"));
+        assert_eq!(service.compact().unwrap(), Some(3));
+        assert_eq!(service.overlay_depth(), 0);
+        let after = service.execute(&Query::men2ent("张学友"));
+        assert_eq!(after.generation, 3);
+        assert_eq!(before.result, after.result);
+        // Nothing left to fold: compaction is now a no-op.
+        assert_eq!(service.compact().unwrap(), None);
+    }
+
+    #[test]
+    fn stale_compaction_result_is_discarded() {
+        let service = TaxonomyService::new(OverlayView::new(FrozenTaxonomy::freeze(&store_a())));
+        service.ingest(&sample_delta()).unwrap();
+        let stale = OverlayView::new(FrozenTaxonomy::freeze(&store_a()));
+        // A fold published against a generation that has since moved on
+        // must be dropped, not installed.
+        assert_eq!(service.swap_if_current(1, stale), None);
+        assert_eq!(service.generation(), 2);
+        assert!(service.execute(&Query::men2ent("张学友")).result.is_ok());
     }
 }

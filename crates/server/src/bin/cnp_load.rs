@@ -5,13 +5,18 @@
 //! ```text
 //! cnp_load --addr 127.0.0.1:7077 --snapshot /tmp/cnp.snapshot
 //!          [--connections 8] [--requests 4000] [--seed 42]
-//!          [--out report.json] [--max-p99-ms 250]
+//!          [--out report.json] [--max-p99-ms 250] [--ingest-deltas K]
 //! ```
 //!
 //! The snapshot is only read locally, to harvest the probe vocabulary —
 //! the same file the server booted from, so every generated query targets
 //! names that exist. Exits non-zero if any protocol error occurs or the
 //! measured p99 exceeds `--max-p99-ms`.
+//!
+//! `--ingest-deltas K` turns on the ingest-under-load phase: K synthetic
+//! delta sidecars are posted to `/admin/ingest` while the query workload
+//! runs, and the run fails if any apply is refused or the acknowledged
+//! generations are not strictly increasing.
 
 use cnp_server::{load, LoadConfig, ProbeVocab};
 use std::path::PathBuf;
@@ -19,7 +24,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: cnp_load --addr HOST:PORT --snapshot PATH \
                      [--connections N] [--requests N] [--seed N] \
-                     [--out FILE] [--max-p99-ms MS]";
+                     [--out FILE] [--max-p99-ms MS] [--ingest-deltas K]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("cnp_load: {message}");
@@ -54,6 +59,9 @@ fn main() -> ExitCode {
             "--max-p99-ms" => value("--max-p99-ms")
                 .and_then(|v| v.parse().map_err(|e| format!("--max-p99-ms: {e}")))
                 .map(|v: f64| max_p99_ms = Some(v)),
+            "--ingest-deltas" => value("--ingest-deltas")
+                .and_then(|v| v.parse().map_err(|e| format!("--ingest-deltas: {e}")))
+                .map(|v: usize| config.ingest_deltas = v),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -87,6 +95,12 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
             return fail(&format!("cannot write {}: {e}", path.display()));
         }
+    }
+    if let Some(ingest) = &report.ingest {
+        eprintln!(
+            "cnp_load: ingest ok={} failed={} generations={:?}",
+            ingest.ok, ingest.failed, ingest.generations
+        );
     }
     eprintln!(
         "cnp_load: ok={} queryError={} overloaded={} protocolError={} \

@@ -4,6 +4,7 @@
 //! ```text
 //! cnp_server --snapshot /tmp/cnp.snapshot [--addr 127.0.0.1:7077]
 //!            [--workers N] [--queue N] [--read-timeout-ms MS]
+//!            [--compact-threshold N]
 //! ```
 //!
 //! Prints `cnp_server listening on <addr> (generation N, <mode>
@@ -11,17 +12,23 @@
 //! line — then blocks until the process is killed. The mode says how the
 //! snapshot serves: `owned` (v1/v2, materialised) or `view` (v3,
 //! zero-copy off the loaded buffer).
+//!
+//! The snapshot serves behind a [`cnp_taxonomy::OverlayView`], so
+//! `POST /admin/ingest` can apply binary delta sidecars without a
+//! restart; once `--compact-threshold` deltas are stacked (default 4,
+//! `0` disables) a background fold rebuilds the base.
 
 use cnp_serve::TaxonomyService;
 use cnp_server::{serve, ServerConfig};
-use cnp_taxonomy::AnySnapshot;
+use cnp_taxonomy::{AnySnapshot, OverlayView};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: cnp_server --snapshot PATH [--addr HOST:PORT] \
-                     [--workers N] [--queue N] [--read-timeout-ms MS]";
+                     [--workers N] [--queue N] [--read-timeout-ms MS] \
+                     [--compact-threshold N]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("cnp_server: {message}");
@@ -50,6 +57,9 @@ fn main() -> ExitCode {
             "--read-timeout-ms" => value("--read-timeout-ms")
                 .and_then(|v| v.parse().map_err(|e| format!("--read-timeout-ms: {e}")))
                 .map(|v: u64| config.read_timeout = Duration::from_millis(v)),
+            "--compact-threshold" => value("--compact-threshold")
+                .and_then(|v| v.parse().map_err(|e| format!("--compact-threshold: {e}")))
+                .map(|v: usize| config.compact_threshold = v),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -67,12 +77,13 @@ fn main() -> ExitCode {
 
     // `AnySnapshot` boots whatever format the file holds: v1/v2
     // materialise to the owned snapshot, v3 serves zero-copy from the
-    // loaded buffer.
-    let service = match TaxonomyService::<AnySnapshot>::boot_from_file(&snapshot) {
+    // loaded buffer. The overlay wrapper starts empty and only grows
+    // when `/admin/ingest` applies deltas.
+    let service = match TaxonomyService::<OverlayView<AnySnapshot>>::boot_from_file(&snapshot) {
         Ok(service) => Arc::new(service),
         Err(e) => return fail(&format!("cannot load snapshot {}: {e}", snapshot.display())),
     };
-    let mode = service.pin().frozen().mode();
+    let mode = service.pin().frozen().base().mode();
     config.snapshot_path = Some(snapshot);
 
     let handle = match serve(service, config) {

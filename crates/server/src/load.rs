@@ -12,7 +12,7 @@
 use crate::http;
 use cnp_serve::json::Json;
 use cnp_serve::{wire, ListOptions, PageRequest, Query};
-use cnp_taxonomy::{FrozenTaxonomy, PersistError, Snapshot};
+use cnp_taxonomy::{DeltaOverlay, FrozenTaxonomy, IsAMeta, PersistError, Snapshot, Source};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufReader, BufWriter};
@@ -151,6 +151,11 @@ pub struct LoadConfig {
     pub requests: usize,
     /// Workload seed; same seed ⇒ same query stream.
     pub seed: u64,
+    /// Delta sidecars to `POST /admin/ingest` *while* the query workload
+    /// runs (`0` disables the ingest phase). Each delta adds a batch of
+    /// synthetic entities under existing vocabulary concepts, so every
+    /// apply is a real generation bump under live reads.
+    pub ingest_deltas: usize,
 }
 
 impl Default for LoadConfig {
@@ -160,6 +165,7 @@ impl Default for LoadConfig {
             connections: 8,
             requests: 4000,
             seed: 42,
+            ingest_deltas: 0,
         }
     }
 }
@@ -179,6 +185,20 @@ pub struct LoadCounts {
     pub protocol_error: u64,
 }
 
+/// The measured outcome of the optional ingest phase.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Deltas acknowledged with `200 {"status":"ingested"}`.
+    pub ok: u64,
+    /// Deltas refused or lost on the wire.
+    pub failed: u64,
+    /// Wire-level overlay-apply latencies in microseconds, sorted
+    /// ascending (decode + fold + swap as the client observes it).
+    pub apply_latencies_us: Vec<u64>,
+    /// Generations the acknowledgements reported, in apply order.
+    pub generations: Vec<u64>,
+}
+
 /// The measured result of a load run.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -192,6 +212,8 @@ pub struct LoadReport {
     pub latencies_us: Vec<u64>,
     /// Per-op issue counts, aligned with [`MIX_OPS`].
     pub per_op: [u64; 7],
+    /// Ingest-phase outcome; `None` when `ingest_deltas == 0`.
+    pub ingest: Option<IngestStats>,
 }
 
 impl LoadReport {
@@ -224,7 +246,7 @@ impl LoadReport {
 
     /// The machine-readable report (the `BENCH_*.json` `load` section).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             (
                 "workload".to_string(),
                 Json::Obj(vec![
@@ -299,16 +321,69 @@ impl LoadReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(ingest) = &self.ingest {
+            let quantile = |q: f64| -> f64 {
+                if ingest.apply_latencies_us.is_empty() {
+                    return 0.0;
+                }
+                let rank = (q * ingest.apply_latencies_us.len() as f64).ceil() as usize;
+                ingest.apply_latencies_us[rank.clamp(1, ingest.apply_latencies_us.len()) - 1] as f64
+            };
+            fields.push((
+                "ingest".to_string(),
+                Json::Obj(vec![
+                    (
+                        "deltas".to_string(),
+                        Json::num(self.config.ingest_deltas as f64),
+                    ),
+                    ("ok".to_string(), Json::num(ingest.ok as f64)),
+                    ("failed".to_string(), Json::num(ingest.failed as f64)),
+                    (
+                        "applyLatencyUs".to_string(),
+                        Json::Obj(vec![
+                            ("p50".to_string(), Json::num(quantile(0.50))),
+                            ("max".to_string(), Json::num(quantile(1.0))),
+                        ]),
+                    ),
+                    (
+                        "generationStart".to_string(),
+                        Json::num(ingest.generations.first().copied().unwrap_or(0) as f64),
+                    ),
+                    (
+                        "generationEnd".to_string(),
+                        Json::num(ingest.generations.last().copied().unwrap_or(0) as f64),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 
-    /// CI gate: zero protocol errors, and (optionally) a p99 bound.
+    /// CI gate: zero protocol errors (query *and* ingest side), and
+    /// (optionally) a p99 bound.
     pub fn check(&self, max_p99_ms: Option<f64>) -> Result<(), String> {
         if self.counts.protocol_error > 0 {
             return Err(format!(
                 "{} protocol error(s) on the wire",
                 self.counts.protocol_error
             ));
+        }
+        if let Some(ingest) = &self.ingest {
+            if ingest.failed > 0 {
+                return Err(format!("{} delta ingest(s) failed", ingest.failed));
+            }
+            let monotonic = ingest
+                .generations
+                .iter()
+                .zip(ingest.generations.iter().skip(1))
+                .all(|(a, b)| a < b);
+            if !monotonic {
+                return Err(format!(
+                    "ingest generations not strictly monotonic: {:?}",
+                    ingest.generations
+                ));
+            }
         }
         if let Some(bound) = max_p99_ms {
             let p99_ms = self.percentile_us(0.99) as f64 / 1000.0;
@@ -377,11 +452,20 @@ impl Client {
 
     /// One request/response exchange; `Err` is a wire-level failure.
     fn exchange(&mut self, body: &[u8]) -> Result<http::ClientResponse, http::HttpError> {
+        self.exchange_at("/v1/query", body)
+    }
+
+    /// [`Client::exchange`] against an arbitrary endpoint (ingest phase).
+    fn exchange_at(
+        &mut self,
+        path: &str,
+        body: &[u8],
+    ) -> Result<http::ClientResponse, http::HttpError> {
         self.ensure_connected()?;
         let (Some(writer), Some(reader)) = (self.writer.as_mut(), self.reader.as_mut()) else {
             return Err(http::HttpError::Malformed("connection lost after connect"));
         };
-        http::write_request(writer, "POST", "/v1/query", Some(body), true)?;
+        http::write_request(writer, "POST", path, Some(body), true)?;
         match http::read_client_response(reader, http::MAX_BODY_BYTES)? {
             Some(response) => {
                 if !response.keep_alive {
@@ -446,6 +530,65 @@ fn run_worker(
     outcome
 }
 
+/// The `k`-th synthetic delta of the ingest phase: a batch of fresh
+/// entities filed under existing vocabulary concepts. Pure function of
+/// `(vocab, seed, k)`, like the query stream.
+fn synthetic_delta(vocab: &ProbeVocab, seed: u64, k: usize) -> DeltaOverlay {
+    let mut delta = DeltaOverlay::new();
+    for j in 0..8 {
+        let name = format!("压测实体_{seed}_{k}_{j}");
+        let concept = &vocab.concepts[(k * 8 + j) % vocab.concepts.len()];
+        delta.add_entity(&name, None);
+        delta.upsert_entity_is_a(
+            &name,
+            None,
+            concept,
+            IsAMeta::new(Source::Import, 0.5 + (j as f32) * 0.05),
+        );
+    }
+    delta
+}
+
+/// The ingest phase: posts `config.ingest_deltas` sidecars spaced out over
+/// the run, so the applies land while the query workers are mid-flight.
+fn run_ingester(config: &LoadConfig, vocab: &ProbeVocab) -> IngestStats {
+    let mut client = Client::new(&config.addr);
+    let mut stats = IngestStats::default();
+    for k in 0..config.ingest_deltas {
+        std::thread::sleep(Duration::from_millis(50));
+        let body = synthetic_delta(vocab, config.seed, k).encode();
+        let start = Instant::now();
+        let ok = match client.exchange_at("/admin/ingest", &body) {
+            Ok(response) if response.status == 200 => {
+                match std::str::from_utf8(&response.body)
+                    .ok()
+                    .and_then(|text| Json::parse(text).ok())
+                    .and_then(|doc| doc.get("generation").and_then(Json::as_u64))
+                {
+                    Some(generation) => {
+                        stats.generations.push(generation);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Ok(_) | Err(_) => {
+                client.disconnect();
+                false
+            }
+        };
+        if ok {
+            let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            stats.apply_latencies_us.push(elapsed_us);
+            stats.ok += 1;
+        } else {
+            stats.failed += 1;
+        }
+    }
+    stats.apply_latencies_us.sort_unstable();
+    stats
+}
+
 /// Validates that a response body is a well-formed protocol envelope.
 fn parse_envelope(body: &[u8]) -> Result<(), ()> {
     let text = std::str::from_utf8(body).map_err(|_| ())?;
@@ -471,18 +614,38 @@ pub fn run(config: &LoadConfig, vocab: &ProbeVocab) -> LoadReport {
     let connections = config.connections.max(1);
     let per_worker = config.requests / connections;
     let remainder = config.requests % connections;
-    let rt = cnp_runtime::Runtime::new(connections);
+    // The ingest phase, when enabled, rides as one extra concurrent task
+    // so the deltas land while the query workers are mid-flight.
+    let ingesting = config.ingest_deltas > 0;
+    let tasks = connections + usize::from(ingesting);
+    let rt = cnp_runtime::Runtime::new(tasks);
     let start = Instant::now();
-    let outcomes: Vec<WorkerOutcome> = rt.par_tasks(connections, |i| {
-        let requests = per_worker + usize::from(i < remainder);
-        run_worker(i, config, vocab, requests)
+    enum TaskOutcome {
+        Worker(WorkerOutcome),
+        Ingest(IngestStats),
+    }
+    let outcomes: Vec<TaskOutcome> = rt.par_tasks(tasks, |i| {
+        if i < connections {
+            let requests = per_worker + usize::from(i < remainder);
+            TaskOutcome::Worker(run_worker(i, config, vocab, requests))
+        } else {
+            TaskOutcome::Ingest(run_ingester(config, vocab))
+        }
     });
     let elapsed = start.elapsed();
 
     let mut latencies_us = Vec::new();
     let mut counts = LoadCounts::default();
     let mut per_op = [0u64; 7];
+    let mut ingest = None;
     for outcome in outcomes {
+        let outcome = match outcome {
+            TaskOutcome::Worker(outcome) => outcome,
+            TaskOutcome::Ingest(stats) => {
+                ingest = Some(stats);
+                continue;
+            }
+        };
         latencies_us.extend(outcome.latencies_us);
         counts.ok += outcome.counts.ok;
         counts.query_error += outcome.counts.query_error;
@@ -499,6 +662,7 @@ pub fn run(config: &LoadConfig, vocab: &ProbeVocab) -> LoadReport {
         elapsed,
         latencies_us,
         per_op,
+        ingest,
     }
 }
 
@@ -516,6 +680,7 @@ mod tests {
             elapsed: Duration::from_secs(2),
             latencies_us: latencies,
             per_op: [0; 7],
+            ingest: None,
         }
     }
 
@@ -543,6 +708,56 @@ mod tests {
         assert!(r.check(Some(0.5)).is_err());
         r.counts.protocol_error = 1;
         assert!(r.check(None).is_err());
+    }
+
+    #[test]
+    fn check_gates_on_ingest_failures_and_generation_order() {
+        let mut r = report((1..=100).collect());
+        r.ingest = Some(IngestStats {
+            ok: 3,
+            failed: 0,
+            apply_latencies_us: vec![100, 200, 300],
+            generations: vec![2, 3, 4],
+        });
+        assert!(r.check(None).is_ok());
+        // The ingest section rides along in the JSON report.
+        let doc = r.to_json();
+        let ingest = doc.get("ingest").expect("ingest section");
+        assert_eq!(ingest.get("ok").and_then(Json::as_u64), Some(3));
+        assert_eq!(ingest.get("generationEnd").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            ingest
+                .get("applyLatencyUs")
+                .and_then(|l| l.get("p50"))
+                .and_then(Json::as_u64),
+            Some(200)
+        );
+        // A failed apply or a non-monotonic generation fails the gate.
+        r.ingest.as_mut().unwrap().failed = 1;
+        assert!(r.check(None).is_err());
+        r.ingest = Some(IngestStats {
+            ok: 2,
+            failed: 0,
+            apply_latencies_us: vec![100, 200],
+            generations: vec![3, 3],
+        });
+        assert!(r.check(None).is_err(), "duplicate generation must fail");
+    }
+
+    #[test]
+    fn synthetic_deltas_are_deterministic_and_nonempty() {
+        let vocab = ProbeVocab {
+            mentions: vec!["刘德华".to_string()],
+            entity_keys: vec!["刘德华（歌手）".to_string()],
+            concepts: vec!["人物".to_string(), "歌手".to_string()],
+        };
+        let a = synthetic_delta(&vocab, 42, 0);
+        assert_eq!(a, synthetic_delta(&vocab, 42, 0));
+        assert_ne!(a, synthetic_delta(&vocab, 42, 1));
+        assert_ne!(a, synthetic_delta(&vocab, 43, 0));
+        assert_eq!(a.num_ops(), 16);
+        // The sidecar round-trips through the wire codec.
+        assert_eq!(DeltaOverlay::decode(&a.encode()).unwrap(), a);
     }
 
     #[test]

@@ -24,10 +24,10 @@
 
 use crate::http::{self, HttpError, Request};
 use crate::stats::ServerStats;
-use cnp_runtime::{BoundedQueue, PushError};
+use cnp_runtime::{BoundedQueue, PushError, WorkerPool};
 use cnp_serve::json::Json;
 use cnp_serve::{wire, Query, TaxonomyService};
-use cnp_taxonomy::{BootSnapshot, FrozenTaxonomy, TaxonomyRead};
+use cnp_taxonomy::{BootSnapshot, DeltaOverlay, FrozenTaxonomy, IngestDelta, TaxonomyRead};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -58,6 +58,11 @@ pub struct ServerConfig {
     /// Snapshot file `POST /admin/reload` re-reads. `None` disables the
     /// endpoint.
     pub snapshot_path: Option<PathBuf>,
+    /// Overlay segments a `POST /admin/ingest` may accumulate before the
+    /// server schedules a background compaction (base + overlays folded
+    /// into a fresh base on a dedicated worker; queries and ingests keep
+    /// flowing the whole time). `0` disables automatic compaction.
+    pub compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +75,7 @@ impl Default for ServerConfig {
             max_body_bytes: http::MAX_BODY_BYTES,
             read_timeout: Duration::from_secs(5),
             snapshot_path: None,
+            compact_threshold: 4,
         }
     }
 }
@@ -79,6 +85,11 @@ struct Shared<T> {
     stats: ServerStats,
     shutdown: AtomicBool,
     config: ServerConfig,
+    /// One background worker with a one-slot queue: at most one
+    /// compaction runs, at most one more is pending. `try_execute`'s
+    /// "queue full" just means a fold is already scheduled — the next
+    /// over-threshold ingest will try again.
+    compactor: WorkerPool,
 }
 
 /// A running server. Dropping the handle shuts the server down; call
@@ -171,11 +182,14 @@ impl<T> Drop for ServerHandle<T> {
 /// shut down or dropped.
 ///
 /// Generic over the snapshot backend: a service holding the owned
-/// `FrozenTaxonomy`, the borrowed `FrozenTaxonomyView`, or the
-/// version-dispatching `AnySnapshot` all go on the wire unchanged.
-/// `BootSnapshot` is required because `/admin/reload` rebuilds a snapshot
-/// of the same representation from the configured file.
-pub fn serve<T: TaxonomyRead + BootSnapshot + 'static>(
+/// `FrozenTaxonomy`, the borrowed `FrozenTaxonomyView`, the
+/// version-dispatching `AnySnapshot`, or an `OverlayView` over any of
+/// them all go on the wire unchanged. `BootSnapshot` is required because
+/// `/admin/reload` rebuilds a snapshot of the same representation from
+/// the configured file; `IngestDelta` because `/admin/ingest` applies
+/// delta overlays (every snapshot backend implements it — overlay views
+/// fold cheaply, plain snapshots materialise).
+pub fn serve<T: TaxonomyRead + BootSnapshot + IngestDelta + 'static>(
     service: Arc<TaxonomyService<T>>,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle<T>> {
@@ -187,6 +201,7 @@ pub fn serve<T: TaxonomyRead + BootSnapshot + 'static>(
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
         config,
+        compactor: WorkerPool::new("cnp-compact", 1, 1),
     });
 
     // A failed spawn propagates as io::Error after closing the queue so
@@ -260,7 +275,7 @@ fn abandon_workers(queue: &BoundedQueue<TcpStream>, workers: Vec<std::thread::Jo
 /// Admission control's refusal path: a canned `429` written on the accept
 /// thread (never blocks on a worker), then close.
 fn refuse_overloaded<T>(stream: TcpStream, shared: &Shared<T>) {
-    shared.stats.response(429);
+    shared.stats.refused();
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let mut writer = BufWriter::new(stream);
     let body = error_body("overloaded", "server work queue is full; retry later");
@@ -279,7 +294,10 @@ fn error_body(kind: &str, detail: &str) -> String {
 }
 
 /// One worker's whole tenure on one connection: the keep-alive loop.
-fn handle_connection<T: TaxonomyRead + BootSnapshot>(stream: TcpStream, shared: &Shared<T>) {
+fn handle_connection<T: TaxonomyRead + BootSnapshot + IngestDelta + 'static>(
+    stream: TcpStream,
+    shared: &Shared<T>,
+) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
@@ -306,6 +324,10 @@ fn handle_connection<T: TaxonomyRead + BootSnapshot>(stream: TcpStream, shared: 
                     HttpError::UnsupportedMethod => 405,
                     HttpError::Io(_) => break,
                 };
+                // An HTTP-layer rejection is still a request the worker
+                // read and answered: count it, so `requests ==
+                // responses_ok + responses_error` holds in /v1/health.
+                shared.stats.request();
                 shared.stats.malformed();
                 shared.stats.response(status);
                 let body = error_body("badRequest", &error.to_string());
@@ -328,13 +350,18 @@ fn handle_connection<T: TaxonomyRead + BootSnapshot>(stream: TcpStream, shared: 
 }
 
 /// Maps one parsed request to `(status, JSON body)`.
-fn route<T: TaxonomyRead + BootSnapshot>(request: &Request, shared: &Shared<T>) -> (u16, String) {
+fn route<T: TaxonomyRead + BootSnapshot + IngestDelta + 'static>(
+    request: &Request,
+    shared: &Shared<T>,
+) -> (u16, String) {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/v1/health") => health(shared),
         ("POST", "/v1/query") => query(&request.body, shared),
         ("POST", "/v1/batch") => batch(&request.body, shared),
         ("POST", "/admin/reload") => reload(shared),
-        ("GET", "/v1/query" | "/v1/batch" | "/admin/reload") | ("POST", "/v1/health") => (
+        ("POST", "/admin/ingest") => ingest(&request.body, shared),
+        ("GET", "/v1/query" | "/v1/batch" | "/admin/reload" | "/admin/ingest")
+        | ("POST", "/v1/health") => (
             405,
             error_body("methodNotAllowed", "wrong method for this endpoint"),
         ),
@@ -449,6 +476,58 @@ fn reload<T: TaxonomyRead + BootSnapshot>(shared: &Shared<T>) -> (u16, String) {
         }
         Err(e) => (500, error_body("reloadFailed", &e.to_string())),
     }
+}
+
+/// `POST /admin/ingest`: apply one binary [`DeltaOverlay`] (the `CNPD`
+/// sidecar format) to the serving snapshot. Decode, fold and swap all run
+/// on this worker with no lock held against readers — the swap is one
+/// generation bump, in-flight queries drain on the generation they
+/// pinned, so clients see either generation N or N+1, never a torn
+/// merge. Once the overlay depth crosses the configured threshold, a
+/// background compaction is scheduled (see [`maybe_compact`]).
+fn ingest<T: TaxonomyRead + IngestDelta + 'static>(
+    body: &[u8],
+    shared: &Shared<T>,
+) -> (u16, String) {
+    let delta = match DeltaOverlay::decode(body) {
+        Ok(delta) => delta,
+        Err(e) => return (400, error_body("badDelta", &e.to_string())),
+    };
+    match shared.service.ingest(&delta) {
+        Ok(generation) => {
+            maybe_compact(shared);
+            let body = Json::Obj(vec![
+                ("status".to_string(), Json::str("ingested")),
+                ("generation".to_string(), Json::num(generation as f64)),
+                ("ops".to_string(), Json::num(delta.num_ops() as f64)),
+                (
+                    "overlayDepth".to_string(),
+                    Json::num(shared.service.overlay_depth() as f64),
+                ),
+            ]);
+            (200, body.write())
+        }
+        Err(e) => (500, error_body("ingestFailed", &e.to_string())),
+    }
+}
+
+/// Schedules a background compaction when the overlay depth has reached
+/// the configured threshold. The fold runs on the dedicated compactor
+/// worker and publishes through the service's compare-and-swap
+/// ([`TaxonomyService::swap_if_current`]): if more deltas arrive while it
+/// runs, the stale fold is discarded and the next ingest reschedules. A
+/// full compactor queue means a fold is already pending — nothing to do.
+fn maybe_compact<T: TaxonomyRead + IngestDelta + 'static>(shared: &Shared<T>) {
+    let threshold = shared.config.compact_threshold;
+    if threshold == 0 || shared.service.overlay_depth() < threshold {
+        return;
+    }
+    let service = Arc::clone(&shared.service);
+    let _ = shared.compactor.try_execute(move || {
+        // A lost race or a failed fold keeps serving the overlay — the
+        // next over-threshold ingest schedules a retry.
+        let _ = service.compact();
+    });
 }
 
 #[cfg(test)]

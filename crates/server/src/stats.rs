@@ -16,19 +16,30 @@ pub struct ServerStats {
 }
 
 /// A point-in-time copy of [`ServerStats`].
+///
+/// Invariant: `requests == responses_ok + responses_error` once the
+/// connections that produced them have drained — every request a worker
+/// reads (fully parsed *or* rejected at the HTTP layer) is counted, and
+/// every one of them gets exactly one response. Admission-control
+/// refusals happen before any request is read, so `overloaded` is
+/// disjoint from both `requests` and the response counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Connections admitted to the worker pool.
     pub connections: u64,
-    /// Requests fully parsed off the wire.
+    /// Requests read off the wire by a worker, including ones the HTTP
+    /// layer rejected with 400/413/405 before reaching a handler.
     pub requests: u64,
     /// Responses with a 2xx status.
     pub responses_ok: u64,
-    /// Responses with a 4xx/5xx status (excluding 429).
+    /// Responses with a non-2xx status, worker-emitted `429`s included.
+    /// Admission-control refusals are *not* responses to a request and
+    /// count in [`StatsSnapshot::overloaded`] instead.
     pub responses_error: u64,
-    /// Connections refused with `429` by admission control.
+    /// Connections refused with a canned `429` by admission control (the
+    /// bounded queue was full; no request was read).
     pub overloaded: u64,
-    /// Requests rejected at the HTTP layer (400/413/405).
+    /// Subset of `requests` rejected at the HTTP layer (400/413/405).
     pub malformed: u64,
 }
 
@@ -41,14 +52,21 @@ impl ServerStats {
         self.requests.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Classifies a response *to a counted request*. A non-2xx status —
+    /// even a worker-emitted `429` — is a response error; admission
+    /// refusals never reach this method (see [`ServerStats::refused`]).
     pub(crate) fn response(&self, status: u16) {
         if (200..300).contains(&status) {
             self.responses_ok.fetch_add(1, Ordering::Relaxed);
-        } else if status == 429 {
-            self.overloaded.fetch_add(1, Ordering::Relaxed);
         } else {
             self.responses_error.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// An admission-control refusal: the canned `429` written on the
+    /// accept thread. No request was read, so only `overloaded` moves.
+    pub(crate) fn refused(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn malformed(&self) {
@@ -76,17 +94,29 @@ mod tests {
     fn counters_classify_statuses() {
         let stats = ServerStats::default();
         stats.connection();
+        // Three requests: one served, one handler error, one HTTP-layer
+        // rejection (counted as a request too, so the request/response
+        // invariant holds).
         stats.request();
         stats.response(200);
+        stats.request();
         stats.response(404);
-        stats.response(429);
+        stats.request();
         stats.malformed();
+        stats.response(400);
+        // A worker-emitted 429 is a response error, not an admission
+        // refusal.
+        stats.request();
+        stats.response(429);
+        // An admission refusal is not a request or a response.
+        stats.refused();
         let snap = stats.snapshot();
         assert_eq!(snap.connections, 1);
-        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.requests, 4);
         assert_eq!(snap.responses_ok, 1);
-        assert_eq!(snap.responses_error, 1);
+        assert_eq!(snap.responses_error, 3);
         assert_eq!(snap.overloaded, 1);
         assert_eq!(snap.malformed, 1);
+        assert_eq!(snap.requests, snap.responses_ok + snap.responses_error);
     }
 }

@@ -5,7 +5,7 @@
 use cnp_serve::json::Json;
 use cnp_serve::{wire, ListOptions, PageRequest, Query, QueryError, Response, TaxonomyService};
 use cnp_server::{http, load, serve, LoadConfig, ProbeVocab, ServerConfig, ServerHandle};
-use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStore};
+use cnp_taxonomy::{DeltaOverlay, FrozenTaxonomy, IsAMeta, OverlayView, Source, TaxonomyStore};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -46,13 +46,18 @@ fn boot(store: TaxonomyStore, config: ServerConfig) -> ServerHandle {
 
 /// One request/response on a fresh connection.
 fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    exchange_bytes(addr, method, path, body.as_bytes())
+}
+
+/// Like [`exchange`] but with a binary payload (delta sidecars).
+fn exchange_bytes(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Json) {
     let stream = TcpStream::connect(addr).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut writer = BufWriter::new(stream);
-    let payload = (!body.is_empty()).then_some(body.as_bytes());
+    let payload = (!body.is_empty()).then_some(body);
     http::write_request(&mut writer, method, path, payload, false).unwrap();
     let response = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
         .unwrap()
@@ -162,6 +167,146 @@ fn mixed_traffic_stays_generation_consistent_across_live_reload() {
         "traffic missed one side of the swap"
     );
     std::fs::remove_file(&path).ok();
+    handle.shutdown();
+}
+
+/// The ingest-under-load gate: deltas land over the wire while eight
+/// persistent clients hammer the server, with background compaction armed
+/// at depth 2. Every answer must match the generation that served it —
+/// readers see generation N or N+1, never a torn merge — and the stats
+/// invariant `requests == ok + error` must hold once traffic drains.
+#[test]
+fn ingest_under_load_never_tears_a_generation() {
+    let base = FrozenTaxonomy::freeze(&store_a());
+    let service = Arc::new(TaxonomyService::new(OverlayView::new(base)));
+    let handle = serve(
+        service,
+        ServerConfig {
+            workers: 10,
+            queue_capacity: 20,
+            compact_threshold: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            #[allow(clippy::disallowed_methods)]
+            // raw client threads: this test attacks the server from outside the runtime
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    // Half the threads probe the entity only the first
+                    // delta introduces, half a stable one.
+                    let mention = if i % 2 == 0 { "张学友" } else { "刘德华" };
+                    let body = wire::encode_query(&Query::men2ent(mention)).write();
+                    http::write_request(
+                        &mut writer,
+                        "POST",
+                        "/v1/query",
+                        Some(body.as_bytes()),
+                        true,
+                    )
+                    .unwrap();
+                    let raw = http::read_client_response(&mut reader, http::MAX_BODY_BYTES)
+                        .unwrap()
+                        .expect("server closed a keep-alive connection");
+                    let doc = Json::parse(std::str::from_utf8(&raw.body).unwrap()).unwrap();
+                    let response = wire::decode_response(&doc).unwrap();
+                    // The answer must match the generation that served it:
+                    // 张学友 exists exactly from the first ingest onwards.
+                    match (mention, response.generation, &response.result) {
+                        ("刘德华", _, Ok(Response::Senses(_))) => {}
+                        ("张学友", 1, Err(QueryError::UnknownMention(_))) => {}
+                        ("张学友", g, Ok(Response::Senses(_))) if g >= 2 => {}
+                        other => panic!("generation-inconsistent answer: {other:?}"),
+                    }
+                    observed.push(response.generation);
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // Let traffic flow on generation 1, then land two deltas mid-flight;
+    // the second crosses the compaction threshold.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut delta = DeltaOverlay::new();
+    delta.add_entity("张学友", None);
+    delta.upsert_entity_is_a("张学友", None, "歌手", IsAMeta::new(Source::Tag, 0.95));
+    let (status, doc) = exchange_bytes(addr, "POST", "/admin/ingest", &delta.encode());
+    assert_eq!(status, 200, "ingest: {}", doc.write());
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ingested"));
+    assert_eq!(doc.get("generation").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("ops").and_then(Json::as_u64), Some(2));
+
+    let mut delta = DeltaOverlay::new();
+    delta.add_entity("王菲", None);
+    delta.upsert_entity_is_a("王菲", None, "歌手", IsAMeta::new(Source::Tag, 0.9));
+    let (status, doc) = exchange_bytes(addr, "POST", "/admin/ingest", &delta.encode());
+    assert_eq!(status, 200, "ingest: {}", doc.write());
+    assert_eq!(doc.get("generation").and_then(Json::as_u64), Some(3));
+
+    // The background fold publishes as one more generation bump; wait for
+    // it while the clients keep hammering.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.service().overlay_depth() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compaction never landed"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut saw_both = (false, false);
+    for client in clients {
+        let observed = client.join().unwrap();
+        assert!(!observed.is_empty());
+        // Generations are monotonic per connection and span the ingest.
+        assert!(observed.windows(2).all(|w| w[0] <= w[1]));
+        saw_both.0 |= observed.contains(&1);
+        saw_both.1 |= observed.iter().any(|&g| g >= 2);
+    }
+    assert!(
+        saw_both.0 && saw_both.1,
+        "traffic missed one side of the ingest"
+    );
+
+    // The compacted world still serves both deltas' entities.
+    let (status, doc) = post_query(addr, &Query::men2ent("王菲"));
+    assert_eq!(status, 200);
+    let response = wire::decode_response(&doc).unwrap();
+    assert!(response.generation >= 4, "compaction did not bump");
+    assert!(matches!(response.result, Ok(Response::Senses(_))));
+
+    // A corrupt sidecar is refused with a typed 400 and no swap.
+    let generation = handle.service().generation();
+    let (status, doc) = exchange_bytes(addr, "POST", "/admin/ingest", b"CNPDgarbage");
+    assert_eq!(status, 400);
+    assert_eq!(
+        doc.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("badDelta")
+    );
+    assert_eq!(handle.service().generation(), generation);
+
+    // Drained traffic satisfies the stats invariant.
+    let stats = handle.stats();
+    assert_eq!(stats.requests, stats.responses_ok + stats.responses_error);
+    assert_eq!(stats.overloaded, 0);
     handle.shutdown();
 }
 
@@ -440,13 +585,15 @@ fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
         concepts: vec!["歌手".to_string()],
     };
     // More connections than the remainder exercises the uneven split
-    // (10 requests over 4 tasks = 3 + 3 + 2 + 2).
+    // (10 requests over 4 tasks = 3 + 3 + 2 + 2). Two deltas ride along
+    // on the ingest task and must land as generations 2 and 3.
     let report = load::run(
         &LoadConfig {
             addr: handle.addr().to_string(),
             connections: 4,
             requests: 10,
             seed: 7,
+            ingest_deltas: 2,
         },
         &vocab,
     );
@@ -454,6 +601,10 @@ fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
     assert_eq!(report.counts.overloaded, 0);
     assert_eq!(report.counts.ok + report.counts.query_error, 10);
     assert_eq!(report.latencies_us.len(), 10);
+    let ingest = report.ingest.as_ref().expect("ingest stats");
+    assert_eq!((ingest.ok, ingest.failed), (2, 0));
+    assert_eq!(ingest.generations, [2, 3]);
+    assert!(report.check(None).is_ok());
     handle.shutdown();
 
     // Nobody listening: every exchange must come back as a typed wire
@@ -465,6 +616,7 @@ fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
             connections: 2,
             requests: 6,
             seed: 7,
+            ingest_deltas: 0,
         },
         &vocab,
     );

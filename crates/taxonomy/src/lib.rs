@@ -40,10 +40,12 @@
 //! * [`stats`] — the size metrics reported in Table I.
 
 pub mod closure;
+pub mod compact;
 pub mod frozen;
 pub mod hash;
 pub mod interner;
 pub mod mention;
+pub mod overlay;
 pub mod persist;
 pub mod query;
 pub mod read;
@@ -58,6 +60,7 @@ pub mod view;
 pub use bytes::Bytes;
 pub use frozen::FrozenTaxonomy;
 pub use interner::{Interner, Symbol};
+pub use overlay::{DeltaOverlay, IngestDelta, OverlayView};
 pub use persist::{PersistError, Snapshot};
 pub use read::{AnySnapshot, BootSnapshot, TaxonomyRead};
 pub use stats::TaxonomyStats;

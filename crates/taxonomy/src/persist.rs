@@ -48,6 +48,7 @@
 use crate::frozen::{Csr, FrozenTaxonomy};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::interner::{Interner, Symbol};
+use crate::overlay::{DeltaOp, DeltaOverlay};
 use crate::read::AnySnapshot;
 use crate::store::{ConceptId, EntityId, EntityRecord, IsAMeta, Source, TaxonomyStore};
 use crate::varint::{put_varint, varint_len, zigzag};
@@ -1331,6 +1332,213 @@ fn put_ancc_row(b: &mut BytesMut, row: &[ConceptId]) {
     }
 }
 
+// ----- delta sidecar (CNPD) -----------------------------------------------
+
+/// Magic for the delta sidecar format ([`crate::overlay::DeltaOverlay`]).
+/// Deltas are not snapshots — they are shipped next to one (or POSTed to
+/// `/admin/ingest`), so they carry their own magic instead of a `CNPB`
+/// version.
+pub(crate) const DELTA_MAGIC: &[u8; 4] = b"CNPD";
+/// Delta sidecar format version.
+pub const VERSION_DELTA: u32 = 1;
+
+const OP_ENTITY: u8 = 0;
+const OP_CONCEPT: u8 = 1;
+const OP_ALIAS: u8 = 2;
+const OP_ATTRIBUTE: u8 = 3;
+const OP_ENTITY_IS_A: u8 = 4;
+const OP_CONCEPT_IS_A: u8 = 5;
+const OP_RETRACT_ENTITY_IS_A: u8 = 6;
+const OP_RETRACT_CONCEPT_IS_A: u8 = 7;
+
+fn put_opt_str(buf: &mut BytesMut, s: Option<&str>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut &[u8]) -> Result<Option<String>, PersistError> {
+    match get_u8(buf, "option tag")? {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(buf)?)),
+        _ => Err(PersistError::BadIndex("option tag")),
+    }
+}
+
+fn put_meta(buf: &mut BytesMut, meta: &IsAMeta) {
+    buf.put_u8(meta.source.to_u8());
+    buf.put_f32_le(meta.confidence);
+}
+
+fn get_meta(buf: &mut &[u8]) -> Result<IsAMeta, PersistError> {
+    let src = get_u8(buf, "edge source")?;
+    let source = Source::from_u8(src).ok_or(PersistError::BadIndex("edge source tag"))?;
+    let confidence = get_f32(buf, "edge confidence")?;
+    Ok(IsAMeta::new(source, confidence))
+}
+
+/// Serializes a delta overlay:
+///
+/// ```text
+/// magic "CNPD" | version u32 = 1 | op-count u32 | op* | checksum u64
+/// ```
+///
+/// Each op is a tag byte followed by its string keys (u32-length-prefixed)
+/// and, for upserts, the edge metadata; the trailing checksum is the
+/// FNV-1a [`stable_hash`] of every preceding byte.
+pub(crate) fn encode_delta(d: &DeltaOverlay) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(DELTA_MAGIC);
+    buf.put_u32_le(VERSION_DELTA);
+    buf.put_u32_le(d.ops.len() as u32);
+    for op in &d.ops {
+        match op {
+            DeltaOp::Entity { name, disambig } => {
+                buf.put_u8(OP_ENTITY);
+                put_str(&mut buf, name);
+                put_opt_str(&mut buf, disambig.as_deref());
+            }
+            DeltaOp::Concept { name } => {
+                buf.put_u8(OP_CONCEPT);
+                put_str(&mut buf, name);
+            }
+            DeltaOp::Alias {
+                name,
+                disambig,
+                alias,
+            } => {
+                buf.put_u8(OP_ALIAS);
+                put_str(&mut buf, name);
+                put_opt_str(&mut buf, disambig.as_deref());
+                put_str(&mut buf, alias);
+            }
+            DeltaOp::Attribute {
+                name,
+                disambig,
+                attr,
+            } => {
+                buf.put_u8(OP_ATTRIBUTE);
+                put_str(&mut buf, name);
+                put_opt_str(&mut buf, disambig.as_deref());
+                put_str(&mut buf, attr);
+            }
+            DeltaOp::EntityIsA {
+                name,
+                disambig,
+                concept,
+                meta,
+            } => {
+                buf.put_u8(OP_ENTITY_IS_A);
+                put_str(&mut buf, name);
+                put_opt_str(&mut buf, disambig.as_deref());
+                put_str(&mut buf, concept);
+                put_meta(&mut buf, meta);
+            }
+            DeltaOp::ConceptIsA { sub, sup, meta } => {
+                buf.put_u8(OP_CONCEPT_IS_A);
+                put_str(&mut buf, sub);
+                put_str(&mut buf, sup);
+                put_meta(&mut buf, meta);
+            }
+            DeltaOp::RetractEntityIsA {
+                name,
+                disambig,
+                concept,
+            } => {
+                buf.put_u8(OP_RETRACT_ENTITY_IS_A);
+                put_str(&mut buf, name);
+                put_opt_str(&mut buf, disambig.as_deref());
+                put_str(&mut buf, concept);
+            }
+            DeltaOp::RetractConceptIsA { sub, sup } => {
+                buf.put_u8(OP_RETRACT_CONCEPT_IS_A);
+                put_str(&mut buf, sub);
+                put_str(&mut buf, sup);
+            }
+        }
+    }
+    let digest = stable_hash(&buf);
+    buf.put_u64_le(digest);
+    buf.freeze()
+}
+
+/// Deserializes a delta overlay, validating magic, version, structure and
+/// the trailing content checksum. Like the snapshot decoders, every read
+/// is capped by the remaining buffer, so hostile length fields fail with
+/// [`PersistError::Truncated`] instead of over-allocating.
+pub(crate) fn decode_delta(bytes: &[u8]) -> Result<DeltaOverlay, PersistError> {
+    if bytes.len() < 4 {
+        return Err(PersistError::Truncated("delta header"));
+    }
+    if &bytes[..4] != DELTA_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    // magic + version + op count before the body, checksum u64 after it.
+    if bytes.len() < 12 + 8 {
+        return Err(PersistError::Truncated("delta header"));
+    }
+    let (body, mut tail) = bytes.split_at(bytes.len() - 8);
+    if tail.get_u64_le() != stable_hash(body) {
+        return Err(PersistError::BadChecksum);
+    }
+    let mut buf = &body[4..];
+    let version = get_u32(&mut buf, "delta version")?;
+    if version != VERSION_DELTA {
+        return Err(PersistError::BadVersion(version));
+    }
+    let count = get_u32(&mut buf, "delta op count")? as usize;
+    let mut ops = Vec::new();
+    for _ in 0..count {
+        let op = match get_u8(&mut buf, "delta op tag")? {
+            OP_ENTITY => DeltaOp::Entity {
+                name: get_str(&mut buf)?,
+                disambig: get_opt_str(&mut buf)?,
+            },
+            OP_CONCEPT => DeltaOp::Concept {
+                name: get_str(&mut buf)?,
+            },
+            OP_ALIAS => DeltaOp::Alias {
+                name: get_str(&mut buf)?,
+                disambig: get_opt_str(&mut buf)?,
+                alias: get_str(&mut buf)?,
+            },
+            OP_ATTRIBUTE => DeltaOp::Attribute {
+                name: get_str(&mut buf)?,
+                disambig: get_opt_str(&mut buf)?,
+                attr: get_str(&mut buf)?,
+            },
+            OP_ENTITY_IS_A => DeltaOp::EntityIsA {
+                name: get_str(&mut buf)?,
+                disambig: get_opt_str(&mut buf)?,
+                concept: get_str(&mut buf)?,
+                meta: get_meta(&mut buf)?,
+            },
+            OP_CONCEPT_IS_A => DeltaOp::ConceptIsA {
+                sub: get_str(&mut buf)?,
+                sup: get_str(&mut buf)?,
+                meta: get_meta(&mut buf)?,
+            },
+            OP_RETRACT_ENTITY_IS_A => DeltaOp::RetractEntityIsA {
+                name: get_str(&mut buf)?,
+                disambig: get_opt_str(&mut buf)?,
+                concept: get_str(&mut buf)?,
+            },
+            OP_RETRACT_CONCEPT_IS_A => DeltaOp::RetractConceptIsA {
+                sub: get_str(&mut buf)?,
+                sup: get_str(&mut buf)?,
+            },
+            _ => return Err(PersistError::BadIndex("delta op tag")),
+        };
+        ops.push(op);
+    }
+    expect_consumed(buf, "delta ops")?;
+    Ok(DeltaOverlay { ops })
+}
+
 // ----- shared primitives --------------------------------------------------
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -1374,6 +1582,59 @@ mod tests {
     use super::*;
     use crate::store::{IsAMeta, Source};
     use proptest::prelude::*;
+
+    fn demo_delta() -> DeltaOverlay {
+        let mut d = DeltaOverlay::new();
+        d.add_entity("周杰伦", None);
+        d.add_entity("刘德华", Some("中国香港男演员"));
+        d.add_concept("艺人");
+        d.add_alias("周杰伦", None, "Jay Chou");
+        d.add_attribute("周杰伦", None, "出生日期");
+        d.upsert_entity_is_a("周杰伦", None, "歌手", IsAMeta::new(Source::Tag, 0.97));
+        d.upsert_concept_is_a("歌手", "艺人", IsAMeta::new(Source::SubConcept, 0.75));
+        d.retract_entity_is_a("张学友", None, "歌手");
+        d.retract_concept_is_a("演员", "人物");
+        d
+    }
+
+    #[test]
+    fn delta_round_trips() {
+        let d = demo_delta();
+        let bytes = encode_delta(&d);
+        assert_eq!(decode_delta(&bytes).expect("decode delta"), d);
+    }
+
+    #[test]
+    fn delta_decode_rejects_corruption() {
+        let d = demo_delta();
+        let bytes = encode_delta(&d);
+        assert!(matches!(
+            decode_delta(&bytes[..bytes.len() - 1]),
+            Err(PersistError::BadChecksum)
+        ));
+        assert!(matches!(
+            decode_delta(&bytes[..10]),
+            Err(PersistError::Truncated(_))
+        ));
+        let mut flipped = bytes.to_vec();
+        flipped[13] ^= 0xff;
+        assert!(decode_delta(&flipped).is_err());
+        let mut wrong_magic = bytes.to_vec();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            decode_delta(&wrong_magic),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn delta_decode_rejects_snapshot_magic() {
+        let store = demo_store();
+        assert!(matches!(
+            decode_delta(&encode(&store)),
+            Err(PersistError::BadMagic)
+        ));
+    }
 
     fn demo_store() -> TaxonomyStore {
         let mut s = TaxonomyStore::new();

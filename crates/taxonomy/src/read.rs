@@ -329,8 +329,9 @@ impl AnySnapshot {
     }
 }
 
-/// Iterator sum type for [`AnySnapshot`]'s delegated listings.
-enum Either<L, R> {
+/// Iterator sum type for [`AnySnapshot`]'s and
+/// [`crate::overlay::OverlayView`]'s delegated listings.
+pub(crate) enum Either<L, R> {
     L(L),
     R(R),
 }

@@ -311,6 +311,41 @@ impl TaxonomyStore {
         true
     }
 
+    /// Overwrites the metadata of an existing entity→concept edge **in
+    /// place**: the edge keeps its position in both adjacency rows, so a
+    /// confidence *decrease* — which [`TaxonomyStore::add_entity_is_a`]'s
+    /// max-merge refuses — re-ranks serving output without perturbing the
+    /// insertion order other rows are built from. Returns `false` (and
+    /// changes nothing) when the edge does not exist.
+    pub fn set_entity_is_a_meta(&mut self, e: EntityId, c: ConceptId, meta: IsAMeta) -> bool {
+        match self.entity_concepts[e.index()]
+            .iter_mut()
+            .find(|(cc, _)| *cc == c)
+        {
+            Some(existing) => {
+                existing.1 = meta;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrites the metadata of an existing subconcept→concept edge in
+    /// place; see [`TaxonomyStore::set_entity_is_a_meta`]. Returns `false`
+    /// when the edge does not exist.
+    pub fn set_concept_is_a_meta(&mut self, sub: ConceptId, sup: ConceptId, meta: IsAMeta) -> bool {
+        match self.concept_parents[sub.index()]
+            .iter_mut()
+            .find(|(cc, _)| *cc == sup)
+        {
+            Some(existing) => {
+                existing.1 = meta;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Removes a subconcept→concept edge; returns `true` when it existed.
     pub fn remove_concept_is_a(&mut self, sub: ConceptId, sup: ConceptId) -> bool {
         let edges = &mut self.concept_parents[sub.index()];
@@ -382,6 +417,52 @@ impl TaxonomyStore {
         self.n_concept_isa
     }
 
+    // ----- exact reconstruction (compaction thaw) -------------------------
+
+    /// Rebuilds a store from pre-assembled rows — the `thaw` half of the
+    /// compaction path (see `crate::compact`). The caller supplies every
+    /// adjacency row verbatim; this constructor only derives the lookup
+    /// maps and edge counters, so the result is *exactly* the store the
+    /// rows came from as far as `freeze_with` can observe.
+    pub(crate) fn from_raw_parts(parts: RawStoreParts) -> TaxonomyStore {
+        let RawStoreParts {
+            interner,
+            entities,
+            concepts,
+            entity_concepts,
+            concept_entities,
+            concept_parents,
+            concept_children,
+            entity_attrs,
+            entity_aliases,
+        } = parts;
+        let mut entity_by_key = FxHashMap::default();
+        for (i, rec) in entities.iter().enumerate() {
+            entity_by_key.insert((rec.name, rec.disambig), EntityId(i as u32));
+        }
+        let mut concept_by_sym = FxHashMap::default();
+        for (i, &sym) in concepts.iter().enumerate() {
+            concept_by_sym.insert(sym, ConceptId(i as u32));
+        }
+        let n_entity_isa = entity_concepts.iter().map(Vec::len).sum();
+        let n_concept_isa = concept_parents.iter().map(Vec::len).sum();
+        TaxonomyStore {
+            interner,
+            entities,
+            entity_by_key,
+            concepts,
+            concept_by_sym,
+            entity_concepts,
+            concept_entities,
+            concept_parents,
+            concept_children,
+            entity_attrs,
+            entity_aliases,
+            n_entity_isa,
+            n_concept_isa,
+        }
+    }
+
     // ----- attributes & aliases -------------------------------------------
 
     /// Attaches an infobox attribute (predicate name) to an entity.
@@ -446,6 +527,20 @@ impl TaxonomyStore {
         }
         counts
     }
+}
+
+/// Verbatim adjacency rows for [`TaxonomyStore::from_raw_parts`]: one
+/// field per store row table, in the store's own representation.
+pub(crate) struct RawStoreParts {
+    pub interner: Interner,
+    pub entities: Vec<EntityRecord>,
+    pub concepts: Vec<Symbol>,
+    pub entity_concepts: Vec<Vec<(ConceptId, IsAMeta)>>,
+    pub concept_entities: Vec<Vec<EntityId>>,
+    pub concept_parents: Vec<Vec<(ConceptId, IsAMeta)>>,
+    pub concept_children: Vec<Vec<ConceptId>>,
+    pub entity_attrs: Vec<Vec<Symbol>>,
+    pub entity_aliases: Vec<Vec<Symbol>>,
 }
 
 #[cfg(test)]

@@ -580,6 +580,12 @@ impl FrozenTaxonomyView {
         &self.buf
     }
 
+    /// A zero-copy handle to the backing buffer (`Bytes` is refcounted);
+    /// lets `crate::compact` reopen the same snapshot without copying.
+    pub(crate) fn bytes_handle(&self) -> Bytes {
+        self.buf.clone()
+    }
+
     // ----- raw accessors (panic-free) -------------------------------------
 
     fn u32_at(&self, off: usize) -> u32 {

@@ -174,6 +174,7 @@ fn main() {
         connections: 4,
         requests: 400,
         seed: 7,
+        ingest_deltas: 1,
     };
     let t = Instant::now();
     let report = load::run(&load_config, &vocab);
@@ -187,6 +188,12 @@ fn main() {
         report.counts.protocol_error,
         report.percentile_us(0.99),
     );
+    if let Some(ingest) = &report.ingest {
+        println!(
+            "ingest under load: ok={} failed={} generations={:?}",
+            ingest.ok, ingest.failed, ingest.generations
+        );
+    }
     if let Err(e) = report.check(None) {
         fail(&format!("load run: {e}"));
     }

@@ -59,6 +59,6 @@ pub use cnp_serve::{
     TaxonomyService,
 };
 pub use cnp_taxonomy::{
-    AnySnapshot, BootSnapshot, FrozenTaxonomy, FrozenTaxonomyView, PersistError, Snapshot,
-    TaxonomyRead,
+    AnySnapshot, BootSnapshot, DeltaOverlay, FrozenTaxonomy, FrozenTaxonomyView, IngestDelta,
+    OverlayView, PersistError, Snapshot, TaxonomyRead,
 };

@@ -11,7 +11,8 @@
 use cn_probase::encyclopedia::{CorpusConfig, CorpusGenerator};
 use cn_probase::pipeline::{Pipeline, PipelineConfig, PipelineOutcome};
 use cn_probase::runtime::Runtime;
-use cn_probase::FrozenTaxonomy;
+use cn_probase::taxonomy::persist::encode_frozen;
+use cn_probase::{FrozenTaxonomy, IngestDelta, OverlayView};
 
 fn run_with_threads(corpus: &cn_probase::encyclopedia::Corpus, threads: usize) -> PipelineOutcome {
     let config = PipelineConfig {
@@ -124,4 +125,94 @@ fn incremental_mode_is_thread_count_independent_too() {
     let (stats8, frozen8) = run_both(8);
     assert_eq!(stats1, stats8);
     assert_frozen_equivalent(&frozen1, &frozen8, "incremental 1 vs 8");
+}
+
+/// The write path's determinism contract: folding a delta overlay into its
+/// base (compaction) produces the **byte-identical** snapshot a from-scratch
+/// freeze of the same logical content produces, at every thread count.
+#[test]
+fn compaction_is_byte_identical_to_a_fresh_freeze_at_any_thread_count() {
+    let batch1 = CorpusGenerator::new(CorpusConfig::tiny(904)).generate();
+    let batch2 = CorpusGenerator::new(CorpusConfig::tiny(905)).generate();
+    for threads in [1, 2, 8] {
+        let config = PipelineConfig {
+            threads,
+            ..PipelineConfig::fast()
+        };
+        let pipeline = Pipeline::new(config);
+        let rt = Runtime::new(threads);
+        let outcome1 = pipeline.run(&batch1);
+        let base = FrozenTaxonomy::freeze_with(&outcome1.taxonomy, &rt);
+        let outcome2 = pipeline.run(&batch2);
+        let delta = outcome2.delta_against(&base);
+        assert!(!delta.is_empty(), "disjoint batch produced no delta");
+
+        // Serve base + delta through an overlay, then fold it down.
+        let view = OverlayView::new(base).apply(&delta);
+        let compacted = view.compacted(&rt).expect("compaction failed");
+        assert_eq!(compacted.overlay_depth(), 0, "fold left an overlay");
+
+        // A from-scratch freeze of the same logical content...
+        let mut union = outcome1.taxonomy.clone();
+        delta.apply_to_store(&mut union);
+        let fresh = FrozenTaxonomy::freeze_with(&union, &rt);
+
+        // ...is byte-identical, not merely query-identical.
+        assert_eq!(
+            encode_frozen(compacted.base()),
+            encode_frozen(&fresh),
+            "compacted snapshot diverges from fresh freeze at {threads} threads"
+        );
+        assert_frozen_equivalent(
+            compacted.base(),
+            &fresh,
+            &format!("compacted vs fresh, {threads} threads"),
+        );
+    }
+}
+
+/// Same contract with a *stack* of overlays (never-ending mode: each corpus
+/// batch lands as one delta) — one fold collapses the whole stack, and the
+/// result does not depend on the thread count either.
+#[test]
+fn stacked_overlays_compact_identically_across_thread_counts() {
+    let batches: Vec<_> = [906, 907, 908]
+        .iter()
+        .map(|&seed| CorpusGenerator::new(CorpusConfig::tiny(seed)).generate())
+        .collect();
+    let mut encodings = Vec::new();
+    for threads in [1, 2, 8] {
+        let config = PipelineConfig {
+            threads,
+            ..PipelineConfig::fast()
+        };
+        let pipeline = Pipeline::new(config);
+        let rt = Runtime::new(threads);
+        let outcome1 = pipeline.run(&batches[0]);
+        let base = FrozenTaxonomy::freeze_with(&outcome1.taxonomy, &rt);
+        let mut view = OverlayView::new(base);
+        let mut union = outcome1.taxonomy.clone();
+        for batch in &batches[1..] {
+            let outcome = pipeline.run(batch);
+            // Diff against the *live overlay* — exactly what a producer
+            // talking to a serving node between compactions sees.
+            let delta = outcome.delta_against(&view);
+            delta.apply_to_store(&mut union);
+            view = view.apply(&delta);
+        }
+        assert_eq!(view.overlay_depth(), 2);
+        let compacted = view.compacted(&rt).expect("compaction failed");
+        let fresh = FrozenTaxonomy::freeze_with(&union, &rt);
+        let bytes = encode_frozen(compacted.base());
+        assert_eq!(
+            bytes,
+            encode_frozen(&fresh),
+            "stacked compaction diverges from fresh freeze at {threads} threads"
+        );
+        encodings.push(bytes);
+    }
+    assert!(
+        encodings.windows(2).all(|w| w[0] == w[1]),
+        "compacted bytes differ across thread counts"
+    );
 }

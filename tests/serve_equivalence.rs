@@ -13,7 +13,8 @@ use cn_probase::pipeline::{Pipeline, PipelineConfig};
 use cn_probase::serve::{CursorError, EntityHit, Paged};
 use cn_probase::taxonomy::EntityId;
 use cn_probase::{
-    ListOptions, PageRequest, ProbaseApi, Query, QueryError, Response, TaxonomyService,
+    FrozenTaxonomy, ListOptions, OverlayView, PageRequest, ProbaseApi, Query, QueryError, Response,
+    TaxonomyService,
 };
 use std::path::PathBuf;
 
@@ -258,4 +259,152 @@ fn foreign_and_stale_cursors_are_typed_errors() {
     let fresh = service.execute(&query_for("人物", None));
     assert_eq!(fresh.generation, 2);
     assert!(fresh.result.is_ok());
+}
+
+/// Serving `base + delta` through an [`OverlayView`] must answer every
+/// query identically — same ids, same order, same confidences — to a
+/// snapshot materialised from the merged content. Ids line up because the
+/// overlay mints them in log order, exactly the ids a compaction replay
+/// assigns.
+#[test]
+fn overlay_answers_match_the_materialised_snapshot() {
+    let batch1 = CorpusGenerator::new(CorpusConfig::tiny(921)).generate();
+    let batch2 = CorpusGenerator::new(CorpusConfig::tiny(922)).generate();
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    let outcome1 = pipeline.run(&batch1);
+    let base = outcome1.freeze();
+    let delta = pipeline.run(&batch2).delta_against(&base);
+    assert!(!delta.is_empty(), "disjoint batch produced no delta");
+
+    let overlaid = TaxonomyService::new(OverlayView::new(base).apply(&delta));
+    let mut union = outcome1.taxonomy.clone();
+    delta.apply_to_store(&mut union);
+    let materialised = TaxonomyService::new(FrozenTaxonomy::freeze(&union));
+
+    let f = materialised.pin();
+    let f = f.frozen();
+    let mut queries: Vec<Query> = Vec::new();
+    for corpus in [&batch1, &batch2] {
+        for page in &corpus.pages {
+            queries.push(Query::men2ent(&page.name));
+            queries.push(Query::MentionSenses {
+                mention: page.name.clone(),
+            });
+            for transitive in [false, true] {
+                queries.push(Query::GetConceptByMention {
+                    mention: page.name.clone(),
+                    options: ListOptions {
+                        transitive,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+    }
+    for e in f.entity_ids() {
+        queries.push(Query::GetConcept {
+            entity: f.entity_key(e),
+            options: ListOptions::transitive(),
+        });
+    }
+    for c in f.concept_ids() {
+        let name = f.concept_name(c).to_string();
+        queries.push(Query::AncestorsOf {
+            concept: name.clone(),
+        });
+        for limit in [2usize, usize::MAX] {
+            queries.push(Query::GetEntity {
+                concept: name.clone(),
+                options: ListOptions {
+                    transitive: true,
+                    min_confidence: 0.0,
+                    page: PageRequest::first(limit),
+                },
+            });
+        }
+    }
+    assert!(queries.len() > 500, "probe battery too small");
+    for query in &queries {
+        assert_eq!(
+            overlaid.execute(query).result,
+            materialised.execute(query).result,
+            "overlay and materialised snapshot disagree on {query:?}"
+        );
+    }
+}
+
+/// An `/admin/ingest`-style overlay apply is a generation bump like any
+/// other swap: cursors minted before it are rejected with the typed
+/// `WrongGeneration` error afterwards, and a fresh walk on the new
+/// generation stitches the post-ingest enumeration.
+#[test]
+fn cursor_walks_are_generation_bound_across_ingest() {
+    let corpus = CorpusGenerator::new(CorpusConfig::tiny(923)).generate();
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    let outcome = pipeline.run(&corpus);
+    let base = outcome.freeze();
+    let concept = {
+        // Pick the concept with the largest transitive extent so every
+        // walk below needs several pages.
+        let c = base
+            .concept_ids()
+            .max_by_key(|&c| base.descendants(c).len())
+            .expect("nonempty taxonomy");
+        base.concept_name(c).to_string()
+    };
+    let service = TaxonomyService::new(OverlayView::new(base));
+
+    let query_for = |cursor: Option<cn_probase::Cursor>| Query::GetEntity {
+        concept: concept.clone(),
+        options: ListOptions::transitive().with_page(PageRequest { limit: 2, cursor }),
+    };
+    let first = service.execute(&query_for(None));
+    assert_eq!(first.generation, 1);
+    let Ok(Response::Entities(Paged {
+        next: Some(cursor), ..
+    })) = first.result
+    else {
+        panic!("need a continuation cursor");
+    };
+
+    // Ingest a second batch; the swap bumps the generation.
+    let batch2 = CorpusGenerator::new(CorpusConfig::tiny(924)).generate();
+    let delta = pipeline.run(&batch2).delta_against(service.pin().frozen());
+    assert_eq!(service.ingest(&delta).expect("ingest"), 2);
+
+    // The pre-ingest cursor is now typed-stale, never mis-sliced.
+    let stale = service.execute(&query_for(Some(cursor))).result;
+    assert_eq!(
+        stale,
+        Err(QueryError::InvalidCursor(CursorError::WrongGeneration {
+            cursor: 1,
+            serving: 2
+        }))
+    );
+
+    // A fresh walk on generation 2 stitches back to the unpaged
+    // post-ingest result.
+    let unpaged_query = Query::GetEntity {
+        concept: concept.clone(),
+        options: ListOptions::transitive(),
+    };
+    let Ok(Response::Entities(unpaged)) = service.execute(&unpaged_query).result else {
+        panic!("unpaged");
+    };
+    let mut stitched: Vec<EntityHit> = Vec::new();
+    let mut cursor = None;
+    loop {
+        let response = service.execute(&query_for(cursor.take()));
+        assert_eq!(response.generation, 2);
+        let Ok(Response::Entities(page)) = response.result else {
+            panic!("page");
+        };
+        assert_eq!(page.total, unpaged.total, "total is page-invariant");
+        stitched.extend(page.items);
+        match page.next {
+            Some(next) => cursor = Some(next),
+            None => break,
+        }
+    }
+    assert_eq!(stitched, unpaged.items);
 }
