@@ -1,0 +1,143 @@
+//! Tagging workload throughput: direct `Tagger` calls vs the serving path.
+//!
+//! The second serving workload (`cnp_tag`) runs whole documents through
+//! segmentation → span resolution → hierarchical concept scoring, so its
+//! cost profile is very different from the point lookups of Table II.
+//! This bench builds one pipeline-produced taxonomy, takes the corpus's
+//! own page abstracts as the document set (real vocabulary hit-rate, not
+//! synthetic strings), and measures
+//!
+//! * **tag/direct** — `Tagger::tag` in a serial loop (spans + concepts);
+//! * **classify/direct** — `Tagger::classify`, the concepts-only variant
+//!   the eval harness and `/v1/tag?classify=1` use;
+//! * **tag/service** — the same documents as `Query::Tag` through
+//!   `TaxonomyService::execute`, pricing the wire-facing layer (per-query
+//!   dispatch + per-generation tag-index reuse);
+//! * **tag/batch2** — one `execute_batch` on a 2-thread runtime, the
+//!   shape `cnp_load --tag-ratio` drives in CI.
+//!
+//! The one-shot table up front prints docs/s so the bench trajectory in
+//! BENCH_*.json has a human-readable anchor without parsing Criterion
+//! output.
+
+use cnp_serve::{Query, TaxonomyService};
+use cnp_tag::{TagOptions, Tagger};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Documents per iteration: enough to amortise setup, small enough that
+/// a Criterion sample stays under a second on a CI container.
+const DOCS: usize = 256;
+
+fn build_workload() -> (cnp_taxonomy::FrozenTaxonomy, Vec<String>) {
+    let corpus =
+        cnp_encyclopedia::CorpusGenerator::new(cnp_encyclopedia::CorpusConfig::small(7)).generate();
+    let outcome = cnp_core::Pipeline::new(cnp_core::PipelineConfig::fast()).run(&corpus);
+    let frozen = outcome.freeze();
+    // The corpus's own abstracts: every document mentions taxonomy
+    // entities by construction, so the tagger exercises the full
+    // resolve-and-score path instead of falling through to OOV handling.
+    let docs: Vec<String> = corpus
+        .pages
+        .iter()
+        .take(DOCS)
+        .map(|p| p.abstract_text.clone())
+        .collect();
+    (frozen, docs)
+}
+
+/// One-shot docs/s comparison so the workload's scale is visible without
+/// reading Criterion output.
+fn print_comparison(frozen: &cnp_taxonomy::FrozenTaxonomy, docs: &[String]) {
+    let options = TagOptions::default();
+    let tagger = Tagger::new(Arc::new(frozen.clone()));
+    let reps = 3;
+    let t = Instant::now();
+    for _ in 0..reps {
+        for doc in docs {
+            black_box(tagger.tag(doc, &options));
+        }
+    }
+    let direct = t.elapsed();
+    let service = TaxonomyService::new(frozen.clone());
+    let queries: Vec<Query> = docs
+        .iter()
+        .map(|doc| Query::Tag {
+            text: doc.clone(),
+            options: options.clone(),
+        })
+        .collect();
+    let t = Instant::now();
+    for _ in 0..reps {
+        for q in &queries {
+            black_box(service.execute(q));
+        }
+    }
+    let served = t.elapsed();
+    let docs_per_sec =
+        |d: std::time::Duration| (reps * docs.len()) as f64 / d.as_secs_f64().max(1e-12);
+    println!(
+        "\n========= tagging_throughput: {} documents =========",
+        docs.len()
+    );
+    println!(
+        "tag, direct : {direct:>10.1?}   {:>9.0} docs/s",
+        docs_per_sec(direct)
+    );
+    println!(
+        "tag, served : {served:>10.1?}   {:>9.0} docs/s",
+        docs_per_sec(served)
+    );
+    println!("=====================================================\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let (frozen, docs) = build_workload();
+    print_comparison(&frozen, &docs);
+
+    let mut group = c.benchmark_group("tagging_throughput");
+    group.sample_size(10);
+
+    let options = TagOptions::default();
+    let tagger = Tagger::new(Arc::new(frozen.clone()));
+    group.bench_function("tag/direct", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                black_box(tagger.tag(doc, &options));
+            }
+        })
+    });
+    group.bench_function("classify/direct", |b| {
+        b.iter(|| {
+            for doc in &docs {
+                black_box(tagger.classify(doc, &options));
+            }
+        })
+    });
+
+    let queries: Vec<Query> = docs
+        .iter()
+        .map(|doc| Query::Tag {
+            text: doc.clone(),
+            options: options.clone(),
+        })
+        .collect();
+    let service = TaxonomyService::new(frozen.clone());
+    group.bench_function("tag/service", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(service.execute(q));
+            }
+        })
+    });
+    let batch_service = TaxonomyService::with_runtime(frozen.clone(), cnp_runtime::Runtime::new(2));
+    group.bench_function("tag/batch2", |b| {
+        b.iter(|| black_box(batch_service.execute_batch(&queries)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,12 +9,16 @@
 //!   set; covered = question mentions a taxonomy entity or concept).
 //! * [`baselines`] — Chinese WikiTaxonomy, Bigcilin and Probase-Tran.
 //! * [`comparison`] — the Table I four-system comparison.
+//! * [`tagging`] — precision@k of the document-tagging workload over a
+//!   committed labelled mini-corpus.
 
 pub mod baselines;
 pub mod comparison;
 pub mod coverage;
 pub mod precision;
+pub mod tagging;
 
 pub use comparison::{Comparison, TableRow};
 pub use coverage::{coverage, generate_questions, CoverageResult, Question};
 pub use precision::{estimate, per_source, PrecisionEstimate};
+pub use tagging::{corpus as tagging_corpus, precision_at_k, TagCase};

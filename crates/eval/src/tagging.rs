@@ -1,0 +1,181 @@
+//! Tagging evaluation: precision@k over a committed labelled mini-corpus.
+//!
+//! The tagging workload (`cnp_tag`) returns ranked concepts for a
+//! document; this module measures how often the gold label lands in the
+//! top *k*. The corpus lives in `fixtures/tagging_corpus.tsv` — one
+//! `document <TAB> gold₁|gold₂` case per line, written against the world
+//! of [`mini_store`] and compiled in, so the measurement is reproducible
+//! from a clean checkout (ISSUE 10 acceptance: precision@1 ≥ 0.8).
+
+use crate::precision::PrecisionEstimate;
+use cnp_tag::{TagOptions, Tagger};
+use cnp_taxonomy::{IsAMeta, Source, TaxonomyRead, TaxonomyStore};
+
+/// One labelled document: the text and its acceptable gold concepts
+/// (any of them counts as a hit — some documents are legitimately about
+/// two things).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagCase {
+    /// The document to tag.
+    pub text: String,
+    /// Acceptable gold concept names, in fixture order.
+    pub gold: Vec<String>,
+}
+
+/// The committed mini-corpus, parsed from the fixture. Lines starting
+/// with `#` are comments.
+pub fn corpus() -> Vec<TagCase> {
+    include_str!("../fixtures/tagging_corpus.tsv")
+        .lines()
+        .filter(|line| !line.trim().is_empty() && !line.starts_with('#'))
+        .map(|line| {
+            let (text, gold) = line
+                .split_once('\t')
+                .unwrap_or_else(|| panic!("malformed corpus line: {line:?}"));
+            TagCase {
+                text: text.to_string(),
+                gold: gold.split('|').map(str::to_string).collect(),
+            }
+        })
+        .collect()
+}
+
+/// The small known world the corpus is labelled against: entertainers,
+/// athletes, places and food, with enough hierarchy for the
+/// coarse-to-fine scorer to climb.
+pub fn mini_store() -> TaxonomyStore {
+    let mut s = TaxonomyStore::new();
+    let person = s.add_concept("人物");
+    let artist = s.add_concept("艺人");
+    let singer = s.add_concept("歌手");
+    let actor = s.add_concept("演员");
+    let athlete = s.add_concept("运动员");
+    let basketball = s.add_concept("篮球运动员");
+    let football = s.add_concept("足球运动员");
+    let place = s.add_concept("地点");
+    let city = s.add_concept("城市");
+    let _food = s.add_concept("美食");
+    s.add_concept_is_a(artist, person, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(singer, artist, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(actor, artist, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(athlete, person, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(basketball, athlete, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(football, athlete, IsAMeta::new(Source::SubConcept, 0.9));
+    s.add_concept_is_a(city, place, IsAMeta::new(Source::SubConcept, 0.9));
+
+    let entity = |s: &mut TaxonomyStore, name: &str, edges: &[(&str, f32)]| {
+        let e = s.add_entity(name, None);
+        for &(concept, confidence) in edges {
+            let c = s.find_concept(concept).expect("concept added above");
+            s.add_entity_is_a(e, c, IsAMeta::new(Source::Tag, confidence));
+        }
+    };
+    entity(&mut s, "刘德华", &[("演员", 0.96), ("歌手", 0.7)]);
+    entity(&mut s, "张学友", &[("歌手", 0.95)]);
+    entity(&mut s, "周杰伦", &[("歌手", 0.97)]);
+    entity(&mut s, "姚明", &[("篮球运动员", 0.96)]);
+    entity(&mut s, "科比", &[("篮球运动员", 0.95)]);
+    entity(&mut s, "梅西", &[("足球运动员", 0.97)]);
+    entity(&mut s, "北京", &[("城市", 0.98)]);
+    entity(&mut s, "上海", &[("城市", 0.98)]);
+    entity(&mut s, "火锅", &[("美食", 0.9)]);
+    entity(&mut s, "寿司", &[("美食", 0.9)]);
+    s
+}
+
+/// Precision@k: the fraction of cases whose top-`k` tagged concepts
+/// contain one of the gold labels. Reuses [`PrecisionEstimate`] so the
+/// point-estimate convention (`1.0` on an empty sample) matches the §IV
+/// edge-precision protocol.
+pub fn precision_at_k<B: TaxonomyRead>(
+    tagger: &Tagger<B>,
+    cases: &[TagCase],
+    k: usize,
+) -> PrecisionEstimate {
+    let options = TagOptions::default().with_top_k(k);
+    let correct = cases
+        .iter()
+        .filter(|case| {
+            let hits = tagger.classify(&case.text, &options);
+            hits.iter().any(|h| case.gold.iter().any(|g| g == &h.name))
+        })
+        .count();
+    PrecisionEstimate {
+        correct,
+        sampled: cases.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_taxonomy::FrozenTaxonomy;
+    use std::sync::Arc;
+
+    fn tagger() -> Tagger<FrozenTaxonomy> {
+        Tagger::new(Arc::new(FrozenTaxonomy::freeze(&mini_store())))
+    }
+
+    #[test]
+    fn corpus_parses_and_is_nonempty() {
+        let cases = corpus();
+        assert!(cases.len() >= 10, "mini-corpus shrank to {}", cases.len());
+        assert!(cases
+            .iter()
+            .all(|c| !c.text.is_empty() && !c.gold.is_empty()));
+    }
+
+    #[test]
+    fn every_gold_label_names_a_taxonomy_concept() {
+        let store = mini_store();
+        for case in corpus() {
+            for gold in &case.gold {
+                assert!(
+                    store.find_concept(gold).is_some(),
+                    "gold label {gold:?} of {:?} is not a concept",
+                    case.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precision_at_1_meets_the_acceptance_floor() {
+        let est = precision_at_k(&tagger(), &corpus(), 1);
+        assert!(
+            est.precision() >= 0.8,
+            "precision@1 = {:.3} ({} of {}) below the 0.8 floor",
+            est.precision(),
+            est.correct,
+            est.sampled
+        );
+    }
+
+    #[test]
+    fn precision_is_monotone_in_k_and_perfect_by_3() {
+        let t = tagger();
+        let cases = corpus();
+        let p1 = precision_at_k(&t, &cases, 1).precision();
+        let p3 = precision_at_k(&t, &cases, 3).precision();
+        assert!(p3 >= p1, "p@3 {p3} < p@1 {p1}");
+        assert!(
+            (p3 - 1.0).abs() < 1e-12,
+            "p@3 = {p3}: the mini-world is small enough that the gold \
+             concept must always surface in the top 3"
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let a = precision_at_k(&tagger(), &corpus(), 1);
+        let b = precision_at_k(&tagger(), &corpus(), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_corpus_is_trivially_perfect() {
+        let est = precision_at_k(&tagger(), &[], 1);
+        assert_eq!(est.sampled, 0);
+        assert_eq!(est.precision(), 1.0);
+    }
+}

@@ -46,7 +46,7 @@ pub const RULES: &[RuleInfo] = &[
         summary:
             "no unwrap/expect/panic!/unreachable!/todo!/unimplemented!/slice-index-by-literal \
                   in non-test serving code",
-        scope: "crates/serve/src, crates/server/src, \
+        scope: "crates/serve/src, crates/server/src, crates/tag/src, \
                 crates/taxonomy/src/{frozen,view,read,varint}.rs",
     },
     RuleInfo {
@@ -59,7 +59,7 @@ pub const RULES: &[RuleInfo] = &[
         name: DETERMINISM,
         summary: "no Instant::now/SystemTime/unseeded RNG, and no hash-map/set iteration, in \
                   pipeline-stage and freeze code",
-        scope: "crates/core/src, crates/taxonomy/src/{frozen,topo}.rs",
+        scope: "crates/core/src, crates/tag/src, crates/taxonomy/src/{frozen,topo}.rs",
     },
     RuleInfo {
         name: CAPPED_DECODE,
@@ -105,6 +105,9 @@ fn builtin_allowed(file: &str, rule: &str) -> bool {
 fn no_panic_scope(rel: &str) -> bool {
     rel.starts_with("crates/serve/src/")
         || rel.starts_with("crates/server/src/")
+        // The tagger executes inside serving workers (Query::Tag); it is
+        // serving-path code from day one.
+        || rel.starts_with("crates/tag/src/")
         || matches!(
             rel,
             "crates/taxonomy/src/frozen.rs"
@@ -120,6 +123,9 @@ fn runtime_owns_scope(rel: &str) -> bool {
 
 fn determinism_scope(rel: &str) -> bool {
     rel.starts_with("crates/core/src/")
+        // Tag responses are part of the byte-identical-across-backends
+        // contract, so scoring must be a pure function of its input.
+        || rel.starts_with("crates/tag/src/")
         || rel == "crates/taxonomy/src/frozen.rs"
         || rel == "crates/taxonomy/src/topo.rs"
 }
@@ -886,6 +892,24 @@ mod tests {
         // Reading through the merged view is fine anywhere.
         let ok = "fn g(view: &dyn TaxonomyRead) -> usize { view.men2ent(\"m\").len() }";
         assert!(findings("crates/serve/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn tag_crate_is_serving_path_and_deterministic_scope() {
+        // ISSUE 10: cnp_tag executes inside serving workers and its
+        // output is part of the byte-identical contract — both rules
+        // govern it.
+        let f = findings(
+            "crates/tag/src/score.rs",
+            "fn f() {\n  v.unwrap();\n  let t = Instant::now();\n}\n",
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec![NO_PANIC, DETERMINISM], "{f:#?}");
+        let hash =
+            "fn g() {\n  let mut m = FxHashMap::default();\n  for (k, v) in &m { emit(k); }\n}\n";
+        let f = findings("crates/tag/src/index.rs", hash);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, DETERMINISM);
     }
 
     #[test]

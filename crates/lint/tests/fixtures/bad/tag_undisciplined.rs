@@ -1,0 +1,14 @@
+//@ path: crates/tag/src/score.rs
+//! Tagger code violating both rules that govern `crates/tag`: panicking
+//! constructs on the serving path and nondeterminism in scoring.
+
+pub fn score(senses: Option<u32>, spans: &[u8]) -> u8 {
+    let n = senses.unwrap();
+    let started = Instant::now();
+    let mut mass = FxHashMap::default();
+    mass.insert(n, started);
+    for (concept, weight) in &mass {
+        emit(concept, weight);
+    }
+    spans[0]
+}

@@ -1,0 +1,19 @@
+//@ path: crates/tag/src/score.rs
+//! The disciplined shape of tagger code: `cnp_tag` is serving-path *and*
+//! determinism scope, so scores accumulate in ordered containers, spans
+//! index with `.get`, and nothing touches clocks or ambient RNG.
+
+use std::collections::BTreeMap;
+
+pub fn accumulate(evidence: &[(u32, f64)], first: &[u8]) -> Vec<(u32, f64)> {
+    // BTreeMap iteration order is the key order — deterministic.
+    let mut mass: BTreeMap<u32, f64> = BTreeMap::new();
+    for &(concept, weight) in evidence {
+        *mass.entry(concept).or_insert(0.0) += weight;
+    }
+    let lead = first.get(0).copied().unwrap_or(0);
+    let mut ranked: Vec<(u32, f64)> = mass.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(usize::from(lead).max(1));
+    ranked
+}

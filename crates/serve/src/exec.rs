@@ -17,19 +17,32 @@ use crate::response::{
     ConceptHit, CursorError, EntityHit, Paged, QueryError, QueryResponse, Response, Sense,
     SenseConcepts,
 };
+use cnp_tag::{classify_with, tag_with, TagIndex};
 use cnp_taxonomy::hash::FxHashSet;
 use cnp_taxonomy::mention::has_disambig;
 use cnp_taxonomy::{ConceptId, EntityId, TaxonomyRead};
 
-/// Executes one query against one pinned snapshot generation.
-pub(crate) fn execute<T: TaxonomyRead>(f: &T, generation: u64, query: &Query) -> QueryResponse {
+/// Executes one query against one pinned snapshot generation. `tag_index`
+/// lazily supplies the generation's vocabulary-seeded [`TagIndex`]; only
+/// the tagging queries force it.
+pub(crate) fn execute<'a, T: TaxonomyRead>(
+    f: &'a T,
+    generation: u64,
+    query: &Query,
+    tag_index: impl FnOnce() -> &'a TagIndex,
+) -> QueryResponse {
     QueryResponse {
         generation,
-        result: run(f, generation, query),
+        result: run(f, generation, query, tag_index),
     }
 }
 
-fn run<T: TaxonomyRead>(f: &T, generation: u64, query: &Query) -> Result<Response, QueryError> {
+fn run<'a, T: TaxonomyRead>(
+    f: &'a T,
+    generation: u64,
+    query: &Query,
+    tag_index: impl FnOnce() -> &'a TagIndex,
+) -> Result<Response, QueryError> {
     match query {
         Query::Men2Ent { mention } => {
             let ids = known_senses(f, mention)?;
@@ -105,6 +118,15 @@ fn run<T: TaxonomyRead>(f: &T, generation: u64, query: &Query) -> Result<Respons
             sup,
             transitive,
         } => is_a(f, sub, sup, *transitive),
+        // Tagging never errors: an empty or unresolvable document is a
+        // legitimately empty result, not an unknown name.
+        Query::Tag { text, options } => Ok(Response::Tags(tag_with(f, tag_index(), text, options))),
+        Query::Classify { text, options } => Ok(Response::Classified(classify_with(
+            f,
+            tag_index(),
+            text,
+            options,
+        ))),
     }
 }
 

@@ -71,3 +71,7 @@ pub use response::{
     SenseConcepts,
 };
 pub use service::{PinnedSnapshot, TaxonomyService};
+
+// The tagging workload's request/response vocabulary, re-exported so wire
+// and server layers (and downstream users) need only this crate.
+pub use cnp_tag::{SpanKind, TagHit, TagIndex, TagOptions, TagOutput, TagSpan};

@@ -3,6 +3,7 @@
 
 use crate::response::CursorError;
 use cnp_runtime::stable_hash_str;
+use cnp_tag::TagOptions;
 
 /// Which page of a list result to return.
 ///
@@ -170,6 +171,22 @@ pub enum Query {
         /// Follow the isA closure instead of direct edges only.
         transitive: bool,
     },
+    /// Tag a document: segment, resolve mentions, rank taxonomy concepts
+    /// coarse-to-fine; answers with evidence spans plus the concept list.
+    Tag {
+        /// The document text.
+        text: String,
+        /// Result size, score floor, refinement beam.
+        options: TagOptions,
+    },
+    /// Classify a document: the same scoring pass as [`Query::Tag`], but
+    /// the answer carries the ranked concepts only.
+    Classify {
+        /// The document text.
+        text: String,
+        /// Result size, score floor, refinement beam.
+        options: TagOptions,
+    },
 }
 
 impl Query {
@@ -210,6 +227,18 @@ impl Query {
                 sup,
                 transitive,
             } => format!("isA{SEP}{sub}{SEP}{sup}{SEP}{transitive}"),
+            Query::Tag { text, options } => format!(
+                "tag{SEP}{text}{SEP}{}{SEP}{:08x}{SEP}{}",
+                options.top_k,
+                options.min_score.to_bits(),
+                options.beam
+            ),
+            Query::Classify { text, options } => format!(
+                "classify{SEP}{text}{SEP}{}{SEP}{:08x}{SEP}{}",
+                options.top_k,
+                options.min_score.to_bits(),
+                options.beam
+            ),
         };
         stable_hash_str(&canon)
     }

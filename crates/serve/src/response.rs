@@ -2,6 +2,7 @@
 //! the generation-stamped [`QueryResponse`] envelope.
 
 use crate::query::Cursor;
+use cnp_tag::{TagHit, TagOutput};
 use cnp_taxonomy::{ConceptId, EntityId};
 use std::fmt;
 
@@ -156,6 +157,10 @@ pub enum Response {
         /// Whether the isA relation holds.
         holds: bool,
     },
+    /// `Tag`: the document's evidence spans plus the ranked concepts.
+    Tags(TagOutput),
+    /// `Classify`: the ranked concepts only.
+    Classified(Vec<TagHit>),
 }
 
 /// The response envelope: every answer is stamped with the snapshot

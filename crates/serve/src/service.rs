@@ -5,13 +5,14 @@ use crate::exec;
 use crate::query::Query;
 use crate::response::QueryResponse;
 use cnp_runtime::Runtime;
+use cnp_tag::TagIndex;
 use cnp_taxonomy::persist::{PersistError, Snapshot};
 use cnp_taxonomy::{
     BootSnapshot, DeltaOverlay, FrozenTaxonomy, IngestDelta, TaxonomyRead, TaxonomyStore,
 };
 use parking_lot::{Mutex, RwLock};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Minimum queries a batch worker must have before another worker is
 /// worth spawning: below this, thread hand-off costs more than the
@@ -19,11 +20,25 @@ use std::sync::Arc;
 const MIN_BATCH_PER_WORKER: usize = 32;
 
 /// One immutable serving state: a snapshot backend plus its generation
-/// number.
+/// number, and the generation's lazily-built tagging index (the
+/// vocabulary-seeded segmenter is derived state of the snapshot, so it
+/// lives and dies with the generation — the first `Tag`/`Classify` query
+/// on a generation pays the build, every later one shares it).
 #[derive(Debug)]
 struct Generation<T> {
     number: u64,
     snapshot: T,
+    tag: OnceLock<TagIndex>,
+}
+
+impl<T> Generation<T> {
+    fn new(number: u64, snapshot: T) -> Self {
+        Generation {
+            number,
+            snapshot,
+            tag: OnceLock::new(),
+        }
+    }
 }
 
 /// A pinned snapshot generation: queries executed through it all see the
@@ -54,9 +69,20 @@ impl<T: TaxonomyRead> PinnedSnapshot<T> {
     }
 
     /// Executes one query on the pinned generation — lock-free: the
-    /// snapshot is immutable and the executor takes `&self` only.
+    /// snapshot is immutable and the executor takes `&self` only. (The
+    /// first tagging query on a generation races benignly on the
+    /// `OnceLock`-guarded index build; everything else is `&`-only.)
     pub fn execute(&self, query: &Query) -> QueryResponse {
-        exec::execute(&self.inner.snapshot, self.inner.number, query)
+        exec::execute(&self.inner.snapshot, self.inner.number, query, || {
+            self.tag_index()
+        })
+    }
+
+    /// The generation's tagging index, building it on first use.
+    pub fn tag_index(&self) -> &TagIndex {
+        self.inner
+            .tag
+            .get_or_init(|| TagIndex::build(&self.inner.snapshot))
     }
 }
 
@@ -119,10 +145,7 @@ impl<T: TaxonomyRead> TaxonomyService<T> {
     pub fn with_runtime(snapshot: T, runtime: Runtime) -> Self {
         TaxonomyService {
             // cnp-lint: allow(runtime-owns-concurrency) reason="the hot-swap generation pointer: read-locked for one Arc clone per query, write-locked only by swap(); no compute happens under it"
-            current: RwLock::new(Arc::new(Generation {
-                number: 1,
-                snapshot,
-            })),
+            current: RwLock::new(Arc::new(Generation::new(1, snapshot))),
             runtime,
             // cnp-lint: allow(runtime-owns-concurrency) reason="admin-plane serialisation only: ingest holds it across pin→fold→swap so concurrent ingests cannot fold from the same parent generation and lose a delta; never touched on the query path"
             admin: Mutex::new(()),
@@ -185,7 +208,7 @@ impl<T: TaxonomyRead> TaxonomyService<T> {
     pub fn swap(&self, snapshot: T) -> u64 {
         let mut current = self.current.write();
         let number = current.number + 1;
-        let old = std::mem::replace(&mut *current, Arc::new(Generation { number, snapshot }));
+        let old = std::mem::replace(&mut *current, Arc::new(Generation::new(number, snapshot)));
         drop(current);
         // If this was the last reference, the old snapshot (a structure
         // sized for the whole taxonomy) deallocates *after* the write
@@ -206,7 +229,7 @@ impl<T: TaxonomyRead> TaxonomyService<T> {
             return None;
         }
         let number = expected + 1;
-        let old = std::mem::replace(&mut *current, Arc::new(Generation { number, snapshot }));
+        let old = std::mem::replace(&mut *current, Arc::new(Generation::new(number, snapshot)));
         drop(current);
         drop(old);
         Some(number)

@@ -36,6 +36,7 @@ use crate::response::{
     ConceptHit, CursorError, EntityHit, Paged, QueryError, QueryResponse, Response, Sense,
     SenseConcepts,
 };
+use cnp_tag::{SpanKind, TagHit, TagOptions, TagOutput, TagSpan};
 use cnp_taxonomy::{ConceptId, EntityId};
 use std::fmt;
 
@@ -141,6 +142,16 @@ pub fn encode_query(query: &Query) -> Json {
             push("sup", Json::str(sup.clone()));
             push("transitive", Json::Bool(*transitive));
         }
+        Query::Tag { text, options } => {
+            push("op", Json::str("tag"));
+            push("text", Json::str(text.clone()));
+            push("options", encode_tag_options(options));
+        }
+        Query::Classify { text, options } => {
+            push("op", Json::str("classify"));
+            push("text", Json::str(text.clone()));
+            push("options", encode_tag_options(options));
+        }
     }
     Json::Obj(fields)
 }
@@ -179,6 +190,14 @@ pub fn decode_query(doc: &Json) -> Result<Query, WireError> {
                 .map(|v| v.as_bool().ok_or_else(|| type_err("transitive", "bool")))
                 .transpose()?
                 .unwrap_or(false),
+        }),
+        "tag" => Ok(Query::Tag {
+            text: req_str(doc, "text")?.to_string(),
+            options: decode_tag_options(doc.get("options"))?,
+        }),
+        "classify" => Ok(Query::Classify {
+            text: req_str(doc, "text")?.to_string(),
+            options: decode_tag_options(doc.get("options"))?,
         }),
         other => Err(WireError::new(format!("unknown op {other:?}"))),
     }
@@ -241,6 +260,70 @@ fn decode_options(doc: Option<&Json>) -> Result<ListOptions, WireError> {
         transitive,
         min_confidence,
         page: PageRequest { limit, cursor },
+    })
+}
+
+/// Decodes the body of the dedicated `/v1/tag` endpoint: a tagging query
+/// whose `op` *defaults to `"tag"`* when absent (the endpoint already
+/// names the operation), with `"op":"classify"` selecting the
+/// concepts-only variant. Any other op is rejected — the endpoint serves
+/// the tagging workload only; general queries go to `/v1/query`.
+pub fn decode_tag_query(doc: &Json) -> Result<Query, WireError> {
+    let op = match doc.get("op") {
+        None | Some(Json::Null) => "tag",
+        Some(v) => v.as_str().ok_or_else(|| type_err("op", "string"))?,
+    };
+    let text = req_str(doc, "text")?.to_string();
+    let options = decode_tag_options(doc.get("options"))?;
+    match op {
+        "tag" => Ok(Query::Tag { text, options }),
+        "classify" => Ok(Query::Classify { text, options }),
+        other => Err(WireError::new(format!(
+            "op {other:?} is not a tagging query"
+        ))),
+    }
+}
+
+fn encode_tag_options(options: &TagOptions) -> Json {
+    Json::Obj(vec![
+        ("topK".to_string(), Json::num(options.top_k as f64)),
+        (
+            "minScore".to_string(),
+            Json::num(f64::from(options.min_score)),
+        ),
+        ("beam".to_string(), Json::num(options.beam as f64)),
+    ])
+}
+
+fn decode_tag_options(doc: Option<&Json>) -> Result<TagOptions, WireError> {
+    let defaults = TagOptions::default();
+    let Some(doc) = doc else {
+        return Ok(defaults);
+    };
+    if doc.is_null() {
+        return Ok(defaults);
+    }
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(type_err("options", "object"));
+    }
+    let top_k = match doc.get("topK") {
+        None | Some(Json::Null) => defaults.top_k,
+        Some(v) => usize::try_from(v.as_u64().ok_or_else(|| type_err("topK", "integer"))?)
+            .map_err(|_| type_err("topK", "integer"))?,
+    };
+    let min_score = match doc.get("minScore") {
+        None | Some(Json::Null) => defaults.min_score,
+        Some(v) => v.as_f64().ok_or_else(|| type_err("minScore", "number"))? as f32,
+    };
+    let beam = match doc.get("beam") {
+        None | Some(Json::Null) => defaults.beam,
+        Some(v) => usize::try_from(v.as_u64().ok_or_else(|| type_err("beam", "integer"))?)
+            .map_err(|_| type_err("beam", "integer"))?,
+    };
+    Ok(TagOptions {
+        top_k,
+        min_score,
+        beam,
     })
 }
 
@@ -382,6 +465,24 @@ fn encode_result(result: &Response) -> Json {
             ("type".to_string(), Json::str("isA")),
             ("holds".to_string(), Json::Bool(*holds)),
         ]),
+        Response::Tags(output) => Json::Obj(vec![
+            ("type".to_string(), Json::str("tags")),
+            (
+                "spans".to_string(),
+                Json::Arr(output.spans.iter().map(encode_tag_span).collect()),
+            ),
+            (
+                "concepts".to_string(),
+                Json::Arr(output.concepts.iter().map(encode_tag_hit).collect()),
+            ),
+        ]),
+        Response::Classified(hits) => Json::Obj(vec![
+            ("type".to_string(), Json::str("classified")),
+            (
+                "items".to_string(),
+                Json::Arr(hits.iter().map(encode_tag_hit).collect()),
+            ),
+        ]),
     }
 }
 
@@ -424,6 +525,22 @@ fn decode_result(doc: &Json) -> Result<Response, WireError> {
                 .and_then(Json::as_bool)
                 .ok_or_else(|| type_err("holds", "bool"))?,
         }),
+        "tags" => Ok(Response::Tags(TagOutput {
+            spans: req_arr(doc, "spans")?
+                .iter()
+                .map(decode_tag_span)
+                .collect::<Result<_, _>>()?,
+            concepts: req_arr(doc, "concepts")?
+                .iter()
+                .map(decode_tag_hit)
+                .collect::<Result<_, _>>()?,
+        })),
+        "classified" => Ok(Response::Classified(
+            req_arr(doc, "items")?
+                .iter()
+                .map(decode_tag_hit)
+                .collect::<Result<_, _>>()?,
+        )),
         other => Err(WireError::new(format!("unknown result type {other:?}"))),
     }
 }
@@ -531,6 +648,94 @@ fn decode_concept_hit(doc: &Json) -> Result<ConceptHit, WireError> {
     })
 }
 
+fn encode_tag_span(span: &TagSpan) -> Json {
+    let mut fields = vec![
+        ("start".to_string(), Json::num(f64::from(span.start))),
+        ("end".to_string(), Json::num(f64::from(span.end))),
+        ("text".to_string(), Json::str(span.text.clone())),
+    ];
+    match &span.kind {
+        SpanKind::Entities(ids) => {
+            fields.push(("kind".to_string(), Json::str("entities")));
+            fields.push((
+                "entities".to_string(),
+                Json::Arr(ids.iter().map(|id| Json::num(f64::from(id.0))).collect()),
+            ));
+        }
+        SpanKind::Concept(id) => {
+            fields.push(("kind".to_string(), Json::str("concept")));
+            fields.push(("concept".to_string(), Json::num(f64::from(id.0))));
+        }
+        SpanKind::NamedEntity => {
+            fields.push(("kind".to_string(), Json::str("namedEntity")));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn decode_tag_span(doc: &Json) -> Result<TagSpan, WireError> {
+    let kind = match req_str(doc, "kind")? {
+        "entities" => SpanKind::Entities(
+            req_arr(doc, "entities")?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .map(EntityId)
+                        .ok_or_else(|| type_err("entities", "array of u32"))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        "concept" => SpanKind::Concept(ConceptId(req_u32(doc, "concept")?)),
+        "namedEntity" => SpanKind::NamedEntity,
+        other => return Err(WireError::new(format!("unknown span kind {other:?}"))),
+    };
+    Ok(TagSpan {
+        start: req_u32(doc, "start")?,
+        end: req_u32(doc, "end")?,
+        text: req_str(doc, "text")?.to_string(),
+        kind,
+    })
+}
+
+fn encode_tag_hit(hit: &TagHit) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::num(f64::from(hit.id.0))),
+        ("name".to_string(), Json::str(hit.name.clone())),
+        ("depth".to_string(), Json::num(f64::from(hit.depth))),
+        ("score".to_string(), Json::num(f64::from(hit.score))),
+        (
+            "evidence".to_string(),
+            Json::Arr(
+                hit.evidence
+                    .iter()
+                    .map(|&i| Json::num(f64::from(i)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_tag_hit(doc: &Json) -> Result<TagHit, WireError> {
+    Ok(TagHit {
+        id: ConceptId(req_u32(doc, "id")?),
+        name: req_str(doc, "name")?.to_string(),
+        depth: req_u32(doc, "depth")?,
+        score: doc
+            .get("score")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| type_err("score", "number"))? as f32,
+        evidence: req_arr(doc, "evidence")?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| type_err("evidence", "array of u32"))
+            })
+            .collect::<Result<_, _>>()?,
+    })
+}
+
 fn encode_entity_hit(hit: &EntityHit) -> Json {
     Json::Obj(vec![
         ("id".to_string(), Json::num(f64::from(hit.id.0))),
@@ -627,6 +832,64 @@ mod tests {
             sup: "人物".to_string(),
             transitive: true,
         });
+        query_round_trip(Query::Tag {
+            text: "刘德华在北京开演唱会。".to_string(),
+            options: TagOptions::default(),
+        });
+        query_round_trip(Query::Classify {
+            text: "《无间道》是一部电影".to_string(),
+            options: TagOptions::default()
+                .with_top_k(3)
+                .with_min_score(0.25)
+                .with_beam(4),
+        });
+    }
+
+    #[test]
+    fn tag_endpoint_body_defaults_op_to_tag_and_rejects_others() {
+        let doc = Json::parse(r#"{"text":"苹果"}"#).unwrap();
+        assert_eq!(
+            decode_tag_query(&doc).unwrap(),
+            Query::Tag {
+                text: "苹果".to_string(),
+                options: TagOptions::default(),
+            }
+        );
+        let doc = Json::parse(r#"{"op":"classify","text":"苹果"}"#).unwrap();
+        assert!(matches!(
+            decode_tag_query(&doc).unwrap(),
+            Query::Classify { .. }
+        ));
+        for bad in [
+            r#"{"op":"men2ent","text":"苹果"}"#,
+            r#"{"op":"tag"}"#,
+            r#"{"op":7,"text":"苹果"}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(decode_tag_query(&doc).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn tag_options_default_when_absent() {
+        let doc = Json::parse(r#"{"op":"tag","text":"苹果"}"#).unwrap();
+        let q = decode_query(&doc).unwrap();
+        assert_eq!(
+            q,
+            Query::Tag {
+                text: "苹果".to_string(),
+                options: TagOptions::default(),
+            }
+        );
+        let doc = Json::parse(r#"{"op":"classify","text":"苹果","options":{"topK":2}}"#).unwrap();
+        let q = decode_query(&doc).unwrap();
+        assert_eq!(
+            q,
+            Query::Classify {
+                text: "苹果".to_string(),
+                options: TagOptions::default().with_top_k(2),
+            }
+        );
     }
 
     fn response_round_trip(r: QueryResponse) {
@@ -711,6 +974,48 @@ mod tests {
             generation: g,
             result: Ok(Response::IsA { holds: true }),
         });
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::Tags(TagOutput {
+                spans: vec![
+                    TagSpan {
+                        start: 0,
+                        end: 3,
+                        text: "刘德华".to_string(),
+                        kind: SpanKind::Entities(vec![EntityId(7), EntityId(9)]),
+                    },
+                    TagSpan {
+                        start: 4,
+                        end: 6,
+                        text: "歌手".to_string(),
+                        kind: SpanKind::Concept(ConceptId(3)),
+                    },
+                    TagSpan {
+                        start: 7,
+                        end: 12,
+                        text: "《无间道》".to_string(),
+                        kind: SpanKind::NamedEntity,
+                    },
+                ],
+                concepts: vec![TagHit {
+                    id: ConceptId(3),
+                    name: "歌手".to_string(),
+                    depth: 2,
+                    score: 1.5,
+                    evidence: vec![0, 1],
+                }],
+            })),
+        });
+        response_round_trip(QueryResponse {
+            generation: g,
+            result: Ok(Response::Classified(vec![TagHit {
+                id: ConceptId(1),
+                name: "人物".to_string(),
+                depth: 0,
+                score: 0.75,
+                evidence: vec![0],
+            }])),
+        });
     }
 
     #[test]
@@ -783,6 +1088,12 @@ mod tests {
             r#"{"op":"getEntity","concept":"人物","options":{"limit":1.5}}"#,
             r#"{"op":"getEntity","concept":"人物","options":{"cursor":"garbage"}}"#,
             r#"{"op":"isA","sub":"a","sup":"b","transitive":"yes"}"#,
+            r#"{"op":"tag"}"#,
+            r#"{"op":"tag","text":7}"#,
+            r#"{"op":"tag","text":"苹果","options":7}"#,
+            r#"{"op":"tag","text":"苹果","options":{"topK":-1}}"#,
+            r#"{"op":"tag","text":"苹果","options":{"minScore":"high"}}"#,
+            r#"{"op":"classify","text":"苹果","options":{"beam":1.5}}"#,
         ] {
             let doc = Json::parse(bad).unwrap();
             assert!(decode_query(&doc).is_err(), "accepted {bad}");

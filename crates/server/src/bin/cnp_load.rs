@@ -6,6 +6,7 @@
 //! cnp_load --addr 127.0.0.1:7077 --snapshot /tmp/cnp.snapshot
 //!          [--connections 8] [--requests 4000] [--seed 42]
 //!          [--out report.json] [--max-p99-ms 250] [--ingest-deltas K]
+//!          [--tag-ratio R]
 //! ```
 //!
 //! The snapshot is only read locally, to harvest the probe vocabulary —
@@ -17,6 +18,12 @@
 //! delta sidecars are posted to `/admin/ingest` while the query workload
 //! runs, and the run fails if any apply is refused or the acknowledged
 //! generations are not strictly increasing.
+//!
+//! `--tag-ratio R` (0..=1) issues that fraction of requests as tagging
+//! traffic against `/v1/tag`: short documents synthesized
+//! deterministically from the snapshot's mentions. The run fails on any
+//! tag-side protocol error, and the report carries per-kind latency
+//! buckets (`latencyByKindUs`).
 
 use cnp_server::{load, LoadConfig, ProbeVocab};
 use std::path::PathBuf;
@@ -24,7 +31,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: cnp_load --addr HOST:PORT --snapshot PATH \
                      [--connections N] [--requests N] [--seed N] \
-                     [--out FILE] [--max-p99-ms MS] [--ingest-deltas K]";
+                     [--out FILE] [--max-p99-ms MS] [--ingest-deltas K] \
+                     [--tag-ratio R]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("cnp_load: {message}");
@@ -62,6 +70,16 @@ fn main() -> ExitCode {
             "--ingest-deltas" => value("--ingest-deltas")
                 .and_then(|v| v.parse().map_err(|e| format!("--ingest-deltas: {e}")))
                 .map(|v: usize| config.ingest_deltas = v),
+            "--tag-ratio" => value("--tag-ratio")
+                .and_then(|v| v.parse().map_err(|e| format!("--tag-ratio: {e}")))
+                .and_then(|v: f64| {
+                    if (0.0..=1.0).contains(&v) {
+                        config.tag_ratio = v;
+                        Ok(())
+                    } else {
+                        Err(format!("--tag-ratio: {v} is outside 0..=1"))
+                    }
+                }),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -114,6 +132,16 @@ fn main() -> ExitCode {
         report.percentile_us(0.999),
         report.qps()
     );
+    if report.config.tag_ratio > 0.0 {
+        eprintln!(
+            "cnp_load: tag issued={} served={} protocolError={} p50={}us p99={}us",
+            report.tag_issued,
+            report.tag_latencies_us.len(),
+            report.counts.tag_protocol_error,
+            report.tag_percentile_us(0.50),
+            report.tag_percentile_us(0.99),
+        );
+    }
     match report.check(max_p99_ms) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {

@@ -35,6 +35,7 @@
 //! |--------|-----------------|-------------------------------------------|
 //! | GET    | `/v1/health`    | liveness + generation + serving counters  |
 //! | POST   | `/v1/query`     | one typed query, JSON in / JSON out       |
+//! | POST   | `/v1/tag`       | tag/classify one document against the taxonomy |
 //! | POST   | `/v1/batch`     | up to [`MAX_BATCH`] queries, one snapshot |
 //! | POST   | `/admin/reload` | re-read the boot snapshot, swap atomically|
 //!
@@ -65,4 +66,4 @@ pub mod stats;
 
 pub use load::{LoadConfig, LoadCounts, LoadReport, ProbeVocab};
 pub use server::{serve, ServerConfig, ServerHandle, MAX_BATCH};
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{QueryKind, ServerStats, StatsSnapshot};

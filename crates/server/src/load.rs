@@ -11,7 +11,7 @@
 
 use crate::http;
 use cnp_serve::json::Json;
-use cnp_serve::{wire, ListOptions, PageRequest, Query};
+use cnp_serve::{wire, ListOptions, PageRequest, Query, TagOptions};
 use cnp_taxonomy::{DeltaOverlay, FrozenTaxonomy, IsAMeta, PersistError, Snapshot, Source};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -98,6 +98,26 @@ impl ProbeVocab {
         &pool[rng.gen_range(0..pool.len())]
     }
 
+    /// The next document of the deterministic tagging stream: a short
+    /// synthetic text stitched from snapshot mentions, so the tagger hits
+    /// real vocabulary (and pays real segmentation + scoring cost) on
+    /// every request.
+    pub fn next_tag_query(&self, rng: &mut StdRng) -> Query {
+        let n = rng.gen_range(2..=4);
+        let mut text = String::new();
+        for k in 0..n {
+            if k > 0 {
+                text.push_str(if k % 2 == 0 { "和" } else { "、" });
+            }
+            text.push_str(self.pick(&self.mentions, rng));
+        }
+        text.push('。');
+        Query::Tag {
+            text,
+            options: TagOptions::default(),
+        }
+    }
+
     /// The `index`-th query of the deterministic stream for `rng`.
     pub fn next_query(&self, rng: &mut StdRng) -> Query {
         let total: u32 = MIX_WEIGHTS.iter().sum();
@@ -156,6 +176,11 @@ pub struct LoadConfig {
     /// synthetic entities under existing vocabulary concepts, so every
     /// apply is a real generation bump under live reads.
     pub ingest_deltas: usize,
+    /// Fraction of requests issued as tagging traffic against `/v1/tag`
+    /// (`0.0` disables the tag workload, `1.0` is tag-only). Tag
+    /// documents are synthesized deterministically from the probe
+    /// vocabulary's mentions.
+    pub tag_ratio: f64,
 }
 
 impl Default for LoadConfig {
@@ -166,6 +191,7 @@ impl Default for LoadConfig {
             requests: 4000,
             seed: 42,
             ingest_deltas: 0,
+            tag_ratio: 0.0,
         }
     }
 }
@@ -183,6 +209,10 @@ pub struct LoadCounts {
     /// Anything that violates the protocol: connect/write/read failures,
     /// unparseable responses, unexpected statuses.
     pub protocol_error: u64,
+    /// Subset of [`LoadCounts::protocol_error`] incurred by tag requests
+    /// — gated to zero by the serving-load smoke, independently of the
+    /// lookup traffic.
+    pub tag_protocol_error: u64,
 }
 
 /// The measured outcome of the optional ingest phase.
@@ -208,12 +238,28 @@ pub struct LoadReport {
     pub counts: LoadCounts,
     /// Wall-clock of the whole run.
     pub elapsed: Duration,
-    /// Served-request latencies in microseconds, sorted ascending.
+    /// Served-request latencies in microseconds, sorted ascending
+    /// (lookup and tag traffic merged).
     pub latencies_us: Vec<u64>,
+    /// Served lookup-request latencies only, sorted ascending.
+    pub lookup_latencies_us: Vec<u64>,
+    /// Served tag-request latencies only, sorted ascending.
+    pub tag_latencies_us: Vec<u64>,
+    /// Tag requests issued (served or not).
+    pub tag_issued: u64,
     /// Per-op issue counts, aligned with [`MIX_OPS`].
     pub per_op: [u64; 7],
     /// Ingest-phase outcome; `None` when `ingest_deltas == 0`.
     pub ingest: Option<IngestStats>,
+}
+
+/// The `q`-quantile of an ascending-sorted latency vector.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
 }
 
 impl LoadReport {
@@ -227,13 +273,15 @@ impl LoadReport {
         }
     }
 
-    /// The `q`-quantile latency in microseconds (e.g. `0.99` for p99).
+    /// The `q`-quantile latency in microseconds (e.g. `0.99` for p99),
+    /// over all served traffic.
     pub fn percentile_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let rank = (q * self.latencies_us.len() as f64).ceil() as usize;
-        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
+        percentile(&self.latencies_us, q)
+    }
+
+    /// [`LoadReport::percentile_us`] over the tag traffic only.
+    pub fn tag_percentile_us(&self, q: f64) -> u64 {
+        percentile(&self.tag_latencies_us, q)
     }
 
     /// Mean served latency in microseconds.
@@ -260,6 +308,7 @@ impl LoadReport {
                         Json::num(self.config.requests as f64),
                     ),
                     ("seed".to_string(), Json::num(self.config.seed as f64)),
+                    ("tagRatio".to_string(), Json::num(self.config.tag_ratio)),
                 ]),
             ),
             (
@@ -278,7 +327,46 @@ impl LoadReport {
                         "protocolError".to_string(),
                         Json::num(self.counts.protocol_error as f64),
                     ),
+                    (
+                        "tagProtocolError".to_string(),
+                        Json::num(self.counts.tag_protocol_error as f64),
+                    ),
                 ]),
+            ),
+            (
+                "latencyByKindUs".to_string(),
+                Json::Obj(
+                    [
+                        ("lookup", &self.lookup_latencies_us),
+                        ("tag", &self.tag_latencies_us),
+                    ]
+                    .into_iter()
+                    .map(|(kind, sorted)| {
+                        (
+                            kind.to_string(),
+                            Json::Obj(vec![
+                                ("requests".to_string(), Json::num(sorted.len() as f64)),
+                                (
+                                    "p50".to_string(),
+                                    Json::num(percentile(sorted, 0.50) as f64),
+                                ),
+                                (
+                                    "p90".to_string(),
+                                    Json::num(percentile(sorted, 0.90) as f64),
+                                ),
+                                (
+                                    "p99".to_string(),
+                                    Json::num(percentile(sorted, 0.99) as f64),
+                                ),
+                                (
+                                    "max".to_string(),
+                                    Json::num(sorted.last().copied().unwrap_or(0) as f64),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+                ),
             ),
             (
                 "latencyUs".to_string(),
@@ -360,14 +448,23 @@ impl LoadReport {
         Json::Obj(fields)
     }
 
-    /// CI gate: zero protocol errors (query *and* ingest side), and
+    /// CI gate: zero protocol errors (query, tag *and* ingest side), and
     /// (optionally) a p99 bound.
     pub fn check(&self, max_p99_ms: Option<f64>) -> Result<(), String> {
+        if self.counts.tag_protocol_error > 0 {
+            return Err(format!(
+                "{} tag protocol error(s) on the wire",
+                self.counts.tag_protocol_error
+            ));
+        }
         if self.counts.protocol_error > 0 {
             return Err(format!(
                 "{} protocol error(s) on the wire",
                 self.counts.protocol_error
             ));
+        }
+        if self.config.tag_ratio > 0.0 && self.tag_issued == 0 {
+            return Err("tag ratio set but no tag requests were issued".to_string());
         }
         if let Some(ingest) = &self.ingest {
             if ingest.failed > 0 {
@@ -398,20 +495,25 @@ impl LoadReport {
 }
 
 struct WorkerOutcome {
-    latencies_us: Vec<u64>,
+    lookup_latencies_us: Vec<u64>,
+    tag_latencies_us: Vec<u64>,
+    tag_issued: u64,
     counts: LoadCounts,
     per_op: [u64; 7],
 }
 
-fn op_index(query: &Query) -> usize {
+/// [`MIX_OPS`] index of a lookup query; `None` for tagging queries,
+/// which are counted in their own bucket.
+fn op_index(query: &Query) -> Option<usize> {
     match query {
-        Query::Men2Ent { .. } => 0,
-        Query::GetConceptByMention { .. } => 1,
-        Query::GetEntity { .. } => 2,
-        Query::GetConcept { .. } => 3,
-        Query::MentionSenses { .. } => 4,
-        Query::IsA { .. } => 5,
-        Query::AncestorsOf { .. } => 6,
+        Query::Men2Ent { .. } => Some(0),
+        Query::GetConceptByMention { .. } => Some(1),
+        Query::GetEntity { .. } => Some(2),
+        Query::GetConcept { .. } => Some(3),
+        Query::MentionSenses { .. } => Some(4),
+        Query::IsA { .. } => Some(5),
+        Query::AncestorsOf { .. } => Some(6),
+        Query::Tag { .. } | Query::Classify { .. } => None,
     }
 }
 
@@ -490,41 +592,75 @@ fn run_worker(
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(index as u64));
     let mut client = Client::new(&config.addr);
     let mut outcome = WorkerOutcome {
-        latencies_us: Vec::with_capacity(requests),
+        lookup_latencies_us: Vec::with_capacity(requests),
+        tag_latencies_us: Vec::new(),
+        tag_issued: 0,
         counts: LoadCounts::default(),
         per_op: [0; 7],
     };
     for _ in 0..requests {
-        let query = vocab.next_query(&mut rng);
-        outcome.per_op[op_index(&query)] += 1;
+        // The kind roll comes first so the stream stays a pure function
+        // of the seed whatever the ratio does to each branch's rng use.
+        let is_tag = config.tag_ratio > 0.0 && rng.gen::<f64>() < config.tag_ratio;
+        let query = if is_tag {
+            vocab.next_tag_query(&mut rng)
+        } else {
+            vocab.next_query(&mut rng)
+        };
+        if is_tag {
+            outcome.tag_issued += 1;
+        } else if let Some(op) = op_index(&query) {
+            outcome.per_op[op] += 1;
+        }
         let body = wire::encode_query(&query).write();
         let start = Instant::now();
-        let response = match client.exchange(body.as_bytes()) {
+        // Tag traffic exercises the dedicated endpoint, not /v1/query —
+        // the smoke covers the route a tagging client would actually hit.
+        let exchanged = if is_tag {
+            client.exchange_at("/v1/tag", body.as_bytes())
+        } else {
+            client.exchange(body.as_bytes())
+        };
+        let response = match exchanged {
             Ok(response) => response,
             Err(_) => {
                 client.disconnect();
                 outcome.counts.protocol_error += 1;
+                if is_tag {
+                    outcome.counts.tag_protocol_error += 1;
+                }
                 continue;
             }
         };
         let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let latencies = if is_tag {
+            &mut outcome.tag_latencies_us
+        } else {
+            &mut outcome.lookup_latencies_us
+        };
+        let mut protocol_error = || {
+            outcome.counts.protocol_error += 1;
+            if is_tag {
+                outcome.counts.tag_protocol_error += 1;
+            }
+        };
         match response.status {
             200 => match parse_envelope(&response.body) {
                 Ok(()) => {
                     outcome.counts.ok += 1;
-                    outcome.latencies_us.push(elapsed_us);
+                    latencies.push(elapsed_us);
                 }
-                Err(()) => outcome.counts.protocol_error += 1,
+                Err(()) => protocol_error(),
             },
             404 | 400 | 409 => match parse_envelope(&response.body) {
                 Ok(()) => {
                     outcome.counts.query_error += 1;
-                    outcome.latencies_us.push(elapsed_us);
+                    latencies.push(elapsed_us);
                 }
-                Err(()) => outcome.counts.protocol_error += 1,
+                Err(()) => protocol_error(),
             },
             429 => outcome.counts.overloaded += 1,
-            _ => outcome.counts.protocol_error += 1,
+            _ => protocol_error(),
         }
     }
     outcome
@@ -634,7 +770,9 @@ pub fn run(config: &LoadConfig, vocab: &ProbeVocab) -> LoadReport {
     });
     let elapsed = start.elapsed();
 
-    let mut latencies_us = Vec::new();
+    let mut lookup_latencies_us = Vec::new();
+    let mut tag_latencies_us = Vec::new();
+    let mut tag_issued = 0;
     let mut counts = LoadCounts::default();
     let mut per_op = [0u64; 7];
     let mut ingest = None;
@@ -646,21 +784,32 @@ pub fn run(config: &LoadConfig, vocab: &ProbeVocab) -> LoadReport {
                 continue;
             }
         };
-        latencies_us.extend(outcome.latencies_us);
+        lookup_latencies_us.extend(outcome.lookup_latencies_us);
+        tag_latencies_us.extend(outcome.tag_latencies_us);
+        tag_issued += outcome.tag_issued;
         counts.ok += outcome.counts.ok;
         counts.query_error += outcome.counts.query_error;
         counts.overloaded += outcome.counts.overloaded;
         counts.protocol_error += outcome.counts.protocol_error;
+        counts.tag_protocol_error += outcome.counts.tag_protocol_error;
         for (total, n) in per_op.iter_mut().zip(outcome.per_op) {
             *total += n;
         }
     }
+    let mut latencies_us = Vec::with_capacity(lookup_latencies_us.len() + tag_latencies_us.len());
+    latencies_us.extend_from_slice(&lookup_latencies_us);
+    latencies_us.extend_from_slice(&tag_latencies_us);
     latencies_us.sort_unstable();
+    lookup_latencies_us.sort_unstable();
+    tag_latencies_us.sort_unstable();
     LoadReport {
         config: config.clone(),
         counts,
         elapsed,
         latencies_us,
+        lookup_latencies_us,
+        tag_latencies_us,
+        tag_issued,
         per_op,
         ingest,
     }
@@ -678,6 +827,9 @@ mod tests {
                 ..LoadCounts::default()
             },
             elapsed: Duration::from_secs(2),
+            lookup_latencies_us: latencies.clone(),
+            tag_latencies_us: Vec::new(),
+            tag_issued: 0,
             latencies_us: latencies,
             per_op: [0; 7],
             ingest: None,
@@ -777,9 +929,80 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut seen = [false; 7];
         for _ in 0..2000 {
-            seen[op_index(&vocab.next_query(&mut rng))] = true;
+            if let Some(op) = op_index(&vocab.next_query(&mut rng)) {
+                seen[op] = true;
+            }
         }
         assert!(seen.iter().all(|&s| s), "mix skipped an op: {seen:?}");
+    }
+
+    #[test]
+    fn tag_stream_is_deterministic_and_draws_from_the_vocabulary() {
+        let vocab = ProbeVocab {
+            mentions: vec!["刘德华".to_string(), "苹果".to_string()],
+            entity_keys: vec!["刘德华（歌手）".to_string()],
+            concepts: vec!["人物".to_string()],
+        };
+        let stream = |seed: u64| -> Vec<Query> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| vocab.next_tag_query(&mut rng)).collect()
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8));
+        for query in stream(3) {
+            let Query::Tag { text, .. } = query else {
+                panic!("tag stream emitted a non-tag query");
+            };
+            assert!(
+                text.contains("刘德华") || text.contains("苹果"),
+                "document {text:?} uses no vocabulary mention"
+            );
+            assert!(text.ends_with('。'));
+        }
+    }
+
+    #[test]
+    fn check_gates_on_tag_protocol_errors() {
+        let mut r = report((1..=100).collect());
+        r.counts.tag_protocol_error = 1;
+        r.counts.protocol_error = 1;
+        let message = r.check(None).unwrap_err();
+        assert!(message.contains("tag protocol"), "got {message}");
+        // A tag ratio that produced no tag traffic is a broken run.
+        let mut r = report((1..=100).collect());
+        r.config.tag_ratio = 0.5;
+        assert!(r.check(None).is_err());
+        r.tag_issued = 42;
+        assert!(r.check(None).is_ok());
+    }
+
+    #[test]
+    fn report_json_carries_per_kind_latency_buckets() {
+        let mut r = report((1..=100).collect());
+        r.config.tag_ratio = 0.25;
+        r.tag_issued = 10;
+        r.tag_latencies_us = (1..=10).map(|v| v * 1000).collect();
+        let doc = r.to_json();
+        assert_eq!(
+            doc.get("workload")
+                .and_then(|w| w.get("tagRatio"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
+        let kinds = doc.get("latencyByKindUs").expect("latencyByKindUs");
+        let lookup = kinds.get("lookup").expect("lookup bucket");
+        assert_eq!(lookup.get("requests").and_then(Json::as_u64), Some(100));
+        assert_eq!(lookup.get("p50").and_then(Json::as_u64), Some(50));
+        let tag = kinds.get("tag").expect("tag bucket");
+        assert_eq!(tag.get("requests").and_then(Json::as_u64), Some(10));
+        assert_eq!(tag.get("p50").and_then(Json::as_u64), Some(5000));
+        assert_eq!(tag.get("max").and_then(Json::as_u64), Some(10000));
+        assert_eq!(
+            doc.get("counts")
+                .and_then(|c| c.get("tagProtocolError"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! [admission control]: crate::ServerConfig::queue_capacity
 
 use crate::http::{self, HttpError, Request};
-use crate::stats::ServerStats;
+use crate::stats::{QueryKind, ServerStats};
 use cnp_runtime::{BoundedQueue, PushError, WorkerPool};
 use cnp_serve::json::Json;
 use cnp_serve::{wire, Query, TaxonomyService};
@@ -357,10 +357,11 @@ fn route<T: TaxonomyRead + BootSnapshot + IngestDelta + 'static>(
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/v1/health") => health(shared),
         ("POST", "/v1/query") => query(&request.body, shared),
+        ("POST", "/v1/tag") => tag(&request.body, shared),
         ("POST", "/v1/batch") => batch(&request.body, shared),
         ("POST", "/admin/reload") => reload(shared),
         ("POST", "/admin/ingest") => ingest(&request.body, shared),
-        ("GET", "/v1/query" | "/v1/batch" | "/admin/reload" | "/admin/ingest")
+        ("GET", "/v1/query" | "/v1/tag" | "/v1/batch" | "/admin/reload" | "/admin/ingest")
         | ("POST", "/v1/health") => (
             405,
             error_body("methodNotAllowed", "wrong method for this endpoint"),
@@ -395,6 +396,12 @@ fn health<T: TaxonomyRead>(shared: &Shared<T>) -> (u16, String) {
                 ),
                 ("overloaded".to_string(), Json::num(stats.overloaded as f64)),
                 ("malformed".to_string(), Json::num(stats.malformed as f64)),
+                (
+                    "kindLookup".to_string(),
+                    Json::num(stats.kind_lookup as f64),
+                ),
+                ("kindTag".to_string(), Json::num(stats.kind_tag as f64)),
+                ("kindBatch".to_string(), Json::num(stats.kind_batch as f64)),
             ]),
         ),
     ]);
@@ -413,6 +420,27 @@ fn query<T: TaxonomyRead>(body: &[u8], shared: &Shared<T>) -> (u16, String) {
         Ok(query) => query,
         Err(detail) => return (400, error_body("badRequest", &detail)),
     };
+    shared.stats.kind(match query {
+        Query::Tag { .. } | Query::Classify { .. } => QueryKind::Tag,
+        _ => QueryKind::Lookup,
+    });
+    let response = shared.service.execute(&query);
+    let status = wire::status_for(&response.result);
+    (status, wire::encode_response(&response).write())
+}
+
+/// `POST /v1/tag`: the tagging workload's dedicated endpoint. The body is
+/// the tag query without the `op` envelope (`{"text":…,"options":…}`,
+/// with `"op":"classify"` selecting the concepts-only variant); the
+/// response is the same generation-stamped envelope `/v1/query` writes.
+fn tag<T: TaxonomyRead>(body: &[u8], shared: &Shared<T>) -> (u16, String) {
+    let query: Query = match parse_body(body)
+        .and_then(|doc| wire::decode_tag_query(&doc).map_err(|e| e.to_string()))
+    {
+        Ok(query) => query,
+        Err(detail) => return (400, error_body("badRequest", &detail)),
+    };
+    shared.stats.kind(QueryKind::Tag);
     let response = shared.service.execute(&query);
     let status = wire::status_for(&response.result);
     (status, wire::encode_response(&response).write())
@@ -439,6 +467,7 @@ fn batch<T: TaxonomyRead>(body: &[u8], shared: &Shared<T>) -> (u16, String) {
         Ok(queries) => queries,
         Err(e) => return (400, error_body("badRequest", &e.to_string())),
     };
+    shared.stats.kind(QueryKind::Batch);
     let responses = shared.service.execute_batch(&queries);
     let generation = responses.first().map_or_else(
         || shared.service.generation(),

@@ -13,6 +13,21 @@ pub struct ServerStats {
     responses_error: AtomicU64,
     overloaded: AtomicU64,
     malformed: AtomicU64,
+    kind_lookup: AtomicU64,
+    kind_tag: AtomicU64,
+    kind_batch: AtomicU64,
+}
+
+/// Which serving workload a decoded request belongs to, for the per-kind
+/// counters in `/v1/health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A single taxonomy lookup on `/v1/query` (men2ent, getConcept, …).
+    Lookup,
+    /// A tagging query — `/v1/tag`, or a tag/classify op on `/v1/query`.
+    Tag,
+    /// A `/v1/batch` fan-out (counted once per batch, whatever it holds).
+    Batch,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -41,6 +56,23 @@ pub struct StatsSnapshot {
     pub overloaded: u64,
     /// Subset of `requests` rejected at the HTTP layer (400/413/405).
     pub malformed: u64,
+    /// Single lookup queries executed via `/v1/query`.
+    pub kind_lookup: u64,
+    /// Tagging queries executed — `/v1/tag` plus tag/classify ops on
+    /// `/v1/query`.
+    pub kind_tag: u64,
+    /// Batch requests executed via `/v1/batch` (one per batch).
+    pub kind_batch: u64,
+}
+
+impl StatsSnapshot {
+    /// Sum of the per-kind counters. The kinds are disjoint — every
+    /// successfully decoded serving request is counted in exactly one —
+    /// so the sum never exceeds `requests` (the remainder being health
+    /// checks, admin calls and rejected bodies).
+    pub fn kinds_total(&self) -> u64 {
+        self.kind_lookup + self.kind_tag + self.kind_batch
+    }
 }
 
 impl ServerStats {
@@ -73,6 +105,18 @@ impl ServerStats {
         self.malformed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one successfully decoded serving request under its
+    /// workload kind. Called exactly once per executed request, so the
+    /// kinds stay disjoint and summable.
+    pub(crate) fn kind(&self, kind: QueryKind) {
+        let counter = match kind {
+            QueryKind::Lookup => &self.kind_lookup,
+            QueryKind::Tag => &self.kind_tag,
+            QueryKind::Batch => &self.kind_batch,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -82,6 +126,9 @@ impl ServerStats {
             responses_error: self.responses_error.load(Ordering::Relaxed),
             overloaded: self.overloaded.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            kind_lookup: self.kind_lookup.load(Ordering::Relaxed),
+            kind_tag: self.kind_tag.load(Ordering::Relaxed),
+            kind_batch: self.kind_batch.load(Ordering::Relaxed),
         }
     }
 }
@@ -118,5 +165,30 @@ mod tests {
         assert_eq!(snap.overloaded, 1);
         assert_eq!(snap.malformed, 1);
         assert_eq!(snap.requests, snap.responses_ok + snap.responses_error);
+    }
+
+    #[test]
+    fn query_kinds_are_disjoint_and_bounded_by_requests() {
+        let stats = ServerStats::default();
+        // Four decoded serving requests: two lookups, one tag, one batch;
+        // plus one health check that carries no kind.
+        for kind in [
+            QueryKind::Lookup,
+            QueryKind::Lookup,
+            QueryKind::Tag,
+            QueryKind::Batch,
+        ] {
+            stats.request();
+            stats.kind(kind);
+            stats.response(200);
+        }
+        stats.request();
+        stats.response(200);
+        let snap = stats.snapshot();
+        assert_eq!(snap.kind_lookup, 2);
+        assert_eq!(snap.kind_tag, 1);
+        assert_eq!(snap.kind_batch, 1);
+        assert_eq!(snap.kinds_total(), 4);
+        assert!(snap.kinds_total() <= snap.requests);
     }
 }

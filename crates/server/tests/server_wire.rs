@@ -3,7 +3,9 @@
 //! and a live snapshot hot-swap under concurrent traffic.
 
 use cnp_serve::json::Json;
-use cnp_serve::{wire, ListOptions, PageRequest, Query, QueryError, Response, TaxonomyService};
+use cnp_serve::{
+    wire, ListOptions, PageRequest, Query, QueryError, Response, TagOptions, TaxonomyService,
+};
 use cnp_server::{http, load, serve, LoadConfig, ProbeVocab, ServerConfig, ServerHandle};
 use cnp_taxonomy::{DeltaOverlay, FrozenTaxonomy, IsAMeta, OverlayView, Source, TaxonomyStore};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -576,6 +578,125 @@ fn batch_endpoint_answers_from_one_generation() {
     handle.shutdown();
 }
 
+/// The tagging workload, end to end on the wire: the dedicated `/v1/tag`
+/// endpoint, the same ops through `/v1/query` and `/v1/batch`, hostile
+/// bodies, and the per-kind serving counters in `/v1/health`.
+#[test]
+fn tag_endpoint_serves_documents_and_counts_its_kind() {
+    let handle = boot(store_b(), ServerConfig::default());
+    let addr = handle.addr();
+
+    // Tag a document over the dedicated endpoint (op defaults to "tag").
+    let (status, doc) = exchange(addr, "POST", "/v1/tag", r#"{"text":"刘德华和张学友。"}"#);
+    assert_eq!(status, 200, "tag: {}", doc.write());
+    let response = wire::decode_response(&doc).unwrap();
+    assert_eq!(response.generation, 1);
+    let Ok(Response::Tags(output)) = response.result else {
+        panic!("expected a tags result: {:?}", response.result);
+    };
+    assert!(!output.spans.is_empty(), "no evidence spans");
+    assert!(
+        output.concepts.iter().any(|hit| hit.name == "歌手"),
+        "tagger missed 歌手: {:?}",
+        output.concepts
+    );
+
+    // op:"classify" selects the concepts-only variant on the same route.
+    let (status, doc) = exchange(
+        addr,
+        "POST",
+        "/v1/tag",
+        r#"{"op":"classify","text":"刘德华","options":{"topK":1}}"#,
+    );
+    assert_eq!(status, 200);
+    let response = wire::decode_response(&doc).unwrap();
+    let Ok(Response::Classified(hits)) = response.result else {
+        panic!("expected a classified result: {:?}", response.result);
+    };
+    assert_eq!(hits.len(), 1);
+
+    // The same query family flows through /v1/query …
+    let tag_query = Query::Tag {
+        text: "刘德华".to_string(),
+        options: TagOptions::default(),
+    };
+    let (status, doc) = post_query(addr, &tag_query);
+    assert_eq!(status, 200);
+    assert!(matches!(
+        wire::decode_response(&doc).unwrap().result,
+        Ok(Response::Tags(_))
+    ));
+
+    // … and /v1/batch, mixed with lookup traffic, on one generation.
+    let batch = Json::Obj(vec![(
+        "queries".to_string(),
+        Json::Arr(vec![
+            wire::encode_query(&Query::men2ent("刘德华")),
+            wire::encode_query(&tag_query),
+        ]),
+    )]);
+    let (status, doc) = exchange(addr, "POST", "/v1/batch", &batch.write());
+    assert_eq!(status, 200);
+    let responses = doc.get("responses").and_then(Json::as_arr).unwrap();
+    assert_eq!(responses.len(), 2);
+    assert!(matches!(
+        wire::decode_response(&responses[1]).unwrap().result,
+        Ok(Response::Tags(_))
+    ));
+
+    // Unknown text is an *empty* answer, never an error.
+    let (status, doc) = exchange(addr, "POST", "/v1/tag", r#"{"text":"火星话xyzzy"}"#);
+    assert_eq!(status, 200);
+    let response = wire::decode_response(&doc).unwrap();
+    let Ok(Response::Tags(output)) = response.result else {
+        panic!("unknown text must still answer Ok");
+    };
+    assert!(output.concepts.is_empty());
+
+    // Hostile bodies get typed 400s; the wrong method gets 405.
+    let hostile = [
+        "not json at all",
+        r#"{"nota":"tagquery"}"#,
+        r#"{"text":7}"#,
+        r#"{"op":"men2ent","text":"刘德华"}"#,
+        r#"{"text":"刘德华","options":{"topK":"many"}}"#,
+        "{\"text\":\"\u{0}\\u0000黑客\u{7}\"",
+    ];
+    for bad in hostile {
+        let (status, doc) = exchange(addr, "POST", "/v1/tag", bad);
+        assert_eq!(
+            status,
+            400,
+            "accepted hostile body {bad:?}: {}",
+            doc.write()
+        );
+    }
+    let (status, _) = exchange(addr, "GET", "/v1/tag", "");
+    assert_eq!(status, 405);
+
+    // The per-kind counters: 4 tag-kind requests (3 on /v1/tag that
+    // decoded, 1 tag op on /v1/query), 1 lookup (inside the batch does
+    // not count — the batch itself is the unit), 1 batch. Hostile bodies
+    // and the 405 carry no kind.
+    let stats = handle.stats();
+    assert_eq!(stats.kind_tag, 4);
+    assert_eq!(stats.kind_lookup, 0);
+    assert_eq!(stats.kind_batch, 1);
+    assert!(stats.kinds_total() <= stats.requests);
+
+    // /v1/health reports the same counters over the wire.
+    let (status, doc) = exchange(addr, "GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    let reported = doc.get("stats").expect("stats section");
+    assert_eq!(reported.get("kindTag").and_then(Json::as_u64), Some(4));
+    assert_eq!(reported.get("kindBatch").and_then(Json::as_u64), Some(1));
+    // The health probe itself is a request with no kind, so the sum of
+    // kinds stays strictly below requests here.
+    let requests = reported.get("requests").and_then(Json::as_u64).unwrap();
+    assert!(requests > 5);
+    handle.shutdown();
+}
+
 #[test]
 fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
     let handle = boot(store_a(), ServerConfig::default());
@@ -594,6 +715,7 @@ fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
             requests: 10,
             seed: 7,
             ingest_deltas: 2,
+            tag_ratio: 0.0,
         },
         &vocab,
     );
@@ -604,6 +726,31 @@ fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
     let ingest = report.ingest.as_ref().expect("ingest stats");
     assert_eq!((ingest.ok, ingest.failed), (2, 0));
     assert_eq!(ingest.generations, [2, 3]);
+    assert!(report.check(None).is_ok());
+
+    // A mixed tag/lookup run drives /v1/tag through the harness: every
+    // request served, zero tag protocol errors, and the per-kind buckets
+    // partition the latencies.
+    let report = load::run(
+        &LoadConfig {
+            addr: handle.addr().to_string(),
+            connections: 2,
+            requests: 40,
+            seed: 11,
+            ingest_deltas: 0,
+            tag_ratio: 0.5,
+        },
+        &vocab,
+    );
+    assert_eq!(report.counts.protocol_error, 0);
+    assert_eq!(report.counts.tag_protocol_error, 0);
+    assert_eq!(report.counts.ok + report.counts.query_error, 40);
+    assert!(report.tag_issued > 0, "tag ratio 0.5 issued no tag traffic");
+    assert_eq!(report.tag_latencies_us.len() as u64, report.tag_issued);
+    assert_eq!(
+        report.lookup_latencies_us.len() + report.tag_latencies_us.len(),
+        report.latencies_us.len()
+    );
     assert!(report.check(None).is_ok());
     handle.shutdown();
 
@@ -617,6 +764,7 @@ fn load_harness_completes_on_runtime_tasks_and_survives_dead_servers() {
             requests: 6,
             seed: 7,
             ingest_deltas: 0,
+            tag_ratio: 0.0,
         },
         &vocab,
     );

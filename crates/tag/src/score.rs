@@ -1,0 +1,473 @@
+//! Mention resolution and coarse-to-fine concept scoring.
+//!
+//! [`resolve_spans`] turns segmented tokens into evidence spans: a
+//! longest-match window of adjacent tokens is probed against `men2ent`
+//! (entity evidence) and `find_concept` (the document literally names a
+//! concept), and unresolved spans survive only through the NER gate.
+//! [`tag_with`] then scores concepts in three deterministic passes:
+//!
+//! 1. **Direct mass**: each entity span contributes its isA edge
+//!    confidences, split evenly across the mention's senses; each concept
+//!    span contributes unit mass.
+//! 2. **Coarse propagation**: direct mass flows up the ancestor closure,
+//!    discounted by `DECAY` per depth level — a document about 歌手 is
+//!    *somewhat* about 人物, but less so.
+//! 3. **Fine refinement**: walking depth levels from the roots down, the
+//!    top-`beam` concepts of each level hand `REFINE` of their mass back
+//!    to their directly-evidenced children — so a specific concept with
+//!    real evidence overtakes the generic ancestor that only collected
+//!    propagated mass.
+//!
+//! Everything accumulates in a fixed order (`BTreeMap` over ids, ancestor
+//! rows ascending, spans left to right), so scores are bit-identical
+//! across snapshot backends and independent of batch thread count.
+
+use crate::index::{TagIndex, MAX_SPAN_TOKENS};
+use cnp_taxonomy::{ConceptId, EntityId, TaxonomyRead};
+use cnp_text::chars::{char_len, is_punct};
+use std::collections::BTreeMap;
+
+/// Per-depth-level mass discount of the coarse upward propagation.
+const DECAY: f64 = 0.5;
+
+/// Fraction of a high-mass concept's score handed back to each of its
+/// directly-evidenced children in the refinement pass.
+const REFINE: f64 = 0.5;
+
+/// Options for one tag/classify request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagOptions {
+    /// Maximum concepts returned.
+    pub top_k: usize,
+    /// Score floor: concepts below it are dropped from the result.
+    pub min_score: f32,
+    /// Per-level beam of the refinement pass: at each depth level, only
+    /// the `beam` highest-mass concepts re-score their children.
+    pub beam: usize,
+}
+
+impl Default for TagOptions {
+    fn default() -> Self {
+        TagOptions {
+            top_k: 5,
+            min_score: 0.0,
+            beam: 8,
+        }
+    }
+}
+
+impl TagOptions {
+    /// Returns the options with the result size set.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Returns the options with the score floor set.
+    pub fn with_min_score(mut self, min_score: f32) -> Self {
+        self.min_score = min_score;
+        self
+    }
+
+    /// Returns the options with the refinement beam set.
+    pub fn with_beam(mut self, beam: usize) -> Self {
+        self.beam = beam;
+        self
+    }
+}
+
+/// What a resolved span is evidence *of*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The span is a mention: its candidate entity senses, in `men2ent`
+    /// order.
+    Entities(Vec<EntityId>),
+    /// The span literally names a concept.
+    Concept(ConceptId),
+    /// Out-of-taxonomy span the NER gate recognised as a named entity.
+    /// Surfaced for the caller but contributing no concept mass.
+    NamedEntity,
+}
+
+/// One evidence span of the input document, in character offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagSpan {
+    /// First character of the span (char index, not byte).
+    pub start: u32,
+    /// One past the last character of the span.
+    pub end: u32,
+    /// The covered text.
+    pub text: String,
+    /// What the span resolved to.
+    pub kind: SpanKind,
+}
+
+/// One ranked concept of the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagHit {
+    /// Snapshot handle (valid within the response's generation).
+    pub id: ConceptId,
+    /// Concept name.
+    pub name: String,
+    /// Depth in the concept DAG (longest chain to a root).
+    pub depth: u32,
+    /// Propagated-and-refined evidence mass.
+    pub score: f32,
+    /// Indices into the result's span list that contributed mass to this
+    /// concept (directly or through descendants), ascending, deduplicated.
+    pub evidence: Vec<u32>,
+}
+
+/// The tag result: the document's evidence spans and the ranked concepts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TagOutput {
+    /// Evidence spans, left to right.
+    pub spans: Vec<TagSpan>,
+    /// Concepts, score descending (concept id as tie-break), truncated to
+    /// `top_k` after the `min_score` floor.
+    pub concepts: Vec<TagHit>,
+}
+
+/// Tags a document against a snapshot through a prebuilt [`TagIndex`].
+pub fn tag_with<T: TaxonomyRead>(
+    f: &T,
+    index: &TagIndex,
+    text: &str,
+    options: &TagOptions,
+) -> TagOutput {
+    let spans = resolve_spans(f, index, text);
+    let concepts = score_spans(f, &spans, options);
+    TagOutput { spans, concepts }
+}
+
+/// Classifies a document: the ranked concepts of [`tag_with`], without
+/// carrying the span list into the result.
+pub fn classify_with<T: TaxonomyRead>(
+    f: &T,
+    index: &TagIndex,
+    text: &str,
+    options: &TagOptions,
+) -> Vec<TagHit> {
+    tag_with(f, index, text, options).concepts
+}
+
+// ----- resolution -----------------------------------------------------------
+
+struct Token {
+    text: String,
+    start: u32,
+    end: u32,
+    punct: bool,
+}
+
+fn tokenize(index: &TagIndex, text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut at = 0u32;
+    for tok in index.segmenter().segment(text) {
+        let len = char_len(&tok) as u32;
+        let punct = tok.chars().all(is_punct);
+        out.push(Token {
+            start: at,
+            end: at + len,
+            punct,
+            text: tok,
+        });
+        at += len;
+    }
+    out
+}
+
+/// Resolves candidate mention spans: greedy longest-match over windows of
+/// up to [`MAX_SPAN_TOKENS`] adjacent non-punctuation tokens, probing
+/// `men2ent` first and the concept table second; single tokens that
+/// resolve to nothing pass the NER gate or vanish.
+pub fn resolve_spans<T: TaxonomyRead>(f: &T, index: &TagIndex, text: &str) -> Vec<TagSpan> {
+    let tokens = tokenize(index, text);
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Some(cur) = tokens.get(i) else { break };
+        if cur.punct {
+            i += 1;
+            continue;
+        }
+        let max_w = MAX_SPAN_TOKENS.min(tokens.len() - i);
+        let mut advanced = 0usize;
+        for w in (1..=max_w).rev() {
+            let Some(window) = tokens.get(i..i + w) else {
+                continue;
+            };
+            // A window never crosses punctuation: mentions do not.
+            if window.iter().any(|t| t.punct) {
+                continue;
+            }
+            let joined: String = window.iter().map(|t| t.text.as_str()).collect();
+            let kind = {
+                let senses = f.men2ent(&joined);
+                if !senses.is_empty() {
+                    Some(SpanKind::Entities(senses))
+                } else {
+                    f.find_concept(&joined).map(SpanKind::Concept)
+                }
+            };
+            if let (Some(kind), Some(first), Some(last)) = (kind, window.first(), window.last()) {
+                spans.push(TagSpan {
+                    start: first.start,
+                    end: last.end,
+                    text: joined,
+                    kind,
+                });
+                advanced = w;
+                break;
+            }
+        }
+        if advanced == 0 {
+            // OOV fallback, NER-gated: an unresolved token is kept as an
+            // (entity-less) evidence span only when it looks like a named
+            // entity; ordinary unknown words are dropped. Book-title
+            // brackets are punctuation tokens, so the 《…》 Work pattern
+            // is probed with its surrounding brackets restored.
+            if let Some(tok) = tokens.get(i) {
+                let after_open = i
+                    .checked_sub(1)
+                    .and_then(|p| tokens.get(p))
+                    .is_some_and(|prev| prev.text.ends_with('《'));
+                let closing = after_open
+                    .then(|| {
+                        (i + 1..tokens.len().min(i + 2 * MAX_SPAN_TOKENS))
+                            .find(|&j| tokens.get(j).is_some_and(|t| t.text.starts_with('》')))
+                    })
+                    .flatten();
+                let (probe, start, end) = match closing.and_then(|j| tokens.get(i..j)) {
+                    Some(inner) if !inner.is_empty() => {
+                        let joined: String = inner.iter().map(|t| t.text.as_str()).collect();
+                        let last_end = inner.last().map_or(tok.end, |t| t.end);
+                        (format!("《{joined}》"), tok.start - 1, last_end + 1)
+                    }
+                    _ => (tok.text.clone(), tok.start, tok.end),
+                };
+                if index.ner().classify(&probe).is_some() {
+                    let consumed = closing.map_or(1, |j| j - i);
+                    spans.push(TagSpan {
+                        start,
+                        end,
+                        text: probe,
+                        kind: SpanKind::NamedEntity,
+                    });
+                    advanced = consumed;
+                }
+            }
+            advanced = advanced.max(1);
+        }
+        i += advanced;
+    }
+    spans
+}
+
+// ----- scoring --------------------------------------------------------------
+
+fn add(map: &mut BTreeMap<ConceptId, f64>, c: ConceptId, w: f64) {
+    *map.entry(c).or_insert(0.0) += w;
+}
+
+fn score_of(map: &BTreeMap<ConceptId, f64>, c: ConceptId) -> f64 {
+    map.get(&c).copied().unwrap_or(0.0)
+}
+
+/// Scores the concept list for a resolved span set. Pure and
+/// deterministic: accumulation order is fixed by ids and span order.
+pub fn score_spans<T: TaxonomyRead>(f: &T, spans: &[TagSpan], options: &TagOptions) -> Vec<TagHit> {
+    // Pass 1: direct evidence mass.
+    let mut direct: BTreeMap<ConceptId, f64> = BTreeMap::new();
+    let mut evidence: BTreeMap<ConceptId, Vec<u32>> = BTreeMap::new();
+    for (si, span) in spans.iter().enumerate() {
+        let si = si as u32;
+        match &span.kind {
+            SpanKind::Entities(senses) => {
+                // A mention's mass splits evenly across its senses — an
+                // ambiguous name is weaker evidence for each reading.
+                let sense_w = 1.0 / senses.len().max(1) as f64;
+                for &e in senses {
+                    for (c, m) in f.concepts_of(e) {
+                        add(&mut direct, c, sense_w * f64::from(m.confidence));
+                        evidence.entry(c).or_default().push(si);
+                    }
+                }
+            }
+            SpanKind::Concept(c) => {
+                add(&mut direct, *c, 1.0);
+                evidence.entry(*c).or_default().push(si);
+            }
+            SpanKind::NamedEntity => {}
+        }
+    }
+
+    // Pass 2: coarse upward propagation with depth-discounted weights.
+    let mut mass = direct.clone();
+    let mut ev = evidence.clone();
+    for (&c, &w) in &direct {
+        let dc = f.depth(c);
+        let from: Vec<u32> = evidence.get(&c).cloned().unwrap_or_default();
+        for a in f.ancestors(c) {
+            let dd = dc.saturating_sub(f.depth(a)).max(1);
+            add(&mut mass, a, w * DECAY.powi(dd as i32));
+            ev.entry(a).or_default().extend(from.iter().copied());
+        }
+    }
+
+    // Pass 3: fine refinement, level by level from the roots down. The
+    // top-`beam` concepts of each depth level hand REFINE of their
+    // (possibly already refined) mass to each directly-evidenced child,
+    // so specificity wins where the evidence supports it.
+    let mut score = mass.clone();
+    let mut levels: BTreeMap<usize, Vec<ConceptId>> = BTreeMap::new();
+    for &c in mass.keys() {
+        levels.entry(f.depth(c)).or_default().push(c);
+    }
+    for ids in levels.values() {
+        let mut ranked = ids.clone();
+        ranked.sort_by(|&a, &b| {
+            score_of(&score, b)
+                .total_cmp(&score_of(&score, a))
+                .then(a.cmp(&b))
+        });
+        for &p in ranked.iter().take(options.beam.max(1)) {
+            let ps = score_of(&score, p);
+            if ps <= 0.0 {
+                continue;
+            }
+            let boosted: Vec<ConceptId> = direct
+                .keys()
+                .copied()
+                .filter(|&c| c != p && f.parents_of(c).any(|(q, _)| q == p))
+                .collect();
+            for c in boosted {
+                add(&mut score, c, REFINE * ps);
+            }
+        }
+    }
+
+    // Rank, floor, truncate.
+    let mut hits: Vec<TagHit> = score
+        .iter()
+        .map(|(&c, &s)| {
+            let mut spans_of: Vec<u32> = ev.get(&c).cloned().unwrap_or_default();
+            spans_of.sort_unstable();
+            spans_of.dedup();
+            TagHit {
+                id: c,
+                name: f.concept_name(c).to_string(),
+                depth: f.depth(c) as u32,
+                score: s as f32,
+                evidence: spans_of,
+            }
+        })
+        .filter(|h| h.score >= options.min_score)
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+    hits.truncate(options.top_k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnp_taxonomy::{FrozenTaxonomy, IsAMeta, Source, TaxonomyStore};
+
+    fn fixture() -> FrozenTaxonomy {
+        let mut s = TaxonomyStore::new();
+        let thing = s.add_concept("事物");
+        let person = s.add_concept("人物");
+        let singer = s.add_concept("歌手");
+        s.add_concept_is_a(person, thing, IsAMeta::new(Source::SubConcept, 0.9));
+        s.add_concept_is_a(singer, person, IsAMeta::new(Source::SubConcept, 0.9));
+        let liu = s.add_entity("刘德华", None);
+        s.add_entity_is_a(liu, singer, IsAMeta::new(Source::Tag, 0.9));
+        FrozenTaxonomy::freeze(&s)
+    }
+
+    #[test]
+    fn mass_decays_up_the_closure_and_refinement_keeps_the_leaf_on_top() {
+        let f = fixture();
+        let index = TagIndex::build(&f);
+        let out = tag_with(&f, &index, "刘德华", &TagOptions::default());
+        let names: Vec<&str> = out.concepts.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, vec!["歌手", "人物", "事物"]);
+        let scores: Vec<f32> = out.concepts.iter().map(|h| h.score).collect();
+        assert!(scores.windows(2).all(|w| w[0] > w[1]), "{scores:?}");
+    }
+
+    #[test]
+    fn min_score_and_top_k_shape_the_result() {
+        let f = fixture();
+        let index = TagIndex::build(&f);
+        let top1 = tag_with(&f, &index, "刘德华", &TagOptions::default().with_top_k(1));
+        assert_eq!(top1.concepts.len(), 1);
+        let floored = tag_with(
+            &f,
+            &index,
+            "刘德华",
+            &TagOptions::default().with_min_score(0.5),
+        );
+        assert!(floored.concepts.iter().all(|h| h.score >= 0.5));
+        assert!(floored.concepts.len() < 3);
+    }
+
+    #[test]
+    fn oov_named_entities_pass_the_gate_without_scoring() {
+        let f = fixture();
+        let index = TagIndex::build(&f);
+        // 《…》 book-title brackets are the Work NE pattern; the title is
+        // not in the taxonomy.
+        let out = tag_with(&f, &index, "《未知作品名》", &TagOptions::default());
+        assert!(out
+            .spans
+            .iter()
+            .any(|s| matches!(s.kind, SpanKind::NamedEntity)));
+        assert!(out.concepts.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_mentions_split_mass_across_senses() {
+        let mut s = TaxonomyStore::new();
+        let singer = s.add_concept("歌手");
+        let host = s.add_concept("主持人");
+        let a = s.add_entity("阿伦", Some("歌手"));
+        let b = s.add_entity("阿伦", Some("主持人"));
+        s.add_entity_is_a(a, singer, IsAMeta::new(Source::Tag, 0.8));
+        s.add_entity_is_a(b, host, IsAMeta::new(Source::Tag, 0.8));
+        let f = FrozenTaxonomy::freeze(&s);
+        let index = TagIndex::build(&f);
+        let out = tag_with(&f, &index, "阿伦", &TagOptions::default());
+        assert_eq!(out.concepts.len(), 2);
+        let scores: Vec<f32> = out.concepts.iter().map(|h| h.score).collect();
+        assert!((scores[0] - 0.4).abs() < 1e-6, "{scores:?}");
+        assert_eq!(scores[0], scores[1]);
+    }
+
+    #[test]
+    fn longest_match_wins_over_fragment_mentions() {
+        let mut s = TaxonomyStore::new();
+        let place = s.add_concept("地点");
+        let uni = s.add_concept("大学");
+        let wuhan = s.add_entity("武汉", None);
+        let wuda = s.add_entity("武汉大学", None);
+        s.add_entity_is_a(wuhan, place, IsAMeta::new(Source::Tag, 0.9));
+        s.add_entity_is_a(wuda, uni, IsAMeta::new(Source::Tag, 0.9));
+        let f = FrozenTaxonomy::freeze(&s);
+        let index = TagIndex::build(&f);
+        let out = tag_with(&f, &index, "武汉大学的校园。", &TagOptions::default());
+        assert!(
+            out.spans.iter().any(|sp| sp.text == "武汉大学"),
+            "{:?}",
+            out.spans
+        );
+        assert!(out.spans.iter().all(|sp| sp.text != "武汉"));
+        assert_eq!(
+            out.concepts.first().map(|h| h.name.as_str()),
+            Some("大学"),
+            "{:?}",
+            out.concepts
+        );
+    }
+}

@@ -322,11 +322,21 @@ struct ConceptTables {
     parents: Vec<Vec<(ConceptId, IsAMeta)>>,
     /// Exact merged child rows, same construction.
     children: Vec<Vec<ConceptId>>,
-    /// Sorted transitive-ancestor rows, recomputed at fold finalize with
-    /// the same condensation + component-reachability pass as
-    /// `FrozenTaxonomy::freeze_with`.
-    ancestors: Vec<Vec<ConceptId>>,
-    /// Exact depths, same DP as the freeze.
+    /// Concepts whose parent row changed *topologically* since the last
+    /// finalize (an edge appended or removed, or the concept is
+    /// overlay-new) — the seeds of the affected set; drained by
+    /// `finalize`. Meta-only upserts don't seed: they cannot move the
+    /// closure.
+    dirty: Vec<ConceptId>,
+    /// Sorted transitive-ancestor rows, recomputed at fold finalize for
+    /// *affected* concepts only: the dirty seeds plus their descendants
+    /// in the merged graph. Every other concept's closure is provably
+    /// unchanged, so reads serve the base's precomputed row instead of
+    /// recomputing through the merged graph (the `AncestorsOf` fast
+    /// path) — absence in this map *is* the fast path.
+    ancestors: FxHashMap<ConceptId, Vec<ConceptId>>,
+    /// Exact depths, same condensation DP as the freeze (`O(V + E)` per
+    /// fold, run directly over the merged parent rows).
     depth: Vec<u32>,
 }
 
@@ -523,7 +533,8 @@ fn activate_tables<'a, B: TaxonomyRead>(
             base_concept_edges: parents.iter().map(Vec::len).sum(),
             parents,
             children,
-            ancestors: Vec::new(),
+            dirty: Vec::new(),
+            ancestors: FxHashMap::default(),
             depth: Vec::new(),
         }
     })
@@ -542,6 +553,9 @@ fn ensure_concept<B: TaxonomyRead>(base: &B, st: &mut OverlayState, name: &str) 
     let t = activate_tables(base, &mut st.tables);
     t.parents.push(Vec::new());
     t.children.push(Vec::new());
+    // The base has no closure row for an overlay-new concept, so it must
+    // always be materialised, even while it has no edges.
+    t.dirty.push(c);
     c
 }
 
@@ -616,6 +630,7 @@ fn fold_op<B: TaxonomyRead>(base: &B, st: &mut OverlayState, op: &DeltaOp) {
                 None => {
                     t.parents[s.index()].push((p, *meta));
                     t.children[p.index()].push(s);
+                    t.dirty.push(s);
                 }
             }
         }
@@ -646,6 +661,7 @@ fn fold_op<B: TaxonomyRead>(base: &B, st: &mut OverlayState, op: &DeltaOp) {
             t.parents[s.index()].retain(|&(cc, _)| cc != p);
             if t.parents[s.index()].len() != before {
                 t.children[p.index()].retain(|&ss| ss != s);
+                t.dirty.push(s);
             }
         }
     }
@@ -680,57 +696,84 @@ fn finalize<B: TaxonomyRead>(base: &B, st: &mut OverlayState) {
         let edges: usize = t.parents.iter().map(Vec::len).sum();
         delta_concept_edges = edges as isize - t.base_concept_edges as isize;
 
-        // Rebuild the concept topology exactly like the freeze does:
-        // condensation over the merged parent rows, one-pass depths, and
-        // the component-reachability closure. The mini store is only a
-        // carrier for the shared Tarjan/DP code — both read nothing but
-        // parent rows, which are reproduced verbatim.
+        // Depths are rebuilt exactly like the freeze — condensation +
+        // one DP pass — run directly over the merged parent rows
+        // (`of_rows`), so no carrier store is materialised.
         let n = t.parents.len();
-        let mut mini = TaxonomyStore::new();
-        for i in 0..n {
-            let c = ConceptId(i as u32);
-            let name = if i < base.num_concepts() {
-                base.concept_name(c).to_string()
-            } else {
-                st.concept_names[i - base.num_concepts()].clone()
-            };
-            mini.add_concept(&name);
-        }
-        for (sub, row) in t.parents.iter().enumerate() {
-            for &(sup, meta) in row {
-                mini.add_concept_is_a(ConceptId(sub as u32), sup, meta);
+        let ConceptTables {
+            parents,
+            children,
+            dirty,
+            ancestors,
+            depth,
+            ..
+        } = t;
+        let parents = &*parents;
+        let cond = Condensation::of_rows(n, |c| &parents[c.index()][..]);
+        *depth = cond.depths_rows(n, |c| &parents[c.index()][..]);
+
+        // The AncestorsOf fast path: a concept's closure can change only
+        // if some concept on an upward path from it had its parent row
+        // edited — i.e. only the dirty seeds and their descendants in
+        // the merged graph (for a removed edge the subject is a seed,
+        // and everything below it still reaches it through unchanged
+        // child rows). Rows recomputed in an earlier fold stay valid
+        // unless re-affected, so this walk is per-apply incremental;
+        // every row never affected serves the base's precomputed
+        // closure by staying absent from the map.
+        let mut affected = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for &c in dirty.iter() {
+            if !affected[c.index()] {
+                affected[c.index()] = true;
+                queue.push_back(c);
             }
         }
-        let cond = Condensation::of(&mini);
-        t.depth = cond.depths(&mini);
-        let comps = cond.components();
-        let mut comp_reach: Vec<Vec<ConceptId>> = Vec::with_capacity(comps.len());
-        for (i, members) in comps.iter().enumerate() {
-            let mut set: Vec<ConceptId> = Vec::new();
-            for &c in members {
-                for &(p, _) in mini.parents_of(c) {
-                    let ps = cond.component_of(p);
-                    if ps != i {
-                        set.extend_from_slice(&comps[ps]);
-                        set.extend_from_slice(&comp_reach[ps]);
+        dirty.clear();
+        while let Some(c) = queue.pop_front() {
+            for &ch in &children[c.index()] {
+                if !affected[ch.index()] {
+                    affected[ch.index()] = true;
+                    queue.push_back(ch);
+                }
+            }
+        }
+
+        // Upward reachability per affected concept, over the merged
+        // rows; `seen` is cleared selectively so the scratch allocation
+        // is paid once per finalize, not per row.
+        let mut seen = vec![false; n];
+        let mut stack: Vec<ConceptId> = Vec::new();
+        for ci in 0..n {
+            if !affected[ci] {
+                continue;
+            }
+            let c = ConceptId(ci as u32);
+            let mut row: Vec<ConceptId> = Vec::new();
+            for &(p, _) in &parents[ci] {
+                if !seen[p.index()] {
+                    seen[p.index()] = true;
+                    stack.push(p);
+                }
+            }
+            while let Some(v) = stack.pop() {
+                row.push(v);
+                for &(p, _) in &parents[v.index()] {
+                    if !seen[p.index()] {
+                        seen[p.index()] = true;
+                        stack.push(p);
                     }
                 }
             }
-            set.sort_unstable();
-            set.dedup();
-            comp_reach.push(set);
+            for &m in &row {
+                seen[m.index()] = false;
+            }
+            // A cycle through `c` re-discovers `c` itself; the closure
+            // convention (matching the freeze) excludes it.
+            row.retain(|&m| m != c);
+            row.sort_unstable();
+            ancestors.insert(c, row);
         }
-        t.ancestors = (0..n)
-            .map(|ci| {
-                let c = ConceptId(ci as u32);
-                let comp = cond.component_of(c);
-                let mut row: Vec<ConceptId> =
-                    comps[comp].iter().copied().filter(|&m| m != c).collect();
-                row.extend_from_slice(&comp_reach[comp]);
-                row.sort_unstable();
-                row
-            })
-            .collect();
     }
 
     st.n_is_a = (base.num_is_a() as isize + delta_entity_edges + delta_concept_edges) as usize;
@@ -894,15 +937,19 @@ impl<B: TaxonomyRead> TaxonomyRead for OverlayView<B> {
     }
 
     fn ancestors(&self, c: ConceptId) -> impl Iterator<Item = ConceptId> + '_ {
-        match &self.state.tables {
-            Some(t) => Either::L(t.ancestors[c.index()].iter().copied()),
+        // Fast path: a row absent from the patch map was never on an
+        // edited upward path, so the base's precomputed closure is still
+        // exact (and a base concept id is guaranteed: overlay-new
+        // concepts are always materialised at fold time).
+        match self.state.tables.as_ref().and_then(|t| t.ancestors.get(&c)) {
+            Some(row) => Either::L(row.iter().copied()),
             None => Either::R(self.base.ancestors(c)),
         }
     }
 
     fn ancestor_contains(&self, c: ConceptId, sup: ConceptId) -> bool {
-        match &self.state.tables {
-            Some(t) => t.ancestors[c.index()].binary_search(&sup).is_ok(),
+        match self.state.tables.as_ref().and_then(|t| t.ancestors.get(&c)) {
+            Some(row) => row.binary_search(&sup).is_ok(),
             None => self.base.ancestor_contains(c, sup),
         }
     }
@@ -1111,6 +1158,125 @@ mod tests {
         d.retract_concept_is_a("无此概念", "人物");
         let view = OverlayView::new(FrozenTaxonomy::freeze(&base_store())).apply(&d);
         assert_matches_replay(&view, &d);
+    }
+
+    /// `base_store` plus a 男演员 → 演员 subconcept, so a chain deep
+    /// enough to have both an edited slice and a spared sibling subtree.
+    fn with_male_actor() -> TaxonomyStore {
+        let mut s = base_store();
+        let male = s.add_concept("男演员");
+        let actor = s.find_concept("演员").expect("base concept");
+        s.add_concept_is_a(male, actor, IsAMeta::new(Source::SubConcept, 0.7));
+        s
+    }
+
+    #[test]
+    fn untouched_ancestor_rows_delegate_to_the_base_closure() {
+        let view = OverlayView::new(FrozenTaxonomy::freeze(&base_store()));
+        let applied = view.apply(&sample_delta());
+        // sample_delta edits only 歌手's parent row (and mints 艺人):
+        // the 演员 → 人物 chain must not have been rematerialised.
+        let t = applied
+            .state
+            .tables
+            .as_ref()
+            .expect("concept layer touched");
+        let actor = applied.find_concept("演员").unwrap();
+        let person = applied.find_concept("人物").unwrap();
+        let singer = applied.find_concept("歌手").unwrap();
+        let artist = applied.find_concept("艺人").unwrap();
+        assert!(!t.ancestors.contains_key(&actor), "untouched row patched");
+        assert!(!t.ancestors.contains_key(&person), "untouched row patched");
+        assert!(t.ancestors.contains_key(&singer), "edited row not patched");
+        assert!(t.ancestors.contains_key(&artist), "new row not patched");
+        // Served answers are exact on both paths.
+        assert_eq!(applied.ancestors(actor).collect::<Vec<_>>(), vec![person]);
+        assert!(applied.ancestor_contains(singer, artist));
+        assert!(applied.ancestor_contains(singer, person));
+        assert_eq!(applied.depth(artist), 0);
+        assert_eq!(applied.depth(singer), 1);
+    }
+
+    #[test]
+    fn retractions_refresh_descendant_rows_and_spare_siblings() {
+        let view = OverlayView::new(FrozenTaxonomy::freeze(&with_male_actor()));
+        let mut d = DeltaOverlay::new();
+        d.retract_concept_is_a("演员", "人物");
+        let applied = view.apply(&d);
+
+        let mut store = with_male_actor();
+        d.apply_to_store(&mut store);
+        let fresh = FrozenTaxonomy::freeze(&store);
+        for i in 0..fresh.num_concepts() {
+            let c = ConceptId(i as u32);
+            assert_eq!(
+                applied.ancestors(c).collect::<Vec<_>>(),
+                fresh.ancestors(c).collect::<Vec<_>>(),
+                "ancestors of {c:?}"
+            );
+            assert_eq!(applied.depth(c), fresh.depth(c), "depth of {c:?}");
+        }
+        let t = applied
+            .state
+            .tables
+            .as_ref()
+            .expect("concept layer touched");
+        let actor = applied.find_concept("演员").unwrap();
+        let male = applied.find_concept("男演员").unwrap();
+        let singer = applied.find_concept("歌手").unwrap();
+        let person = applied.find_concept("人物").unwrap();
+        // The retraction's subject and everything below it were
+        // recomputed (the removed edge is invisible to a merged-graph
+        // walk from 男演员, which is why descendants of the seed join
+        // the affected set)…
+        assert!(t.ancestors.contains_key(&actor));
+        assert!(t.ancestors.contains_key(&male));
+        // …while the sibling subtree and the severed parent delegate.
+        assert!(!t.ancestors.contains_key(&singer));
+        assert!(!t.ancestors.contains_key(&person));
+        assert_eq!(applied.ancestors(actor).count(), 0);
+        assert_eq!(applied.ancestors(male).collect::<Vec<_>>(), vec![actor]);
+    }
+
+    #[test]
+    fn stacked_deltas_grow_the_affected_set_incrementally() {
+        let mut d1 = DeltaOverlay::new();
+        d1.upsert_concept_is_a("歌手", "艺人", IsAMeta::new(Source::SubConcept, 0.75));
+        let mut d2 = DeltaOverlay::new();
+        d2.upsert_concept_is_a("演员", "艺人", IsAMeta::new(Source::SubConcept, 0.8));
+        let applied = OverlayView::new(FrozenTaxonomy::freeze(&base_store()))
+            .apply(&d1)
+            .apply(&d2);
+        // Each apply recomputes only its own affected slice; rows from
+        // the first fold persist, and 人物 — never on an edited upward
+        // path — still serves the base closure after both.
+        let t = applied
+            .state
+            .tables
+            .as_ref()
+            .expect("concept layer touched");
+        let person = applied.find_concept("人物").unwrap();
+        assert!(!t.ancestors.contains_key(&person));
+        let mut combined = d1.clone();
+        combined.ops.extend(d2.ops.clone());
+        assert_matches_replay(&applied, &combined);
+    }
+
+    #[test]
+    fn cycle_creating_and_breaking_edits_keep_closures_exact() {
+        // 人物 → 演员 closes a cycle {演员, 人物}; a second delta breaks
+        // it again. Both transitions run through the affected-set walk.
+        let mut d1 = DeltaOverlay::new();
+        d1.upsert_concept_is_a("人物", "演员", IsAMeta::new(Source::SubConcept, 0.1));
+        let mut d2 = DeltaOverlay::new();
+        d2.retract_concept_is_a("人物", "演员");
+        let view = OverlayView::new(FrozenTaxonomy::freeze(&base_store()));
+        let once = view.apply(&d1);
+        assert_matches_replay(&once, &d1);
+        let twice = once.apply(&d2);
+        let mut combined = d1.clone();
+        combined.ops.extend(d2.ops.clone());
+        assert_matches_replay(&twice, &combined);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! store (the normal case after [`crate::closure::break_cycles`]) every SCC
 //! is a singleton, so the values are the exact longest-chain depths.
 
-use crate::store::{ConceptId, TaxonomyStore};
+use crate::store::{ConceptId, IsAMeta, TaxonomyStore};
 
 const UNVISITED: u32 = u32::MAX;
 
@@ -28,7 +28,16 @@ impl Condensation {
     /// Computes the condensation with an iterative Tarjan pass over the
     /// edges `concept → parent`. `O(V + E)`, no recursion.
     pub fn of(store: &TaxonomyStore) -> Self {
-        let n = store.num_concepts();
+        Self::of_rows(store.num_concepts(), |c| store.parents_of(c))
+    }
+
+    /// [`Condensation::of`] over any borrowed parent-row table — the
+    /// overlay fold runs the identical pass on its merged rows without
+    /// materialising a carrier store.
+    pub(crate) fn of_rows<'a>(
+        n: usize,
+        parents_of: impl Fn(ConceptId) -> &'a [(ConceptId, IsAMeta)],
+    ) -> Self {
         let mut index = vec![UNVISITED; n];
         let mut low = vec![0u32; n];
         let mut on_stack = vec![false; n];
@@ -51,7 +60,7 @@ impl Condensation {
             call.push((root, 0));
 
             while let Some(&mut (v, ref mut next_edge)) = call.last_mut() {
-                let parents = store.parents_of(ConceptId(v));
+                let parents = parents_of(ConceptId(v));
                 if *next_edge < parents.len() {
                     let w = parents[*next_edge].0 .0;
                     *next_edge += 1;
@@ -112,11 +121,21 @@ impl Condensation {
     /// component order: `depth[c] = max over parents (depth[parent] + 1)`,
     /// `0` for roots, with cycle members collapsed to their component.
     pub fn depths(&self, store: &TaxonomyStore) -> Vec<u32> {
+        self.depths_rows(store.num_concepts(), |c| store.parents_of(c))
+    }
+
+    /// [`Condensation::depths`] over any borrowed parent-row table (the
+    /// same table `of_rows` condensed).
+    pub(crate) fn depths_rows<'a>(
+        &self,
+        n: usize,
+        parents_of: impl Fn(ConceptId) -> &'a [(ConceptId, IsAMeta)],
+    ) -> Vec<u32> {
         let mut scc_depth = vec![0u32; self.sccs.len()];
         for (i, members) in self.sccs.iter().enumerate() {
             let mut d = 0;
             for &c in members {
-                for &(p, _) in store.parents_of(c) {
+                for &(p, _) in parents_of(c) {
                     let ps = self.component_of(p);
                     if ps != i {
                         d = d.max(scc_depth[ps] + 1);
@@ -125,9 +144,7 @@ impl Condensation {
             }
             scc_depth[i] = d;
         }
-        (0..store.num_concepts())
-            .map(|c| scc_depth[self.scc_of[c] as usize])
-            .collect()
+        (0..n).map(|c| scc_depth[self.scc_of[c] as usize]).collect()
     }
 }
 

@@ -175,6 +175,7 @@ fn main() {
         requests: 400,
         seed: 7,
         ingest_deltas: 1,
+        tag_ratio: 0.25,
     };
     let t = Instant::now();
     let report = load::run(&load_config, &vocab);
@@ -192,6 +193,14 @@ fn main() {
         println!(
             "ingest under load: ok={} failed={} generations={:?}",
             ingest.ok, ingest.failed, ingest.generations
+        );
+    }
+    if report.tag_issued > 0 {
+        println!(
+            "tag under load: issued={} served={} p99={}us",
+            report.tag_issued,
+            report.tag_latencies_us.len(),
+            report.tag_percentile_us(0.99),
         );
     }
     if let Err(e) = report.check(None) {

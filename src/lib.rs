@@ -18,6 +18,9 @@
 //! * [`serve`] — Serving API v1: the typed [`Query`]/[`Response`] protocol,
 //!   batching, pagination and zero-downtime snapshot hot-swap, plus the
 //!   [`ProbaseApi`] Table II compatibility wrapper ([`cnp_serve`]).
+//! * [`tag`] — taxonomy-backed document tagging: segment a document with
+//!   the snapshot's own vocabulary, resolve mentions, and score concepts
+//!   coarse-to-fine over the hierarchy ([`cnp_tag`]).
 //! * [`server`] — the HTTP/1.1 network front-end over [`serve`], plus the
 //!   `cnp_load` load harness ([`cnp_server`]).
 //! * [`pipeline`] — the generation + verification framework itself
@@ -44,6 +47,7 @@ pub use cnp_nn as nn;
 pub use cnp_runtime as runtime;
 pub use cnp_serve as serve;
 pub use cnp_server as server;
+pub use cnp_tag as tag;
 pub use cnp_taxonomy as taxonomy;
 pub use cnp_text as text;
 
@@ -58,6 +62,7 @@ pub use cnp_serve::{
     Cursor, ListOptions, PageRequest, ProbaseApi, Query, QueryError, QueryResponse, Response,
     TaxonomyService,
 };
+pub use cnp_tag::{TagOptions, TagOutput, Tagger};
 pub use cnp_taxonomy::{
     AnySnapshot, BootSnapshot, DeltaOverlay, FrozenTaxonomy, FrozenTaxonomyView, IngestDelta,
     OverlayView, PersistError, Snapshot, TaxonomyRead,

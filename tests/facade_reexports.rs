@@ -56,6 +56,17 @@ fn reexported_modules_resolve() {
     ));
     let _response_ty: Option<cn_probase::Response> = None;
 
+    // tag → cnp_tag: the tagging workload at the crate root.
+    let tagger: cn_probase::Tagger<cn_probase::FrozenTaxonomy> =
+        cn_probase::tag::Tagger::new(std::sync::Arc::new(cn_probase::FrozenTaxonomy::freeze(
+            &cn_probase::taxonomy::TaxonomyStore::new(),
+        )));
+    let output: cn_probase::TagOutput = tagger.tag("刘德华", &cn_probase::TagOptions::default());
+    assert!(
+        output.concepts.is_empty(),
+        "an empty taxonomy yields no concept mass (the NER gate may still surface spans)"
+    );
+
     // pipeline → cnp_core
     let _config = cn_probase::pipeline::PipelineConfig::fast();
 
